@@ -1,0 +1,105 @@
+// Shared infrastructure for the paper-reproduction benchmark binaries.
+//
+// Every bench binary registers its experiment runs as google-benchmark
+// benchmarks (one iteration each — the simulator is deterministic, so
+// repetition adds nothing), records the measurements in a shared registry,
+// and prints the corresponding paper table/figure as aligned text after
+// the google-benchmark run completes.
+//
+// Environment knobs:
+//   SMT_BENCH_FULL=1   also run the largest (paper-scale-ratio) sizes
+//   SMT_BENCH_CSV=1    additionally dump each table as CSV
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/runner.h"
+#include "perfmon/counters.h"
+
+namespace smt::bench {
+
+inline bool full_mode() {
+  const char* v = std::getenv("SMT_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+inline bool csv_mode() {
+  const char* v = std::getenv("SMT_BENCH_CSV");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Registry of named measurements filled during the benchmark run and
+/// consumed by the table printers afterwards.
+class Results {
+ public:
+  static Results& instance() {
+    static Results r;
+    return r;
+  }
+
+  void put(const std::string& key, core::RunStats stats) {
+    stats_[key] = std::move(stats);
+  }
+
+  const core::RunStats& get(const std::string& key) const {
+    auto it = stats_.find(key);
+    SMT_CHECK_MSG(it != stats_.end(), key.c_str());
+    return it->second;
+  }
+
+  bool has(const std::string& key) const { return stats_.count(key) > 0; }
+
+  void put_value(const std::string& key, double v) { values_[key] = v; }
+  double value(const std::string& key) const {
+    auto it = values_.find(key);
+    SMT_CHECK_MSG(it != values_.end(), key.c_str());
+    return it->second;
+  }
+  bool has_value(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+ private:
+  std::map<std::string, core::RunStats> stats_;
+  std::map<std::string, double> values_;
+};
+
+/// Registers a single-iteration benchmark that executes `fn` and reports
+/// simulated cycles as the benchmark's "items".
+inline void register_run(const std::string& name, std::function<void()> fn) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [fn = std::move(fn)](benchmark::State& state) {
+                                 for (auto _ : state) fn();
+                               })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+/// Prints a table (and optionally CSV) under a titled banner.
+inline void print_table(const std::string& title, const TextTable& t) {
+  std::printf("\n=== %s ===\n%s", title.c_str(), t.to_string().c_str());
+  if (csv_mode()) std::printf("\n[csv]\n%s", t.to_csv().c_str());
+  std::fflush(stdout);
+}
+
+/// Standard main body: initialize, run registered benchmarks, then call
+/// the binary's printer.
+inline int bench_main(int argc, char** argv, std::function<void()> register_all,
+                      std::function<void()> print_all) {
+  benchmark::Initialize(&argc, argv);
+  register_all();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_all();
+  return 0;
+}
+
+}  // namespace smt::bench

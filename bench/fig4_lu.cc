@@ -1,0 +1,80 @@
+// Figure 4: the LU decomposition kernel — execution time, L2 misses,
+// resource (store-buffer) stall cycles and retired uops for the serial,
+// tlp-coarse and tlp-pfetch versions across three matrix sizes.
+#include "bench/bench_util.h"
+#include "kernels/lu.h"
+#include "perfmon/events.h"
+
+namespace smt::bench {
+namespace {
+
+using core::RunStats;
+using kernels::LuMode;
+using kernels::LuParams;
+using kernels::LuWorkload;
+using perfmon::Event;
+
+constexpr LuMode kModes[] = {LuMode::kSerial, LuMode::kTlpCoarse,
+                             LuMode::kTlpPfetch};
+
+std::vector<size_t> sizes() {
+  std::vector<size_t> s{64, 128};
+  if (full_mode()) s.push_back(256);
+  return s;
+}
+
+std::string key(LuMode m, size_t n) {
+  return std::string("lu.") + kernels::name(m) + ".n" + std::to_string(n);
+}
+
+void register_all() {
+  for (size_t n : sizes()) {
+    for (LuMode mode : kModes) {
+      register_run(key(mode, n), [mode, n] {
+        LuParams p;
+        p.n = n;
+        p.tile = 16;
+        p.mode = mode;
+        LuWorkload w(p);
+        Results::instance().put(key(mode, n),
+                                core::run_workload(core::MachineConfig{}, w));
+      });
+    }
+  }
+}
+
+void print_all() {
+  auto& res = Results::instance();
+  TextTable t({"version", "n", "cycles", "norm.time", "L2 misses",
+               "SB stall cyc", "uops retired", "verified"});
+  for (size_t n : sizes()) {
+    const uint64_t serial = res.get(key(LuMode::kSerial, n)).cycles;
+    for (LuMode mode : kModes) {
+      const RunStats& st = res.get(key(mode, n));
+      const uint64_t l2 = mode == LuMode::kTlpPfetch
+                              ? st.cpu(CpuId::kCpu0, Event::kL2ReadMisses)
+                              : st.total(Event::kL2ReadMisses);
+      t.add_row({kernels::name(mode), std::to_string(n),
+                 fmt_count(st.cycles),
+                 fmt(static_cast<double>(st.cycles) / serial, 3),
+                 fmt_count(l2),
+                 fmt_count(st.total(Event::kStoreBufferStallCycles)),
+                 fmt_count(st.total(Event::kUopsRetired)),
+                 st.verified ? "yes" : "NO"});
+    }
+  }
+  print_table("Figure 4: LU decomposition kernel", t);
+  std::printf(
+      "\nPaper shape check: tlp-coarse is the fastest, with a slight speedup\n"
+      "(0.5-8.9%%) but 1-2 orders of magnitude more stall cycles; tlp-pfetch\n"
+      "cuts the worker's L2 misses ~98%% yet runs 1.61-1.96x slower because\n"
+      "the prefetcher retires about as many uops as the worker.\n");
+}
+
+}  // namespace
+}  // namespace smt::bench
+
+int main(int argc, char** argv) {
+  return smt::bench::bench_main(argc, argv, smt::bench::register_all,
+                                smt::bench::print_all);
+}

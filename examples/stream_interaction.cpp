@@ -1,0 +1,104 @@
+// Explore how two instruction streams interact when co-executed on the two
+// hardware contexts (the paper's §4 methodology, interactive):
+//
+//   $ ./stream_interaction fadd max fmul max
+//   $ ./stream_interaction fdiv min fdiv min
+//
+// Prints the single-threaded CPI of each stream, the co-executed CPIs, and
+// the resulting slowdown factors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "streams/stream_gen.h"
+#include "streams/stream_runner.h"
+
+using namespace smt;
+using streams::IlpLevel;
+using streams::StreamKind;
+using streams::StreamSpec;
+
+namespace {
+
+bool parse_kind(const char* s, StreamKind* out) {
+  static const std::pair<const char*, StreamKind> kMap[] = {
+      {"fadd", StreamKind::kFAdd},     {"fsub", StreamKind::kFSub},
+      {"fmul", StreamKind::kFMul},     {"fdiv", StreamKind::kFDiv},
+      {"fadd-mul", StreamKind::kFAddMul},
+      {"fload", StreamKind::kFLoad},   {"fstore", StreamKind::kFStore},
+      {"iadd", StreamKind::kIAdd},     {"isub", StreamKind::kISub},
+      {"imul", StreamKind::kIMul},     {"idiv", StreamKind::kIDiv},
+      {"iload", StreamKind::kILoad},   {"istore", StreamKind::kIStore},
+  };
+  for (const auto& [name, kind] : kMap) {
+    if (std::strcmp(s, name) == 0) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_ilp(const char* s, IlpLevel* out) {
+  if (std::strcmp(s, "min") == 0) *out = IlpLevel::kMin;
+  else if (std::strcmp(s, "med") == 0) *out = IlpLevel::kMed;
+  else if (std::strcmp(s, "max") == 0) *out = IlpLevel::kMax;
+  else return false;
+  return true;
+}
+
+uint64_t ops_for(StreamKind k) {
+  switch (k) {
+    case StreamKind::kFDiv:
+    case StreamKind::kIDiv:
+      return 8'000;
+    default:
+      return 150'000;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StreamKind ka = StreamKind::kFAdd, kb = StreamKind::kFMul;
+  IlpLevel la = IlpLevel::kMax, lb = IlpLevel::kMax;
+  if (argc == 5) {
+    if (!parse_kind(argv[1], &ka) || !parse_ilp(argv[2], &la) ||
+        !parse_kind(argv[3], &kb) || !parse_ilp(argv[4], &lb)) {
+      std::fprintf(stderr,
+                   "usage: %s <stream> <min|med|max> <stream> <min|med|max>\n"
+                   "streams: fadd fsub fmul fdiv fadd-mul fload fstore iadd "
+                   "isub imul idiv iload istore\n",
+                   argv[0]);
+      return 1;
+    }
+  } else if (argc != 1) {
+    std::fprintf(stderr, "expected 0 or 4 arguments\n");
+    return 1;
+  }
+
+  StreamSpec a;
+  a.kind = ka;
+  a.ilp = la;
+  a.ops = ops_for(ka);
+  StreamSpec b;
+  b.kind = kb;
+  b.ilp = lb;
+  b.ops = ops_for(kb);
+
+  const auto sa = streams::run_single(a);
+  const auto sb = streams::run_single(b);
+  const auto pair = streams::run_pair(a, b);
+
+  std::printf("stream A: %-16s alone CPI %.2f   co-run CPI %.2f   slowdown %+.0f%%\n",
+              a.label().c_str(), sa.cpi[0], pair.cpi[0],
+              100.0 * (pair.cpi[0] / sa.cpi[0] - 1.0));
+  std::printf("stream B: %-16s alone CPI %.2f   co-run CPI %.2f   slowdown %+.0f%%\n",
+              b.label().c_str(), sb.cpi[0], pair.cpi[1],
+              100.0 * (pair.cpi[1] / sb.cpi[0] - 1.0));
+  const double cum_alone = 1.0 / sa.cpi[0];  // best single-context rate
+  const double cum_pair = 1.0 / pair.cpi[0] + 1.0 / pair.cpi[1];
+  std::printf("cumulative throughput: %.2f instr/cycle co-run vs %.2f for A alone\n",
+              cum_pair, cum_alone);
+  return 0;
+}

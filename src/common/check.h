@@ -1,0 +1,36 @@
+// Lightweight invariant-checking macros used across the simulator.
+//
+// SMT_CHECK is always on (simulation correctness depends on it: a silently
+// corrupted pipeline state would invalidate every measurement downstream).
+// SMT_DCHECK compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace smt {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const char* msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace smt
+
+#define SMT_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) ::smt::check_failed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define SMT_CHECK_MSG(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) ::smt::check_failed(__FILE__, __LINE__, #expr, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SMT_DCHECK(expr) ((void)0)
+#else
+#define SMT_DCHECK(expr) SMT_CHECK(expr)
+#endif

@@ -1,0 +1,102 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace smt {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SMT_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  SMT_CHECK_MSG(row.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      const size_t pad = width[c] - row[c].size();
+      if (c == 0) {
+        out += row[c];
+        out.append(pad, ' ');
+      } else {
+        out.append(pad, ' ');
+        out += row[c];
+      }
+      out += (c + 1 == row.size()) ? "\n" : "  ";
+    }
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+  out.append(total - 2, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  auto sanitize = [](std::string s) {
+    std::replace(s.begin(), s.end(), ',', ';');
+    return s;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += sanitize(row[c]);
+      out += (c + 1 == row.size()) ? "\n" : ",";
+    }
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_count(uint64_t v) {
+  char digits[32];
+  std::snprintf(digits, sizeof digits, "%" PRIu64, v);
+  std::string raw = digits;
+  std::string out;
+  const size_t n = raw.size();
+  for (size_t i = 0; i < n; ++i) {
+    out += raw[i];
+    const size_t remaining = n - 1 - i;
+    if (remaining > 0 && remaining % 3 == 0) out += ',';
+  }
+  return out;
+}
+
+std::string fmt_eng(double v, int prec) {
+  static const char* suffix[] = {"", "K", "M", "G", "T"};
+  int tier = 0;
+  double x = v;
+  while (x >= 1000.0 && tier < 4) {
+    x /= 1000.0;
+    ++tier;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%s", prec, x, suffix[tier]);
+  return buf;
+}
+
+}  // namespace smt

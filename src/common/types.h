@@ -1,0 +1,26 @@
+// Fundamental scalar types shared by every simulator module.
+#pragma once
+
+#include <cstdint>
+
+namespace smt {
+
+/// Simulated byte address. The simulated address space is flat and 64-bit;
+/// backing pages are allocated lazily by mem::SimMemory.
+using Addr = uint64_t;
+
+/// Simulation time in core clock cycles.
+using Cycle = uint64_t;
+
+/// Logical-processor id within one physical package. Hyper-Threading
+/// exposes exactly two contexts; the simulator follows suit.
+enum class CpuId : uint8_t { kCpu0 = 0, kCpu1 = 1 };
+
+inline constexpr int kNumLogicalCpus = 2;
+
+constexpr int idx(CpuId c) { return static_cast<int>(c); }
+constexpr CpuId other(CpuId c) {
+  return c == CpuId::kCpu0 ? CpuId::kCpu1 : CpuId::kCpu0;
+}
+
+}  // namespace smt

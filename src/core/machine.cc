@@ -1,0 +1,20 @@
+#include "core/machine.h"
+
+#include "common/check.h"
+
+namespace smt::core {
+
+Machine::Machine(const MachineConfig& cfg)
+    : cfg_(cfg),
+      hierarchy_(cfg.mem),
+      core_(cfg.core, hierarchy_, memory_, counters_) {}
+
+void Machine::load_program(CpuId cpu, isa::Program prog,
+                           const cpu::ArchState& init) {
+  auto& slot = programs_[idx(cpu)];
+  SMT_CHECK_MSG(!slot.has_value(), "logical CPU already has a program");
+  slot.emplace(std::move(prog));
+  core_.load_program(cpu, *slot, init);
+}
+
+}  // namespace smt::core

@@ -1,0 +1,66 @@
+// Machine: one simulated Hyper-Threading processor package with its memory
+// system — the top-level object users interact with.
+//
+//   smt::core::Machine m;                      // Netburst-class defaults
+//   m.memory().write_f64(addr, 1.0);           // set up data
+//   m.load_program(CpuId::kCpu0, program);     // bind to a logical CPU
+//   m.run();
+//   uint64_t misses = m.counters().get(CpuId::kCpu0, Event::kL2Misses);
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/types.h"
+#include "cpu/core.h"
+#include "isa/program.h"
+#include "mem/hierarchy.h"
+#include "mem/sim_memory.h"
+#include "perfmon/counters.h"
+
+namespace smt::core {
+
+struct MachineConfig {
+  cpu::CoreConfig core;
+  mem::HierConfig mem;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& cfg = {});
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  mem::SimMemory& memory() { return memory_; }
+  const mem::SimMemory& memory() const { return memory_; }
+  mem::CacheHierarchy& hierarchy() { return hierarchy_; }
+  perfmon::PerfCounters& counters() { return counters_; }
+  const perfmon::PerfCounters& counters() const { return counters_; }
+  cpu::Core& core() { return core_; }
+  const cpu::Core& core() const { return core_; }
+  const MachineConfig& config() const { return cfg_; }
+
+  /// Binds `prog` to `cpu` (the program is copied and kept alive by the
+  /// machine). The sched_setaffinity analog: one software thread per
+  /// logical processor.
+  void load_program(CpuId cpu, isa::Program prog,
+                    const cpu::ArchState& init = {});
+
+  void run(Cycle max_cycles = 4'000'000'000ull) { core_.run(max_cycles); }
+  CpuId run_until_any_done(Cycle max_cycles = 4'000'000'000ull) {
+    return core_.run_until_any_done(max_cycles);
+  }
+
+  Cycle cycles() const { return core_.now(); }
+
+ private:
+  MachineConfig cfg_;
+  mem::SimMemory memory_;
+  mem::CacheHierarchy hierarchy_;
+  perfmon::PerfCounters counters_;
+  cpu::Core core_;
+  std::array<std::optional<isa::Program>, kNumLogicalCpus> programs_;
+};
+
+}  // namespace smt::core

@@ -1,0 +1,27 @@
+#include "core/runner.h"
+
+#include "common/check.h"
+
+namespace smt::core {
+
+RunStats run_workload(const MachineConfig& cfg, Workload& w,
+                      Cycle max_cycles) {
+  Machine m(cfg);
+  w.setup(m);
+  std::vector<isa::Program> progs = w.programs();
+  SMT_CHECK_MSG(!progs.empty() && progs.size() <= kNumLogicalCpus,
+                "workload must provide 1 or 2 programs");
+  for (size_t i = 0; i < progs.size(); ++i) {
+    m.load_program(static_cast<CpuId>(i), std::move(progs[i]));
+  }
+  m.run(max_cycles);
+
+  RunStats stats;
+  stats.workload = w.name();
+  stats.cycles = m.cycles();
+  stats.events = m.counters().snapshot();
+  stats.verified = w.verify(m);
+  return stats;
+}
+
+}  // namespace smt::core

@@ -1,0 +1,28 @@
+// ExperimentRunner: executes a Workload on a fresh Machine and returns the
+// measurements the paper's figures are built from.
+#pragma once
+
+#include <string>
+
+#include "core/machine.h"
+#include "core/workload.h"
+#include "perfmon/counters.h"
+
+namespace smt::core {
+
+struct RunStats {
+  std::string workload;
+  Cycle cycles = 0;            ///< wall-clock execution time in core cycles
+  perfmon::Snapshot events;    ///< all per-logical-CPU counters
+  bool verified = false;
+
+  uint64_t total(perfmon::Event e) const { return events.total(e); }
+  uint64_t cpu(CpuId c, perfmon::Event e) const { return events.get(c, e); }
+};
+
+/// Runs `w` to completion on a machine built from `cfg` and verifies the
+/// result. Aborts (SMT_CHECK) on simulation deadlock.
+RunStats run_workload(const MachineConfig& cfg, Workload& w,
+                      Cycle max_cycles = 4'000'000'000ull);
+
+}  // namespace smt::core

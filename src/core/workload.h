@@ -1,0 +1,31 @@
+// Workload: the interface every benchmark kernel variant implements so the
+// experiment runner can set it up, execute it and verify its output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "isa/program.h"
+
+namespace smt::core {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Initializes simulated memory and builds the per-context programs.
+  /// Called exactly once, before run.
+  virtual void setup(Machine& m) = 0;
+
+  /// Programs to bind, in logical-CPU order. Size 1 (serial / pure
+  /// single-thread) or 2 (TLP / SPR pairs). Valid after setup().
+  virtual std::vector<isa::Program> programs() const = 0;
+
+  /// Checks the computation's result against a host-side reference.
+  virtual bool verify(const Machine& m) const = 0;
+};
+
+}  // namespace smt::core

@@ -1,0 +1,50 @@
+// Architectural (functional) state of one hardware context, and the
+// functional interpreter that executes instructions at fetch time.
+//
+// The simulator is functional-first: instruction semantics (register
+// values, memory contents, branch directions, effective addresses) are
+// resolved when an instruction is fetched, and the out-of-order backend
+// then replays the resulting uop stream purely for timing. This keeps the
+// timing model simple while producing numerically correct kernel results
+// that tests verify against host-side references.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+#include "isa/instr.h"
+#include "mem/sim_memory.h"
+
+namespace smt::cpu {
+
+struct ArchState {
+  std::array<int64_t, isa::kNumIRegs> iregs{};
+  std::array<double, isa::kNumFRegs> fregs{};
+  uint32_t pc = 0;
+
+  int64_t ireg(isa::IReg r) const { return iregs[static_cast<int>(r)]; }
+  double freg(isa::FReg r) const { return fregs[static_cast<int>(r)]; }
+  void set_ireg(isa::IReg r, int64_t v) { iregs[static_cast<int>(r)] = v; }
+  void set_freg(isa::FReg r, double v) { fregs[static_cast<int>(r)] = v; }
+};
+
+/// Outcome of functionally executing one instruction.
+struct ExecResult {
+  uint32_t next_pc = 0;
+  bool has_mem = false;   ///< load/store/prefetch/xchg touched memory
+  Addr addr = 0;          ///< effective address if has_mem
+  uint64_t loaded = 0;    ///< raw value read (loads/xchg), for spin detection
+  bool taken = false;     ///< branch taken
+
+  enum class Special : uint8_t { kNone, kPause, kHalt, kIpi, kExit };
+  Special special = Special::kNone;
+};
+
+/// Executes `in` against `st`/`memory`, updating both. The caller advances
+/// st.pc to the returned next_pc (kept separate so the fetch stage can
+/// inspect control flow).
+ExecResult exec_instr(const isa::Instr& in, ArchState& st,
+                      mem::SimMemory& memory);
+
+}  // namespace smt::cpu

@@ -1,0 +1,735 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace smt::cpu {
+
+using isa::Opcode;
+using isa::UnitClass;
+using perfmon::Event;
+
+Core::Core(const CoreConfig& cfg, mem::CacheHierarchy& hierarchy,
+           mem::SimMemory& memory, perfmon::PerfCounters& counters)
+    : cfg_(cfg), hier_(hierarchy), mem_(memory), ctr_(counters) {
+  SMT_CHECK(cfg_.rob_size >= 2 && cfg_.uop_queue_size >= 2);
+  SMT_CHECK(cfg_.load_queue_size >= 2 && cfg_.store_buffer_size >= 2);
+  for (Thread& t : threads_) {
+    t.rob.resize(cfg_.rob_size);
+  }
+}
+
+void Core::load_program(CpuId cpu, const isa::Program& prog,
+                        const ArchState& init) {
+  Thread& t = threads_[idx(cpu)];
+  SMT_CHECK_MSG(t.mode == TMode::kIdle, "context already has a program");
+  SMT_CHECK_MSG(!prog.empty(), "empty program");
+  t.prog = &prog;
+  t.arch = init;
+  t.arch.pc = 0;
+  t.mode = TMode::kRunning;
+}
+
+bool Core::all_done() const {
+  for (const Thread& t : threads_) {
+    if (t.mode != TMode::kIdle && t.mode != TMode::kDone) return false;
+  }
+  return true;
+}
+
+bool Core::partitioned(CpuId cpu) const {
+  return cfg_.static_partitioning && other_active(cpu);
+}
+
+bool Core::other_active(CpuId cpu) const {
+  const Thread& o = threads_[idx(other(cpu))];
+  switch (o.mode) {
+    case TMode::kIdle:
+    case TMode::kDone:
+    case TMode::kHalted:
+      return false;
+    default:
+      return true;
+  }
+}
+
+int Core::rob_limit(CpuId cpu) const {
+  return partitioned(cpu) ? cfg_.rob_size / 2 : cfg_.rob_size;
+}
+int Core::lq_limit(CpuId cpu) const {
+  return partitioned(cpu) ? cfg_.load_queue_size / 2 : cfg_.load_queue_size;
+}
+int Core::sb_limit(CpuId cpu) const {
+  return partitioned(cpu) ? cfg_.store_buffer_size / 2
+                          : cfg_.store_buffer_size;
+}
+int Core::uq_limit(CpuId cpu) const {
+  return partitioned(cpu) ? cfg_.uop_queue_size / 2 : cfg_.uop_queue_size;
+}
+
+int Core::sched_window_limit(CpuId cpu) const {
+  // The scheduler queues are split between active contexts like the other
+  // buffering structures; this is the partitioning that caps per-thread
+  // lookahead (and thus per-thread IPC) in SMT mode.
+  return partitioned(cpu) ? cfg_.sched_window / 2 : cfg_.sched_window;
+}
+
+bool Core::dep_ready(const Thread& t, uint64_t seq) const {
+  if (seq < t.head) return true;  // already retired => result long available
+  const RobEntry& e = t.rob[seq % cfg_.rob_size];
+  return e.issued && e.done_at <= now_;
+}
+
+void Core::reclaim_store_buffer(Thread& t) {
+  auto& v = t.sb_drain_free_at;
+  for (size_t i = 0; i < v.size();) {
+    if (v[i] <= now_) {
+      v[i] = v.back();
+      v.pop_back();
+      --t.sb_used;
+      SMT_DCHECK(t.sb_used >= 0);
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Core::deliver_ipi(CpuId target) {
+  Thread& t = threads_[idx(target)];
+  ctr_.add(target, Event::kIpisReceived);
+  // Sticky semantics: an IPI that arrives while the target is still on its
+  // way into halt arms an immediate wake-up, so the sleep/wake protocol has
+  // no lost-wakeup race.
+  t.ipi_pending = true;
+}
+
+void Core::mirror_access_stats(CpuId cpu, const mem::AccessOutcome& out,
+                               bool is_load) {
+  if (out.served_by != mem::ServedBy::kL1) ctr_.add(cpu, Event::kL1Misses);
+  if (out.served_by == mem::ServedBy::kL2 ||
+      out.served_by == mem::ServedBy::kMemory) {
+    ctr_.add(cpu, Event::kL2Accesses);
+  }
+  if (out.l2_miss) {
+    ctr_.add(cpu, Event::kL2Misses);
+    if (is_load) ctr_.add(cpu, Event::kL2ReadMisses);
+  }
+}
+
+void Core::check_memory_order(Thread& t, CpuId cpu, Addr addr,
+                              uint64_t value) {
+  // Did this thread recently load a *different* value from this word?
+  bool reloaded_changed = false;
+  for (int i = 0; i < Thread::kRlSize; ++i) {
+    const int p = (t.rl_pos - 1 - i + 2 * Thread::kRlSize) % Thread::kRlSize;
+    if (!t.rl_valid[p]) break;
+    if (t.rl_addr[p] == addr) {
+      reloaded_changed = t.rl_val[p] != value;
+      break;  // most recent observation decides
+    }
+  }
+  if (reloaded_changed) {
+    // ...and did the sibling store to it within the detection window?
+    const Thread& o = threads_[idx(other(cpu))];
+    const Cycle horizon =
+        now_ > cfg_.machine_clear_window ? now_ - cfg_.machine_clear_window : 0;
+    for (int i = 0; i < Thread::kRsSize; ++i) {
+      if (o.rs_valid[i] && o.rs_addr[i] == addr && o.rs_cyc[i] >= horizon) {
+        ctr_.add(cpu, Event::kMachineClears);
+        t.fetch_stall_until =
+            std::max(t.fetch_stall_until, now_ + cfg_.machine_clear_penalty);
+        break;
+      }
+    }
+  }
+  t.rl_addr[t.rl_pos] = addr;
+  t.rl_val[t.rl_pos] = value;
+  t.rl_cyc[t.rl_pos] = now_;
+  t.rl_valid[t.rl_pos] = true;
+  t.rl_pos = (t.rl_pos + 1) % Thread::kRlSize;
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: mode updates
+// ---------------------------------------------------------------------------
+
+void Core::update_modes(Thread& t, CpuId cpu) {
+  switch (t.mode) {
+    case TMode::kHalting:
+      if (t.pipeline_empty()) {
+        t.mode = TMode::kEnterHalt;
+        t.mode_until = now_ + cfg_.halt_enter_cost;
+        ctr_.add(cpu, Event::kHaltTransitions);
+      }
+      break;
+    case TMode::kEnterHalt:
+      if (now_ >= t.mode_until) {
+        t.mode = TMode::kHalted;
+      }
+      break;
+    case TMode::kHalted:
+      if (t.ipi_pending) {
+        t.ipi_pending = false;
+        t.mode = TMode::kWaking;
+        t.mode_until = now_ + cfg_.halt_wake_cost;
+      }
+      break;
+    case TMode::kWaking:
+      if (now_ >= t.mode_until) t.mode = TMode::kRunning;
+      break;
+    case TMode::kExiting:
+      if (t.pipeline_empty()) t.mode = TMode::kDone;
+      break;
+    case TMode::kRunning:
+      // An IPI to a running context stays pending (x86 semantics: a HLT
+      // executed with an interrupt pending falls straight through). This
+      // makes the sleep/wake barrier protocol free of lost-wakeup races.
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: retire
+// ---------------------------------------------------------------------------
+
+int Core::retire_thread(Thread& t, CpuId cpu) {
+  int retired = 0;
+  while (retired < cfg_.retire_width && t.head != t.next) {
+    RobEntry& e = t.rob[t.head % cfg_.rob_size];
+    if (!e.issued || e.done_at > now_) break;
+    const DynUop& u = e.uop;
+
+    ctr_.add(cpu, Event::kInstrRetired);
+    ctr_.add(cpu, Event::kUopsRetired, u.op == Opcode::kXchg ? 2 : 1);
+    if (u.is_branch) ctr_.add(cpu, Event::kBranchesRetired);
+    if (u.is_load && !u.is_prefetch) ctr_.add(cpu, Event::kLoadsRetired);
+    if (u.is_store) ctr_.add(cpu, Event::kStoresRetired);
+    if (u.is_prefetch) ctr_.add(cpu, Event::kPrefetchesRetired);
+    switch (u.unit) {
+      case UnitClass::kFpAdd:
+      case UnitClass::kFpMul:
+      case UnitClass::kFpDiv:
+      case UnitClass::kFpMove:
+        ctr_.add(cpu, Event::kFpUopsRetired);
+        break;
+      default:
+        break;
+    }
+
+    if (u.is_load && !u.is_prefetch) {
+      --t.lq_used;
+      SMT_DCHECK(t.lq_used >= 0);
+    }
+    if (u.is_store) {
+      // Begin draining through the shared L1 store-commit port.
+      const Cycle start = std::max(now_, store_commit_port_free_);
+      store_commit_port_free_ = start + 1;
+      const mem::AccessOutcome out =
+          hier_.access(u.addr, /*is_write=*/true, cpu, start, u.pc);
+      mirror_access_stats(cpu, out, /*is_load=*/false);
+      t.sb_drain_free_at.push_back(std::max(out.ready, start + 1));
+      // The store-buffer entry stays occupied until the drain completes.
+    }
+
+    if (observer_ != nullptr) observer_->on_retire(cpu, u);
+
+    ++t.head;
+    ++retired;
+  }
+  return retired;
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3: issue / execute
+// ---------------------------------------------------------------------------
+
+bool Core::try_issue_one(Thread& t, CpuId cpu, int& budget) {
+  if (budget <= 0) return false;
+  const int window = sched_window_limit(cpu);
+  int examined = 0;
+  for (uint64_t seq = t.head; seq != t.next && examined < window;
+       ++seq) {
+    RobEntry& e = t.rob[seq % cfg_.rob_size];
+    if (e.issued) continue;
+    ++examined;
+
+    bool ready = true;
+    for (int d = 0; d < e.ndeps; ++d) {
+      if (!dep_ready(t, e.dep[d])) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) continue;
+
+    // Structural check + reservation.
+    const DynUop& u = e.uop;
+    Cycle done = now_ + 1;
+    switch (u.unit) {
+      case UnitClass::kAlu:
+        if (cap_alu1_ > 0) {
+          --cap_alu1_;
+        } else if (cap_alu0_ > 0) {
+          --cap_alu0_;
+        } else {
+          continue;
+        }
+        done = now_ + cfg_.latency(u.op);
+        break;
+      case UnitClass::kAlu0:
+      case UnitClass::kBranch:
+        if (cap_alu0_ <= 0) continue;
+        --cap_alu0_;
+        done = now_ + cfg_.latency(u.op);
+        break;
+      case UnitClass::kIntMul:
+        // Integer multiplies execute in the FP complex unit on Netburst,
+        // through the same single FP issue port.
+        if (cap_fp_port_ <= 0) continue;
+        --cap_fp_port_;
+        done = now_ + cfg_.latency(u.op);
+        break;
+      case UnitClass::kIntDiv:
+        if (cfg_.idiv_unpipelined && idiv_busy_until_ > now_) continue;
+        done = now_ + cfg_.latency(u.op);
+        if (cfg_.idiv_unpipelined) idiv_busy_until_ = done;
+        break;
+      case UnitClass::kFpAdd:
+      case UnitClass::kFpMul:
+        if (cap_fp_port_ <= 0) continue;
+        --cap_fp_port_;
+        done = now_ + cfg_.latency(u.op);
+        break;
+      case UnitClass::kFpDiv:
+        if (cap_fp_port_ <= 0) continue;
+        if (cfg_.fdiv_unpipelined && fdiv_busy_until_ > now_) continue;
+        --cap_fp_port_;
+        done = now_ + cfg_.latency(u.op);
+        if (cfg_.fdiv_unpipelined) fdiv_busy_until_ = done;
+        break;
+      case UnitClass::kFpMove:
+        if (cap_fpmov_ <= 0) continue;
+        --cap_fpmov_;
+        done = now_ + cfg_.latency(u.op);
+        break;
+      case UnitClass::kLoad: {
+        if (cap_load_ <= 0) continue;
+        --cap_load_;
+        if (u.is_prefetch) {
+          hier_.prefetch(u.addr, u.prefetch_to_l1, cpu, now_);
+          done = now_ + 1;  // fire-and-forget
+        } else {
+          const mem::AccessOutcome out =
+              hier_.access(u.addr, /*is_write=*/false, cpu, now_, u.pc);
+          mirror_access_stats(cpu, out, /*is_load=*/true);
+          done = out.ready;
+        }
+        break;
+      }
+      case UnitClass::kStore:
+        // Store-address generation; the data commits at drain time.
+        if (cap_store_ <= 0) continue;
+        --cap_store_;
+        done = now_ + 1;
+        break;
+      case UnitClass::kNone:
+        done = now_ + 1;
+        break;
+    }
+
+    e.issued = true;
+    e.done_at = done;
+    ctr_.add(cpu, Event::kIssuedUops);
+    --budget;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Stage 4: dispatch (allocation)
+// ---------------------------------------------------------------------------
+
+int Core::dispatch_thread(Thread& t, CpuId cpu) {
+  reclaim_store_buffer(t);
+  int dispatched = 0;
+  t.stall = StallReason::kNone;
+  while (dispatched < cfg_.dispatch_width && !t.uq.empty()) {
+    const DynUop& u = t.uq.front();
+    if (t.rob_occupancy() >= static_cast<size_t>(rob_limit(cpu))) {
+      t.stall = StallReason::kRob;
+      break;
+    }
+    if (u.is_load && !u.is_prefetch && t.lq_used >= lq_limit(cpu)) {
+      t.stall = StallReason::kLoadQueue;
+      break;
+    }
+    if (u.is_store && t.sb_used >= sb_limit(cpu)) {
+      t.stall = StallReason::kStoreBuffer;
+      break;
+    }
+
+    RobEntry& e = t.rob[t.next % cfg_.rob_size];
+    e.uop = u;
+    e.issued = false;
+    e.done_at = 0;
+    e.ndeps = 0;
+    auto add_dep = [&](isa::RegId r) {
+      if (r == isa::kNoReg) return;
+      const uint64_t w = t.last_writer[r];
+      if (w == 0 || w - 1 < t.head) return;  // no in-flight producer
+      const uint64_t seq = w - 1;
+      for (int d = 0; d < e.ndeps; ++d) {
+        if (e.dep[d] == seq) return;
+      }
+      SMT_DCHECK(e.ndeps < 4);
+      e.dep[e.ndeps++] = seq;
+    };
+    // RAW dependences only: the physical register file is large enough to
+    // rename away WAW/WAR (128 entries on Netburst), so a destination
+    // conflict never delays issue. The paper's |T|-register ILP
+    // construction still serializes because its accumulations read their
+    // target (t = t op s).
+    for (int i = 0; i < u.ndep_regs; ++i) add_dep(u.dep_regs[i]);
+
+    if (u.dst != isa::kNoReg) t.last_writer[u.dst] = t.next + 1;
+    if (u.is_load && !u.is_prefetch) ++t.lq_used;
+    if (u.is_store) ++t.sb_used;
+
+    ++t.next;
+    t.uq.pop_front();
+    ++dispatched;
+    ctr_.add(cpu, Event::kDispatchedUops);
+  }
+  return dispatched;
+}
+
+// ---------------------------------------------------------------------------
+// Stage 5: fetch (functional execution)
+// ---------------------------------------------------------------------------
+
+int Core::fetch_thread(Thread& t, CpuId cpu) {
+  int fetched = 0;
+  while (fetched < cfg_.fetch_width &&
+         t.uq.size() < static_cast<size_t>(uq_limit(cpu))) {
+    SMT_DCHECK(t.arch.pc < t.prog->size());
+    const isa::Instr& in = t.prog->at(t.arch.pc);
+    const ExecResult r = exec_instr(in, t.arch, mem_);
+    t.arch.pc = r.next_pc;
+
+    if (r.special == ExecResult::Special::kExit) {
+      t.mode = TMode::kExiting;
+      break;
+    }
+
+    DynUop u;
+    u.pc = static_cast<uint32_t>(&in - t.prog->code().data());
+    u.op = in.op;
+    u.unit = isa::unit_class(in.op);
+    u.is_branch = in.is_branch();
+    u.is_load = in.is_load() && in.op != Opcode::kPrefetch;
+    u.is_store = in.is_store();
+    u.is_prefetch = in.op == Opcode::kPrefetch;
+    u.prefetch_to_l1 = u.is_prefetch && in.imm != 0;
+    u.addr = r.addr;
+    if (isa::traits(in.op).writes_reg) u.dst = in.rd;
+
+    auto add_dep_reg = [&u](isa::RegId reg) {
+      if (reg == isa::kNoReg) return;
+      SMT_DCHECK(u.ndep_regs < 4);
+      u.dep_regs[u.ndep_regs++] = reg;
+    };
+    if (in.op != Opcode::kIMovImm && in.op != Opcode::kFMovImm) {
+      add_dep_reg(in.rs1);
+    }
+    if (!in.use_imm && in.rs2 != isa::kNoReg) add_dep_reg(in.rs2);
+    if (in.is_mem()) {
+      add_dep_reg(in.mem.base);
+      add_dep_reg(in.mem.index);
+    }
+
+    // Memory-order-violation (spin-exit) modelling.
+    if (u.is_load) check_memory_order(t, cpu, r.addr, r.loaded);
+    if (u.is_store) {
+      t.rs_addr[t.rs_pos] = r.addr;
+      t.rs_cyc[t.rs_pos] = now_;
+      t.rs_valid[t.rs_pos] = true;
+      t.rs_pos = (t.rs_pos + 1) % Thread::kRsSize;
+    }
+
+    t.uq.push_back(u);
+    ++fetched;
+
+    switch (r.special) {
+      case ExecResult::Special::kPause:
+        ctr_.add(cpu, Event::kPausesExecuted);
+        t.fetch_stall_until =
+            std::max(t.fetch_stall_until, now_ + cfg_.pause_fetch_stall);
+        return fetched;
+      case ExecResult::Special::kHalt:
+        t.mode = TMode::kHalting;
+        return fetched;
+      case ExecResult::Special::kIpi:
+        ctr_.add(cpu, Event::kIpisSent);
+        deliver_ipi(other(cpu));
+        break;
+      default:
+        break;
+    }
+  }
+  return fetched;
+}
+
+// ---------------------------------------------------------------------------
+// One cycle
+// ---------------------------------------------------------------------------
+
+bool Core::step_cycle() {
+  bool any = false;
+
+  for (int i = 0; i < kNumLogicalCpus; ++i) {
+    Thread& t = threads_[i];
+    const TMode before = t.mode;
+    update_modes(t, static_cast<CpuId>(i));
+    if (t.mode != before) any = true;
+  }
+
+  // Retire: one context per cycle, alternating; a context with nothing
+  // retirable donates the slot.
+  {
+    const int pref = static_cast<int>(now_ % 2);
+    for (int k = 0; k < 2; ++k) {
+      const int ti = (pref + k) % 2;
+      Thread& t = threads_[ti];
+      if (t.head == t.next) continue;
+      const RobEntry& h = t.rob[t.head % cfg_.rob_size];
+      if (!h.issued || h.done_at > now_) continue;
+      const int n = retire_thread(t, static_cast<CpuId>(ti));
+      if (n > 0) {
+        any = true;
+        last_retire_cycle_ = now_;
+      }
+      break;  // retirement bandwidth belongs to one context per cycle
+    }
+  }
+
+  // Issue: shared ports, round-robin starting with the preferred context.
+  cap_alu0_ = cfg_.alu0_per_cycle;
+  cap_alu1_ = cfg_.alu1_per_cycle;
+  cap_fp_port_ = 1;
+  cap_fpmov_ = 1;
+  cap_load_ = 1;
+  cap_store_ = 1;
+  {
+    int budget = cfg_.issue_width;
+    bool progress = true;
+    while (progress && budget > 0) {
+      progress = false;
+      for (int k = 0; k < 2 && budget > 0; ++k) {
+        // Round-robin arbitration: after a thread issues, the sibling gets
+        // the next chance. (Cycle-parity priority would starve one thread
+        // whenever an unpipelined unit's latency is even: the unit would
+        // free on same-parity cycles forever.)
+        const int ti = (issue_pref_ + k) % 2;
+        if (try_issue_one(threads_[ti], static_cast<CpuId>(ti), budget)) {
+          progress = true;
+          any = true;
+          issue_pref_ = 1 - ti;
+        }
+      }
+    }
+  }
+
+  // Dispatch: the allocator serves one context per cycle (alternating); a
+  // context that has nothing queued — or whose next uop cannot allocate
+  // (resources full) — donates the slot to its sibling.
+  {
+    auto can_dispatch_one = [this](int i) {
+      Thread& t = threads_[i];
+      if (t.uq.empty()) return false;
+      reclaim_store_buffer(t);
+      const DynUop& u = t.uq.front();
+      const CpuId cpu = static_cast<CpuId>(i);
+      if (t.rob_occupancy() >= static_cast<size_t>(rob_limit(cpu))) {
+        return false;
+      }
+      if (u.is_load && !u.is_prefetch && t.lq_used >= lq_limit(cpu)) {
+        return false;
+      }
+      if (u.is_store && t.sb_used >= sb_limit(cpu)) return false;
+      return true;
+    };
+    const int pref = static_cast<int>(now_ % 2);
+    const int ti = can_dispatch_one(pref)        ? pref
+                   : can_dispatch_one(1 - pref)  ? 1 - pref
+                                                 : -1;
+    if (ti >= 0) {
+      if (dispatch_thread(threads_[ti], static_cast<CpuId>(ti)) > 0) {
+        any = true;
+      }
+    }
+    // Record resource blockage for both contexts (for stall accounting),
+    // including the one not served this cycle.
+    for (int i = 0; i < kNumLogicalCpus; ++i) {
+      if (i == ti) continue;
+      Thread& t = threads_[i];
+      t.stall = StallReason::kNone;
+      if (t.uq.empty()) continue;
+      reclaim_store_buffer(t);
+      const DynUop& u = t.uq.front();
+      const CpuId cpu = static_cast<CpuId>(i);
+      if (t.rob_occupancy() >= static_cast<size_t>(rob_limit(cpu))) {
+        t.stall = StallReason::kRob;
+      } else if (u.is_load && !u.is_prefetch && t.lq_used >= lq_limit(cpu)) {
+        t.stall = StallReason::kLoadQueue;
+      } else if (u.is_store && t.sb_used >= sb_limit(cpu)) {
+        t.stall = StallReason::kStoreBuffer;
+      }
+    }
+  }
+
+  // Fetch: one context per cycle (alternating), donated when blocked.
+  {
+    const int pref = static_cast<int>(now_ % 2);
+    for (int k = 0; k < 2; ++k) {
+      const int ti = (pref + k) % 2;
+      Thread& t = threads_[ti];
+      if (t.mode != TMode::kRunning) continue;
+      if (t.fetch_stall_until > now_) continue;
+      if (t.uq.size() >= static_cast<size_t>(uq_limit(static_cast<CpuId>(ti)))) {
+        ctr_.add(static_cast<CpuId>(ti), Event::kUopQueueFullCycles);
+        continue;
+      }
+      const TMode mode_before = t.mode;
+      if (fetch_thread(t, static_cast<CpuId>(ti)) > 0 ||
+          t.mode != mode_before) {
+        any = true;  // a fetched uop, or an exit/halt mode transition
+      }
+      break;  // fetch bandwidth belongs to one context per cycle
+    }
+  }
+
+  record_cycle_counters(1);
+  return any;
+}
+
+void Core::record_cycle_counters(Cycle n) {
+  for (int i = 0; i < kNumLogicalCpus; ++i) {
+    const Thread& t = threads_[i];
+    const CpuId cpu = static_cast<CpuId>(i);
+    switch (t.mode) {
+      case TMode::kRunning:
+      case TMode::kHalting:
+      case TMode::kEnterHalt:
+      case TMode::kExiting:
+        ctr_.add(cpu, Event::kCyclesActive, n);
+        break;
+      case TMode::kHalted:
+      case TMode::kWaking:
+        ctr_.add(cpu, Event::kCyclesHalted, n);
+        break;
+      default:
+        break;
+    }
+    if (t.mode == TMode::kRunning && t.fetch_stall_until > now_) {
+      ctr_.add(cpu, Event::kFetchStallCycles, n);
+    }
+    switch (t.stall) {
+      case StallReason::kRob:
+        ctr_.add(cpu, Event::kResourceStallCycles, n);
+        ctr_.add(cpu, Event::kRobStallCycles, n);
+        break;
+      case StallReason::kLoadQueue:
+        ctr_.add(cpu, Event::kResourceStallCycles, n);
+        ctr_.add(cpu, Event::kLoadQueueStallCycles, n);
+        break;
+      case StallReason::kStoreBuffer:
+        ctr_.add(cpu, Event::kResourceStallCycles, n);
+        ctr_.add(cpu, Event::kStoreBufferStallCycles, n);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+Cycle Core::next_event_cycle() const {
+  Cycle cand = std::numeric_limits<Cycle>::max();
+  auto consider = [&cand, this](Cycle c) {
+    if (c > now_ && c < cand) cand = c;
+  };
+  for (const Thread& t : threads_) {
+    switch (t.mode) {
+      case TMode::kEnterHalt:
+      case TMode::kWaking:
+        consider(t.mode_until);
+        break;
+      case TMode::kRunning:
+        consider(t.fetch_stall_until);
+        break;
+      default:
+        break;
+    }
+    for (uint64_t seq = t.head; seq != t.next; ++seq) {
+      const RobEntry& e = t.rob[seq % cfg_.rob_size];
+      if (e.issued && e.done_at > now_) consider(e.done_at);
+    }
+    for (const Cycle c : t.sb_drain_free_at) consider(c);
+  }
+  consider(fdiv_busy_until_);
+  consider(idiv_busy_until_);
+  SMT_CHECK_MSG(cand != std::numeric_limits<Cycle>::max(),
+                "no future event: all contexts asleep (lost wake-up?)");
+  return cand;
+}
+
+void Core::run(Cycle max_cycles) {
+  const Cycle deadline = now_ + max_cycles;
+  last_retire_cycle_ = now_;
+  while (!all_done()) {
+    const bool any = step_cycle();
+    if (!any) {
+      const Cycle next = next_event_cycle();
+      if (next > now_ + 1) {
+        record_cycle_counters(next - now_ - 1);
+        now_ = next;
+        continue;
+      }
+    }
+    ++now_;
+    SMT_CHECK_MSG(now_ - last_retire_cycle_ < cfg_.watchdog_cycles,
+                  "watchdog: no retirement progress (deadlocked sync?)");
+    SMT_CHECK_MSG(now_ < deadline, "max_cycles exceeded");
+  }
+}
+
+CpuId Core::run_until_any_done(Cycle max_cycles) {
+  const Cycle deadline = now_ + max_cycles;
+  last_retire_cycle_ = now_;
+  while (true) {
+    for (int i = 0; i < kNumLogicalCpus; ++i) {
+      if (threads_[i].prog != nullptr && threads_[i].mode == TMode::kDone) {
+        return static_cast<CpuId>(i);
+      }
+    }
+    const bool any = step_cycle();
+    if (!any) {
+      const Cycle next = next_event_cycle();
+      if (next > now_ + 1) {
+        record_cycle_counters(next - now_ - 1);
+        now_ = next;
+        continue;
+      }
+    }
+    ++now_;
+    SMT_CHECK_MSG(now_ - last_retire_cycle_ < cfg_.watchdog_cycles,
+                  "watchdog: no retirement progress (deadlocked sync?)");
+    SMT_CHECK_MSG(now_ < deadline, "max_cycles exceeded");
+  }
+}
+
+}  // namespace smt::cpu

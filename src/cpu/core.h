@@ -1,0 +1,211 @@
+// Cycle-level model of one physical Netburst-class processor with two
+// Hyper-Threading contexts.
+//
+// Structure per simulated cycle (step_cycle):
+//   1. mode updates   — halt entry/exit, IPI wake, exit draining
+//   2. retire         — in-order, up to retire_width uops from one context
+//                       (contexts alternate cycle by cycle); retired stores
+//                       begin draining from the store buffer into the cache
+//   3. issue/execute  — dependence-checked out-of-order issue onto shared
+//                       ports; double-speed ALUs, ALU0-only logical ops,
+//                       unpipelined dividers; loads/stores access the
+//                       shared cache hierarchy
+//   4. dispatch       — up to dispatch_width uops from the uop queue into
+//                       the ROB; statically partitioned ROB / load queue /
+//                       store buffer limits; stall reasons recorded here
+//                       (the paper's "resource stall cycles")
+//   5. fetch          — one context per cycle (alternating; a stalled
+//                       sibling donates its slot) runs the functional
+//                       interpreter and enqueues uops
+//
+// Dependences are RAW-only on architectural registers (Netburst's 128
+// physical registers rename WAW/WAR away). The paper's |T| register-set ILP
+// construction still works because its streams accumulate into their
+// targets (t = t op s): one target register means one RAW chain serialized
+// at unit latency, six targets mean six independent chains.
+//
+// When a whole cycle passes with no activity, run() fast-forwards to the
+// next event (outstanding miss completion, pause/halt timer, store drain),
+// bulk-accumulating the per-cycle counters, so halt-synchronized workloads
+// simulate quickly.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "cpu/arch_state.h"
+#include "cpu/config.h"
+#include "isa/program.h"
+#include "mem/hierarchy.h"
+#include "mem/sim_memory.h"
+#include "perfmon/counters.h"
+
+namespace smt::cpu {
+
+/// One dynamic uop flowing through the backend.
+struct DynUop {
+  uint32_t pc = 0;
+  isa::Opcode op = isa::Opcode::kNop;
+  isa::UnitClass unit = isa::UnitClass::kNone;
+  isa::RegId dst = isa::kNoReg;
+  isa::RegId dep_regs[4];  // register sources (incl. address regs)
+  int ndep_regs = 0;
+  Addr addr = 0;
+  bool is_load = false;     // holds a load-queue entry
+  bool is_store = false;    // holds a store-buffer entry
+  bool is_prefetch = false;
+  bool prefetch_to_l1 = false;
+  bool is_branch = false;
+};
+
+/// Observer invoked for every retired uop; the Pin-analog profiler in
+/// src/profile attaches through this.
+class RetireObserver {
+ public:
+  virtual ~RetireObserver() = default;
+  virtual void on_retire(CpuId cpu, const DynUop& uop) = 0;
+};
+
+class Core {
+ public:
+  Core(const CoreConfig& cfg, mem::CacheHierarchy& hierarchy,
+       mem::SimMemory& memory, perfmon::PerfCounters& counters);
+
+  /// Binds a program to a logical CPU (the sched_setaffinity analog) with
+  /// initial architectural register state.
+  void load_program(CpuId cpu, const isa::Program& prog,
+                    const ArchState& init = {});
+
+  /// Runs until every bound context has exited. Aborts via SMT_CHECK if the
+  /// watchdog sees no retirement progress (deadlock in simulated sync) or
+  /// `max_cycles` elapses.
+  void run(Cycle max_cycles = 4'000'000'000ull);
+
+  /// Runs until the first bound context exits (used by the co-execution
+  /// stream experiments, which measure CPI over the fully-overlapped
+  /// window). Returns the id of the finished context.
+  CpuId run_until_any_done(Cycle max_cycles = 4'000'000'000ull);
+
+  bool done(CpuId cpu) const { return threads_[idx(cpu)].mode == TMode::kDone; }
+  bool all_done() const;
+
+  Cycle now() const { return now_; }
+
+  void set_retire_observer(RetireObserver* obs) { observer_ = obs; }
+
+  /// Architectural state inspection (tests).
+  const ArchState& arch(CpuId cpu) const { return threads_[idx(cpu)].arch; }
+
+  const CoreConfig& config() const { return cfg_; }
+
+ private:
+  enum class TMode : uint8_t {
+    kIdle,       // no program bound
+    kRunning,
+    kHalting,    // halt fetched; draining in-flight uops
+    kEnterHalt,  // paying the halt transition cost
+    kHalted,     // asleep; resources released to the sibling
+    kWaking,     // IPI received; paying the wake cost
+    kExiting,    // exit fetched; draining
+    kDone,
+  };
+
+  enum class StallReason : uint8_t { kNone, kRob, kLoadQueue, kStoreBuffer };
+
+  struct RobEntry {
+    DynUop uop;
+    uint64_t dep[4];  // producer sequence numbers within this thread
+    int ndeps = 0;
+    bool issued = false;
+    Cycle done_at = 0;
+  };
+
+  struct Thread {
+    const isa::Program* prog = nullptr;
+    ArchState arch;
+    TMode mode = TMode::kIdle;
+    Cycle fetch_stall_until = 0;
+    Cycle mode_until = 0;
+    std::deque<DynUop> uq;
+    std::vector<RobEntry> rob;   // ring indexed by seq % rob_size
+    uint64_t head = 0;           // oldest in-flight seq
+    uint64_t next = 0;           // next seq to allocate
+    // last_writer[reg] = seq + 1 of the most recent dispatched writer
+    // (0 = none in recorded history).
+    std::array<uint64_t, isa::kNumRegs> last_writer{};
+    int lq_used = 0;
+    int sb_used = 0;
+    std::vector<Cycle> sb_drain_free_at;
+    bool ipi_pending = false;
+    StallReason stall = StallReason::kNone;
+    // Recent-load/-store rings for memory-order-violation detection.
+    static constexpr int kRlSize = 8;
+    static constexpr int kRsSize = 16;
+    std::array<Addr, kRlSize> rl_addr{};
+    std::array<uint64_t, kRlSize> rl_val{};
+    std::array<Cycle, kRlSize> rl_cyc{};
+    std::array<bool, kRlSize> rl_valid{};
+    int rl_pos = 0;
+    std::array<Addr, kRsSize> rs_addr{};
+    std::array<Cycle, kRsSize> rs_cyc{};
+    std::array<bool, kRsSize> rs_valid{};
+    int rs_pos = 0;
+
+    size_t rob_occupancy() const { return static_cast<size_t>(next - head); }
+    bool pipeline_empty() const { return uq.empty() && next == head; }
+  };
+
+  // --- per-cycle stages ----------------------------------------------------
+  /// Returns true if any architectural progress happened this cycle.
+  bool step_cycle();
+  void update_modes(Thread& t, CpuId cpu);
+  int retire_thread(Thread& t, CpuId cpu);
+  bool try_issue_one(Thread& t, CpuId cpu, int& budget);
+  int dispatch_thread(Thread& t, CpuId cpu);
+  int fetch_thread(Thread& t, CpuId cpu);
+
+  // --- helpers ---------------------------------------------------------
+  bool other_active(CpuId cpu) const;
+  bool partitioned(CpuId cpu) const;
+  int rob_limit(CpuId cpu) const;
+  int sched_window_limit(CpuId cpu) const;
+  int lq_limit(CpuId cpu) const;
+  int sb_limit(CpuId cpu) const;
+  int uq_limit(CpuId cpu) const;
+  bool dep_ready(const Thread& t, uint64_t seq) const;
+  void reclaim_store_buffer(Thread& t);
+  void deliver_ipi(CpuId target);
+  void record_cycle_counters(Cycle n);
+  Cycle next_event_cycle() const;
+  void mirror_access_stats(CpuId cpu, const mem::AccessOutcome& out,
+                           bool is_load);
+  void check_memory_order(Thread& t, CpuId cpu, Addr addr, uint64_t value);
+
+  CoreConfig cfg_;
+  mem::CacheHierarchy& hier_;
+  mem::SimMemory& mem_;
+  perfmon::PerfCounters& ctr_;
+  RetireObserver* observer_ = nullptr;
+
+  std::array<Thread, kNumLogicalCpus> threads_;
+  Cycle now_ = 0;
+  Cycle last_retire_cycle_ = 0;
+
+  // Shared execution-unit state.
+  Cycle fdiv_busy_until_ = 0;
+  Cycle idiv_busy_until_ = 0;
+  Cycle store_commit_port_free_ = 0;
+
+  // Issue-priority rotation (round-robin between contexts).
+  int issue_pref_ = 0;
+
+  // Per-cycle port budgets, reset in step_cycle. The single FP issue port
+  // (Netburst port 1) feeds FP_ADD, FP_MUL, FP_DIV and the integer
+  // multiplier; FP_MOVE has its own path (port 0).
+  int cap_alu0_ = 0, cap_alu1_ = 0, cap_fp_port_ = 0, cap_fpmov_ = 0,
+      cap_load_ = 0, cap_store_ = 0;
+};
+
+}  // namespace smt::cpu

@@ -1,0 +1,194 @@
+#include "isa/asm_builder.h"
+
+#include "common/check.h"
+
+namespace smt::isa {
+
+Label AsmBuilder::label() {
+  Label l{static_cast<int32_t>(label_pos_.size())};
+  label_pos_.push_back(-1);
+  return l;
+}
+
+void AsmBuilder::bind(Label l) {
+  SMT_CHECK_MSG(l.valid() && static_cast<size_t>(l.id) < label_pos_.size(),
+                "binding an unknown label");
+  SMT_CHECK_MSG(label_pos_[l.id] < 0, "label bound twice");
+  label_pos_[l.id] = static_cast<int32_t>(code_.size());
+}
+
+Label AsmBuilder::here() {
+  Label l = label();
+  bind(l);
+  return l;
+}
+
+Instr& AsmBuilder::emit(Opcode op) {
+  SMT_CHECK_MSG(!taken_, "emitting into a finalized builder");
+  Instr in;
+  in.op = op;
+  code_.push_back(in);
+  return code_.back();
+}
+
+void AsmBuilder::emit_alu(Opcode op, IReg d, IReg a, IReg b) {
+  Instr& in = emit(op);
+  in.rd = id(d);
+  in.rs1 = id(a);
+  in.rs2 = id(b);
+}
+
+void AsmBuilder::emit_alui(Opcode op, IReg d, IReg a, int64_t imm) {
+  Instr& in = emit(op);
+  in.rd = id(d);
+  in.rs1 = id(a);
+  in.use_imm = true;
+  in.imm = imm;
+}
+
+void AsmBuilder::emit_fp(Opcode op, FReg d, FReg a, FReg b) {
+  Instr& in = emit(op);
+  in.rd = id(d);
+  in.rs1 = id(a);
+  in.rs2 = id(b);
+}
+
+void AsmBuilder::iadd(IReg d, IReg a, IReg b) { emit_alu(Opcode::kIAdd, d, a, b); }
+void AsmBuilder::iaddi(IReg d, IReg a, int64_t v) { emit_alui(Opcode::kIAdd, d, a, v); }
+void AsmBuilder::isub(IReg d, IReg a, IReg b) { emit_alu(Opcode::kISub, d, a, b); }
+void AsmBuilder::isubi(IReg d, IReg a, int64_t v) { emit_alui(Opcode::kISub, d, a, v); }
+
+void AsmBuilder::imov(IReg d, IReg a) {
+  Instr& in = emit(Opcode::kIMov);
+  in.rd = id(d);
+  in.rs1 = id(a);
+}
+
+void AsmBuilder::imovi(IReg d, int64_t v) {
+  Instr& in = emit(Opcode::kIMovImm);
+  in.rd = id(d);
+  in.use_imm = true;
+  in.imm = v;
+}
+
+void AsmBuilder::iand(IReg d, IReg a, IReg b) { emit_alu(Opcode::kIAnd, d, a, b); }
+void AsmBuilder::iandi(IReg d, IReg a, int64_t v) { emit_alui(Opcode::kIAnd, d, a, v); }
+void AsmBuilder::ior(IReg d, IReg a, IReg b) { emit_alu(Opcode::kIOr, d, a, b); }
+void AsmBuilder::iori(IReg d, IReg a, int64_t v) { emit_alui(Opcode::kIOr, d, a, v); }
+void AsmBuilder::ixor(IReg d, IReg a, IReg b) { emit_alu(Opcode::kIXor, d, a, b); }
+void AsmBuilder::ixori(IReg d, IReg a, int64_t v) { emit_alui(Opcode::kIXor, d, a, v); }
+void AsmBuilder::ishli(IReg d, IReg a, int64_t sh) { emit_alui(Opcode::kIShl, d, a, sh); }
+void AsmBuilder::ishri(IReg d, IReg a, int64_t sh) { emit_alui(Opcode::kIShr, d, a, sh); }
+void AsmBuilder::imul(IReg d, IReg a, IReg b) { emit_alu(Opcode::kIMul, d, a, b); }
+void AsmBuilder::imuli(IReg d, IReg a, int64_t v) { emit_alui(Opcode::kIMul, d, a, v); }
+void AsmBuilder::idiv(IReg d, IReg a, IReg b) { emit_alu(Opcode::kIDiv, d, a, b); }
+
+void AsmBuilder::fadd(FReg d, FReg a, FReg b) { emit_fp(Opcode::kFAdd, d, a, b); }
+void AsmBuilder::fsub(FReg d, FReg a, FReg b) { emit_fp(Opcode::kFSub, d, a, b); }
+void AsmBuilder::fmul(FReg d, FReg a, FReg b) { emit_fp(Opcode::kFMul, d, a, b); }
+void AsmBuilder::fdiv(FReg d, FReg a, FReg b) { emit_fp(Opcode::kFDiv, d, a, b); }
+
+void AsmBuilder::fmov(FReg d, FReg a) {
+  Instr& in = emit(Opcode::kFMov);
+  in.rd = id(d);
+  in.rs1 = id(a);
+}
+
+void AsmBuilder::fmovi(FReg d, double v) {
+  Instr& in = emit(Opcode::kFMovImm);
+  in.rd = id(d);
+  in.fimm = v;
+}
+
+void AsmBuilder::fneg(FReg d, FReg a) {
+  Instr& in = emit(Opcode::kFNeg);
+  in.rd = id(d);
+  in.rs1 = id(a);
+}
+
+void AsmBuilder::load(IReg d, Mem m) {
+  Instr& in = emit(Opcode::kLoad);
+  in.rd = id(d);
+  in.mem = m.ref;
+}
+
+void AsmBuilder::store(IReg s, Mem m) {
+  Instr& in = emit(Opcode::kStore);
+  in.rs1 = id(s);
+  in.mem = m.ref;
+}
+
+void AsmBuilder::fload(FReg d, Mem m) {
+  Instr& in = emit(Opcode::kFLoad);
+  in.rd = id(d);
+  in.mem = m.ref;
+}
+
+void AsmBuilder::fstore(FReg s, Mem m) {
+  Instr& in = emit(Opcode::kFStore);
+  in.rs1 = id(s);
+  in.mem = m.ref;
+}
+
+void AsmBuilder::prefetch(Mem m, bool to_l1) {
+  Instr& in = emit(Opcode::kPrefetch);
+  in.mem = m.ref;
+  in.imm = to_l1 ? 1 : 0;  // decoded as DynUop::prefetch_to_l1
+}
+
+void AsmBuilder::xchg(IReg d, Mem m) {
+  Instr& in = emit(Opcode::kXchg);
+  in.rd = id(d);
+  in.rs1 = id(d);  // the outgoing value is read from d
+  in.mem = m.ref;
+}
+
+void AsmBuilder::emit_branch(Opcode op, BrCond c, RegId a, RegId b,
+                             bool use_imm, int64_t imm, Label l) {
+  SMT_CHECK_MSG(l.valid() && static_cast<size_t>(l.id) < label_pos_.size(),
+                "branch to unknown label");
+  Instr& in = emit(op);
+  in.cond = c;
+  in.rs1 = a;
+  in.rs2 = b;
+  in.use_imm = use_imm;
+  in.imm = imm;
+  fixups_.emplace_back(code_.size() - 1, l.id);
+}
+
+void AsmBuilder::br(BrCond c, IReg a, IReg b, Label l) {
+  emit_branch(Opcode::kBr, c, id(a), id(b), false, 0, l);
+}
+
+void AsmBuilder::bri(BrCond c, IReg a, int64_t imm, Label l) {
+  emit_branch(Opcode::kBr, c, id(a), kNoReg, true, imm, l);
+}
+
+void AsmBuilder::jmp(Label l) {
+  emit_branch(Opcode::kJmp, BrCond::kEq, kNoReg, kNoReg, false, 0, l);
+}
+
+void AsmBuilder::pause() { emit(Opcode::kPause); }
+void AsmBuilder::halt() { emit(Opcode::kHalt); }
+void AsmBuilder::ipi() { emit(Opcode::kIpi); }
+void AsmBuilder::nop() { emit(Opcode::kNop); }
+void AsmBuilder::exit() { emit(Opcode::kExit); }
+
+Program AsmBuilder::take() {
+  SMT_CHECK_MSG(!taken_, "take() called twice");
+  taken_ = true;
+  for (const auto& [instr_idx, label_id] : fixups_) {
+    SMT_CHECK_MSG(label_pos_[label_id] >= 0,
+                  "branch references a label that was never bound");
+    code_[instr_idx].target = label_pos_[label_id];
+  }
+  SMT_CHECK_MSG(!code_.empty(), "empty program");
+  // A program must not run off its end: the last instruction has to be an
+  // exit or an unconditional jump backwards.
+  const Instr& last = code_.back();
+  SMT_CHECK_MSG(last.op == Opcode::kExit || last.op == Opcode::kJmp,
+                "program can fall off the end; terminate with exit()");
+  return Program(std::move(name_), std::move(code_));
+}
+
+}  // namespace smt::isa

@@ -1,0 +1,151 @@
+// AsmBuilder: the assembler DSL in which every workload of this repo is
+// written (synthetic streams, MM/LU/CG/BT kernels, and the synchronization
+// primitives of paper §3.1).
+//
+// Usage:
+//   AsmBuilder a("axpy");
+//   a.imovi(R0, 0);                      // i = 0
+//   Label loop = a.here();
+//   a.fload(F0, Mem::bi(Rx, R0, 3));     // f0 = x[i]
+//   a.fmul (F0, F0, Falpha);
+//   a.fload(F1, Mem::bi(Ry, R0, 3));
+//   a.fadd (F1, F1, F0);
+//   a.fstore(F1, Mem::bi(Ry, R0, 3));
+//   a.iaddi(R0, R0, 1);
+//   a.bri(BrCond::kLt, R0, n, loop);
+//   a.exit();
+//   Program p = a.take();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/instr.h"
+#include "isa/program.h"
+
+namespace smt::isa {
+
+/// Opaque label handle; created unbound, bound once, referenced anywhere.
+struct Label {
+  int32_t id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+/// Memory-operand helper with short factory names (the DSL's addressing
+/// vocabulary): Mem::bd(base, disp), Mem::bi(base, index, scale_log2,
+/// disp), Mem::abs(address).
+struct Mem {
+  MemRef ref;
+
+  static Mem bd(IReg base, int64_t disp = 0) {
+    Mem m;
+    m.ref.base = id(base);
+    m.ref.disp = disp;
+    return m;
+  }
+
+  static Mem bi(IReg base, IReg index, uint8_t scale_log2, int64_t disp = 0) {
+    Mem m;
+    m.ref.base = id(base);
+    m.ref.index = id(index);
+    m.ref.scale_log2 = scale_log2;
+    m.ref.disp = disp;
+    return m;
+  }
+
+  static Mem abs(uint64_t addr) {
+    Mem m;
+    m.ref.disp = static_cast<int64_t>(addr);
+    return m;
+  }
+
+  /// Index-only addressing: [index*scale + disp]. The natural form for
+  /// array accesses whose base address is a compile-time constant, e.g.
+  /// x[col] as [col*8 + &x].
+  static Mem idx(IReg index, uint8_t scale_log2, int64_t disp) {
+    Mem m;
+    m.ref.index = id(index);
+    m.ref.scale_log2 = scale_log2;
+    m.ref.disp = disp;
+    return m;
+  }
+};
+
+class AsmBuilder {
+ public:
+  explicit AsmBuilder(std::string name) : name_(std::move(name)) {}
+
+  // ---- labels -----------------------------------------------------------
+  Label label();          ///< Create an unbound label.
+  void bind(Label l);     ///< Bind `l` to the current position.
+  Label here();           ///< label() + bind() in one step.
+  size_t pos() const { return code_.size(); }
+
+  // ---- integer ALU ------------------------------------------------------
+  void iadd(IReg d, IReg a, IReg b);
+  void iaddi(IReg d, IReg a, int64_t imm);
+  void isub(IReg d, IReg a, IReg b);
+  void isubi(IReg d, IReg a, int64_t imm);
+  void imov(IReg d, IReg a);
+  void imovi(IReg d, int64_t imm);
+  void iand(IReg d, IReg a, IReg b);
+  void iandi(IReg d, IReg a, int64_t imm);
+  void ior(IReg d, IReg a, IReg b);
+  void iori(IReg d, IReg a, int64_t imm);
+  void ixor(IReg d, IReg a, IReg b);
+  void ixori(IReg d, IReg a, int64_t imm);
+  void ishli(IReg d, IReg a, int64_t sh);
+  void ishri(IReg d, IReg a, int64_t sh);
+  void imul(IReg d, IReg a, IReg b);
+  void imuli(IReg d, IReg a, int64_t imm);
+  void idiv(IReg d, IReg a, IReg b);
+
+  // ---- floating point ---------------------------------------------------
+  void fadd(FReg d, FReg a, FReg b);
+  void fsub(FReg d, FReg a, FReg b);
+  void fmul(FReg d, FReg a, FReg b);
+  void fdiv(FReg d, FReg a, FReg b);
+  void fmov(FReg d, FReg a);
+  void fmovi(FReg d, double v);
+  void fneg(FReg d, FReg a);
+
+  // ---- memory -----------------------------------------------------------
+  void load(IReg d, Mem m);
+  void store(IReg s, Mem m);
+  void fload(FReg d, Mem m);
+  void fstore(FReg s, Mem m);
+  void prefetch(Mem m, bool to_l1 = false);
+  void xchg(IReg d, Mem m);  ///< atomically swap d with [m]
+
+  // ---- control flow -----------------------------------------------------
+  void br(BrCond c, IReg a, IReg b, Label l);
+  void bri(BrCond c, IReg a, int64_t imm, Label l);
+  void jmp(Label l);
+
+  // ---- sync / system ----------------------------------------------------
+  void pause();
+  void halt();
+  void ipi();
+  void nop();
+  void exit();
+
+  /// Finalize: resolve all branch targets. Checks every referenced label
+  /// was bound and the program ends in a way that cannot fall off the end.
+  Program take();
+
+ private:
+  Instr& emit(Opcode op);
+  void emit_alu(Opcode op, IReg d, IReg a, IReg b);
+  void emit_alui(Opcode op, IReg d, IReg a, int64_t imm);
+  void emit_fp(Opcode op, FReg d, FReg a, FReg b);
+  void emit_branch(Opcode op, BrCond c, RegId a, RegId b, bool use_imm,
+                   int64_t imm, Label l);
+
+  std::string name_;
+  std::vector<Instr> code_;
+  std::vector<int32_t> label_pos_;                    // -1 while unbound
+  std::vector<std::pair<size_t, int32_t>> fixups_;    // instr idx -> label
+  bool taken_ = false;
+};
+
+}  // namespace smt::isa

@@ -1,0 +1,119 @@
+#include "isa/disasm.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace smt::isa {
+
+namespace {
+
+std::string reg_name(RegId r) {
+  if (r == kNoReg) return "-";
+  char buf[8];
+  if (is_fp_reg(r)) {
+    std::snprintf(buf, sizeof buf, "f%d", r - kNumIRegs);
+  } else {
+    std::snprintf(buf, sizeof buf, "r%d", r);
+  }
+  return buf;
+}
+
+std::string mem_str(const MemRef& m) {
+  std::string out = "[";
+  bool first = true;
+  if (m.base != kNoReg) {
+    out += reg_name(m.base);
+    first = false;
+  }
+  if (m.index != kNoReg) {
+    if (!first) out += "+";
+    out += reg_name(m.index);
+    if (m.scale_log2) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "*%d", 1 << m.scale_log2);
+      out += buf;
+    }
+    first = false;
+  }
+  if (m.disp != 0 || first) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%s%" PRId64, first ? "" : "+", m.disp);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string disasm(const Instr& in) {
+  const OpTraits& t = traits(in.op);
+  std::string out = t.name;
+  auto append = [&out](const std::string& s) {
+    out += out.back() == ' ' ? "" : " ";
+    out += s;
+  };
+  char buf[64];
+
+  switch (in.op) {
+    case Opcode::kBr:
+      std::snprintf(buf, sizeof buf, "%s", name(in.cond));
+      append(buf);
+      append(reg_name(in.rs1) + ",");
+      if (in.use_imm) {
+        std::snprintf(buf, sizeof buf, "%" PRId64, in.imm);
+        append(buf);
+      } else {
+        append(reg_name(in.rs2));
+      }
+      std::snprintf(buf, sizeof buf, "-> %d", in.target);
+      append(buf);
+      return out;
+    case Opcode::kJmp:
+      std::snprintf(buf, sizeof buf, "-> %d", in.target);
+      append(buf);
+      return out;
+    case Opcode::kFMovImm:
+      append(reg_name(in.rd) + ",");
+      std::snprintf(buf, sizeof buf, "%g", in.fimm);
+      append(buf);
+      return out;
+    default:
+      break;
+  }
+
+  if (t.writes_reg) append(reg_name(in.rd) + (t.is_mem || in.rs1 != kNoReg || in.use_imm ? "," : ""));
+  if (in.op == Opcode::kStore || in.op == Opcode::kFStore) {
+    append(reg_name(in.rs1) + ",");
+    append(mem_str(in.mem));
+    return out;
+  }
+  if (t.is_mem) {
+    append(mem_str(in.mem));
+    return out;
+  }
+  if (in.rs1 != kNoReg && !t.is_mem && in.op != Opcode::kIMovImm) {
+    append(reg_name(in.rs1) + (in.rs2 != kNoReg || in.use_imm ? "," : ""));
+  }
+  if (in.use_imm) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, in.imm);
+    append(buf);
+  } else if (in.rs2 != kNoReg) {
+    append(reg_name(in.rs2));
+  }
+  return out;
+}
+
+std::string disasm(const Program& p) {
+  std::string out;
+  char buf[32];
+  for (size_t i = 0; i < p.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%4zu: ", i);
+    out += buf;
+    out += disasm(p.at(i));
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace smt::isa

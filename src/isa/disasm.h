@@ -1,0 +1,17 @@
+// Textual disassembly of programs, for debugging and tests.
+#pragma once
+
+#include <string>
+
+#include "isa/instr.h"
+#include "isa/program.h"
+
+namespace smt::isa {
+
+/// One instruction, e.g. "fadd f2, f2, f5" or "br lt r1, r2 -> 12".
+std::string disasm(const Instr& in);
+
+/// Whole program, one numbered line per instruction.
+std::string disasm(const Program& p);
+
+}  // namespace smt::isa

@@ -1,0 +1,44 @@
+// Instruction encoding of the micro-ISA.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "isa/opcode.h"
+#include "isa/registers.h"
+
+namespace smt::isa {
+
+/// Memory operand: effective address = [base] + ([index] << scale) + disp.
+struct MemRef {
+  RegId base = kNoReg;
+  RegId index = kNoReg;
+  uint8_t scale_log2 = 0;
+  int64_t disp = 0;
+};
+
+/// One decoded instruction (== one uop in the timing model, except xchg,
+/// which occupies both a load-queue and a store-buffer entry).
+///
+/// Register fields hold flat RegIds; whether a field names an int or fp
+/// register follows from the opcode. `use_imm` selects the immediate as the
+/// second source of ALU ops / branches.
+struct Instr {
+  Opcode op = Opcode::kNop;
+  RegId rd = kNoReg;   // destination
+  RegId rs1 = kNoReg;  // first source
+  RegId rs2 = kNoReg;  // second source
+  bool use_imm = false;
+  BrCond cond = BrCond::kEq;
+  int64_t imm = 0;     // int immediate / branch comparand
+  double fimm = 0.0;   // fp immediate (kFMovImm)
+  MemRef mem;          // memory operand (loads/stores/prefetch/xchg)
+  int32_t target = -1; // branch target (instruction index)
+
+  bool is_branch() const { return traits(op).is_branch; }
+  bool is_mem() const { return traits(op).is_mem; }
+  bool is_load() const { return traits(op).is_load; }
+  bool is_store() const { return traits(op).is_store; }
+};
+
+}  // namespace smt::isa

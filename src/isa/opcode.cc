@@ -1,0 +1,63 @@
+#include "isa/opcode.h"
+
+#include "common/check.h"
+
+namespace smt::isa {
+
+namespace {
+
+// Order must match the Opcode enum exactly; checked in traits().
+constexpr OpTraits kTraits[kNumOpcodeValues] = {
+    //  name        unit               br     mem    load   store  wreg   fpdst
+    {"iadd",    UnitClass::kAlu,    false, false, false, false, true,  false},
+    {"isub",    UnitClass::kAlu,    false, false, false, false, true,  false},
+    {"imov",    UnitClass::kAlu,    false, false, false, false, true,  false},
+    {"imovi",   UnitClass::kAlu,    false, false, false, false, true,  false},
+    {"iand",    UnitClass::kAlu0,   false, false, false, false, true,  false},
+    {"ior",     UnitClass::kAlu0,   false, false, false, false, true,  false},
+    {"ixor",    UnitClass::kAlu0,   false, false, false, false, true,  false},
+    {"ishl",    UnitClass::kAlu0,   false, false, false, false, true,  false},
+    {"ishr",    UnitClass::kAlu0,   false, false, false, false, true,  false},
+    {"imul",    UnitClass::kIntMul, false, false, false, false, true,  false},
+    {"idiv",    UnitClass::kIntDiv, false, false, false, false, true,  false},
+    {"fadd",    UnitClass::kFpAdd,  false, false, false, false, true,  true},
+    {"fsub",    UnitClass::kFpAdd,  false, false, false, false, true,  true},
+    {"fmul",    UnitClass::kFpMul,  false, false, false, false, true,  true},
+    {"fdiv",    UnitClass::kFpDiv,  false, false, false, false, true,  true},
+    {"fmov",    UnitClass::kFpMove, false, false, false, false, true,  true},
+    {"fmovi",   UnitClass::kFpMove, false, false, false, false, true,  true},
+    {"fneg",    UnitClass::kFpMove, false, false, false, false, true,  true},
+    {"load",    UnitClass::kLoad,   false, true,  true,  false, true,  false},
+    {"store",   UnitClass::kStore,  false, true,  false, true,  false, false},
+    {"fload",   UnitClass::kLoad,   false, true,  true,  false, true,  true},
+    {"fstore",  UnitClass::kStore,  false, true,  false, true,  false, false},
+    {"prefetch",UnitClass::kLoad,   false, true,  true,  false, false, false},
+    {"br",      UnitClass::kBranch, true,  false, false, false, false, false},
+    {"jmp",     UnitClass::kBranch, true,  false, false, false, false, false},
+    {"xchg",    UnitClass::kLoad,   false, true,  true,  true,  true,  false},
+    {"pause",   UnitClass::kNone,   false, false, false, false, false, false},
+    {"halt",    UnitClass::kNone,   false, false, false, false, false, false},
+    {"ipi",     UnitClass::kNone,   false, false, false, false, false, false},
+    {"nop",     UnitClass::kNone,   false, false, false, false, false, false},
+    {"exit",    UnitClass::kNone,   false, false, false, false, false, false},
+};
+
+constexpr const char* kUnitNames[] = {
+    "ALU",    "ALU0",   "BRANCH", "INT_MUL", "INT_DIV", "FP_ADD",
+    "FP_MUL", "FP_DIV", "FP_MOVE", "LOAD",   "STORE",   "NONE",
+};
+
+constexpr const char* kCondNames[] = {"eq", "ne", "lt", "le", "gt", "ge"};
+
+}  // namespace
+
+const OpTraits& traits(Opcode op) {
+  const auto i = static_cast<size_t>(op);
+  SMT_DCHECK(i < static_cast<size_t>(kNumOpcodeValues));
+  return kTraits[i];
+}
+
+const char* name(UnitClass u) { return kUnitNames[static_cast<size_t>(u)]; }
+const char* name(BrCond c) { return kCondNames[static_cast<size_t>(c)]; }
+
+}  // namespace smt::isa

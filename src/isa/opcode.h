@@ -1,0 +1,86 @@
+// Opcode set of the micro-ISA and its static properties.
+//
+// The ISA is RISC-like: one instruction = one uop, register-register
+// arithmetic, explicit loads/stores with base+index*scale+disp addressing,
+// compare-and-branch. It adds the Netburst-specific control instructions
+// the paper's synchronization layer depends on: pause (spin-loop
+// de-pipelining), halt (logical CPU sleeps, releasing its statically
+// partitioned queue halves), ipi (wake the sibling), and xchg (atomic
+// exchange used by lock/flag primitives).
+#pragma once
+
+#include <cstdint>
+
+namespace smt::isa {
+
+enum class Opcode : uint8_t {
+  // Integer ALU, executable on either double-speed ALU.
+  kIAdd, kISub, kIMov, kIMovImm,
+  // Logical / shift group: on Netburst only ALU0 can execute these
+  // (paper §5.3); the port model enforces that restriction.
+  kIAnd, kIOr, kIXor, kIShl, kIShr,
+  // Complex integer ops (long-latency unit, unpipelined divide).
+  kIMul, kIDiv,
+  // Floating point (double precision).
+  kFAdd, kFSub, kFMul, kFDiv, kFMov, kFMovImm, kFNeg,
+  // Memory. Loads/stores move 64-bit words (int or fp view).
+  kLoad, kStore, kFLoad, kFStore,
+  // Software prefetch of one cache line into L2 (and optionally L1).
+  kPrefetch,
+  // Control flow. Branch compares two int registers (or reg vs imm).
+  kBr, kJmp,
+  // Synchronization / system.
+  kXchg,   // rd <-> [mem], atomic
+  kPause,  // spin-wait hint: de-pipelines fetch for this context
+  kHalt,   // sleep this logical CPU until an IPI arrives
+  kIpi,    // send a wake-up IPI to the sibling logical CPU
+  kNop,
+  kExit,   // terminate this context's program
+  kNumOpcodes,
+};
+
+inline constexpr int kNumOpcodeValues =
+    static_cast<int>(Opcode::kNumOpcodes);
+
+/// Branch conditions; comparison is signed 64-bit.
+enum class BrCond : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Execution subunit classes, mirroring the Xeon port diagram the paper
+/// reproduces as Figure 6. The scheduler maps classes to issue ports; the
+/// profiler maps them to Table 1 rows.
+enum class UnitClass : uint8_t {
+  kAlu,      // simple int ops, either ALU
+  kAlu0,     // logical/shift: ALU0 only
+  kBranch,   // branch unit (shares port 0 on Netburst)
+  kIntMul,
+  kIntDiv,
+  kFpAdd,
+  kFpMul,
+  kFpDiv,
+  kFpMove,
+  kLoad,
+  kStore,
+  kNone,     // nop / exit / pause / halt / ipi
+};
+
+/// Static per-opcode properties, defined once in opcode.cc.
+struct OpTraits {
+  const char* name;
+  UnitClass unit;
+  bool is_branch;     // kBr / kJmp
+  bool is_mem;        // load/store/prefetch/xchg
+  bool is_load;       // reads memory (load/fload/xchg)
+  bool is_store;      // writes memory (store/fstore/xchg)
+  bool writes_reg;    // has a destination register
+  bool fp_dst;        // destination is an fp register
+};
+
+const OpTraits& traits(Opcode op);
+
+inline const char* name(Opcode op) { return traits(op).name; }
+inline UnitClass unit_class(Opcode op) { return traits(op).unit; }
+
+const char* name(UnitClass u);
+const char* name(BrCond c);
+
+}  // namespace smt::isa

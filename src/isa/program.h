@@ -1,0 +1,35 @@
+// A finalized program: a flat vector of instructions plus metadata.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "isa/instr.h"
+
+namespace smt::isa {
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::vector<Instr> code)
+      : name_(std::move(name)), code_(std::move(code)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return code_.size(); }
+  bool empty() const { return code_.empty(); }
+
+  const Instr& at(size_t pc) const {
+    SMT_DCHECK(pc < code_.size());
+    return code_[pc];
+  }
+
+  const std::vector<Instr>& code() const { return code_; }
+
+ private:
+  std::string name_;
+  std::vector<Instr> code_;
+};
+
+}  // namespace smt::isa

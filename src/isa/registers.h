@@ -1,0 +1,64 @@
+// Architectural register file description of the micro-ISA.
+//
+// The ISA exposes 16 64-bit integer registers and 16 double-precision fp
+// registers per hardware context. Internally both files share one flat
+// RegId space (0..15 integer, 16..31 fp) so the scoreboard can track
+// readiness in a single array.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace smt::isa {
+
+enum class IReg : uint8_t {
+  R0 = 0, R1, R2, R3, R4, R5, R6, R7,
+  R8, R9, R10, R11, R12, R13, R14, R15,
+};
+
+enum class FReg : uint8_t {
+  F0 = 0, F1, F2, F3, F4, F5, F6, F7,
+  F8, F9, F10, F11, F12, F13, F14, F15,
+};
+
+inline constexpr int kNumIRegs = 16;
+inline constexpr int kNumFRegs = 16;
+inline constexpr int kNumRegs = kNumIRegs + kNumFRegs;
+
+/// Flat register id: 0..15 integer, 16..31 floating point.
+using RegId = uint8_t;
+
+/// Sentinel meaning "operand slot unused".
+inline constexpr RegId kNoReg = 0xff;
+
+constexpr RegId id(IReg r) { return static_cast<RegId>(r); }
+constexpr RegId id(FReg r) {
+  return static_cast<RegId>(static_cast<uint8_t>(r) + kNumIRegs);
+}
+
+constexpr bool is_fp_reg(RegId r) { return r != kNoReg && r >= kNumIRegs; }
+constexpr bool is_int_reg(RegId r) { return r < kNumIRegs; }
+
+inline IReg ireg(RegId r) {
+  SMT_DCHECK(is_int_reg(r));
+  return static_cast<IReg>(r);
+}
+
+inline FReg freg(RegId r) {
+  SMT_DCHECK(is_fp_reg(r));
+  return static_cast<FReg>(r - kNumIRegs);
+}
+
+/// IReg from an index, for loops over register sets in stream generators.
+inline IReg ireg_n(int n) {
+  SMT_DCHECK(n >= 0 && n < kNumIRegs);
+  return static_cast<IReg>(n);
+}
+
+inline FReg freg_n(int n) {
+  SMT_DCHECK(n >= 0 && n < kNumFRegs);
+  return static_cast<FReg>(n);
+}
+
+}  // namespace smt::isa

@@ -1,0 +1,347 @@
+#include "kernels/bt.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "kernels/emit_util.h"
+
+namespace smt::kernels {
+
+using isa::AsmBuilder;
+using isa::BrCond;
+using isa::FReg;
+using isa::IReg;
+using isa::Label;
+using isa::Mem;
+
+namespace {
+
+constexpr int64_t B = static_cast<int64_t>(kBtBlock);   // 5
+constexpr int64_t kAOff = 0;                            // sub-diagonal block
+constexpr int64_t kBOff = B * B * 8;                    // diagonal block
+constexpr int64_t kCOff = 2 * B * B * 8;                // super-diagonal
+constexpr int64_t kRhsOff = 3 * B * B * 8;              // right-hand side
+constexpr int64_t kCellBytes =
+    static_cast<int64_t>(BtLine::kWordsPerCell) * 8;    // 640
+
+// Register conventions.
+//   r0 = line index   r1 = cell index   r2 = line base pointer
+//   r6 = current cell pointer   r7 = neighbour cell pointer
+//   r8 = prefetch cursor        r14 = sync scratch   r15 = barrier epoch
+constexpr IReg kLine = IReg::R0, kCell = IReg::R1, kLineBase = IReg::R2;
+constexpr IReg kCur = IReg::R6, kNbr = IReg::R7, kPf = IReg::R8;
+constexpr IReg kSync = IReg::R14, kEpoch = IReg::R15;
+
+int64_t elem(int64_t off, int64_t i, int64_t j) { return off + (i * B + j) * 8; }
+
+/// dst(5x5 at dst_reg+dst_off) -= M(at m_reg+m_off) * V(at v_reg+v_off).
+/// Fully unrolled: 5 fmovi, 125 fmul/fadd pairs, 25 fsub, heavy on loads —
+/// the BT mix.
+void emit_block_mul_sub(AsmBuilder& a, IReg dst_reg, int64_t dst_off,
+                        IReg m_reg, int64_t m_off, IReg v_reg,
+                        int64_t v_off) {
+  for (int64_t i = 0; i < B; ++i) {
+    for (int64_t j = 0; j < B; ++j) {
+      a.fmovi(FReg::F0, 0.0);
+      for (int64_t k = 0; k < B; ++k) {
+        a.fload(FReg::F1, Mem::bd(m_reg, elem(m_off, i, k)));
+        a.fload(FReg::F2, Mem::bd(v_reg, elem(v_off, k, j)));
+        a.fmul(FReg::F1, FReg::F1, FReg::F2);
+        a.fadd(FReg::F0, FReg::F0, FReg::F1);
+      }
+      a.fload(FReg::F3, Mem::bd(dst_reg, elem(dst_off, i, j)));
+      a.fsub(FReg::F3, FReg::F3, FReg::F0);
+      a.fstore(FReg::F3, Mem::bd(dst_reg, elem(dst_off, i, j)));
+    }
+  }
+}
+
+/// rhs(5 at dst_reg+dst_off) -= M(at m_reg+m_off) * v(5 at v_reg+v_off).
+void emit_block_vec_sub(AsmBuilder& a, IReg dst_reg, int64_t dst_off,
+                        IReg m_reg, int64_t m_off, IReg v_reg,
+                        int64_t v_off) {
+  for (int64_t i = 0; i < B; ++i) {
+    a.fmovi(FReg::F0, 0.0);
+    for (int64_t k = 0; k < B; ++k) {
+      a.fload(FReg::F1, Mem::bd(m_reg, elem(m_off, i, k)));
+      a.fload(FReg::F2, Mem::bd(v_reg, v_off + k * 8));
+      a.fmul(FReg::F1, FReg::F1, FReg::F2);
+      a.fadd(FReg::F0, FReg::F0, FReg::F1);
+    }
+    a.fload(FReg::F3, Mem::bd(dst_reg, dst_off + i * 8));
+    a.fsub(FReg::F3, FReg::F3, FReg::F0);
+    a.fstore(FReg::F3, Mem::bd(dst_reg, dst_off + i * 8));
+  }
+}
+
+/// In-place pivot-free LU of the diagonal block, storing the *reciprocal*
+/// of each pivot on the diagonal (so the solves multiply instead of
+/// dividing: one fdiv per pivot, five per cell).
+void emit_block_factor(AsmBuilder& a, IReg reg, int64_t off) {
+  for (int64_t k = 0; k < B; ++k) {
+    a.fload(FReg::F1, Mem::bd(reg, elem(off, k, k)));
+    a.fmovi(FReg::F0, 1.0);
+    a.fdiv(FReg::F0, FReg::F0, FReg::F1);
+    a.fstore(FReg::F0, Mem::bd(reg, elem(off, k, k)));
+    for (int64_t i = k + 1; i < B; ++i) {
+      a.fload(FReg::F2, Mem::bd(reg, elem(off, i, k)));
+      a.fmul(FReg::F2, FReg::F2, FReg::F0);
+      a.fstore(FReg::F2, Mem::bd(reg, elem(off, i, k)));
+      for (int64_t j = k + 1; j < B; ++j) {
+        a.fload(FReg::F3, Mem::bd(reg, elem(off, k, j)));
+        a.fmul(FReg::F3, FReg::F3, FReg::F2);
+        a.fload(FReg::F4, Mem::bd(reg, elem(off, i, j)));
+        a.fsub(FReg::F4, FReg::F4, FReg::F3);
+        a.fstore(FReg::F4, Mem::bd(reg, elem(off, i, j)));
+      }
+    }
+  }
+}
+
+/// Solves LU * X = X in place for X with `ncols` columns of row stride
+/// `stride_words`, using the factored block at b_reg+b_off (reciprocal
+/// diagonal).
+void emit_block_solve(AsmBuilder& a, IReg b_reg, int64_t b_off, IReg x_reg,
+                      int64_t x_off, int64_t ncols, int64_t stride_words) {
+  auto x_at = [&](int64_t i, int64_t c) {
+    return x_off + (i * stride_words + c) * 8;
+  };
+  // Forward substitution (unit lower triangle).
+  for (int64_t i = 1; i < B; ++i) {
+    for (int64_t k = 0; k < i; ++k) {
+      a.fload(FReg::F0, Mem::bd(b_reg, elem(b_off, i, k)));
+      for (int64_t c = 0; c < ncols; ++c) {
+        a.fload(FReg::F1, Mem::bd(x_reg, x_at(k, c)));
+        a.fmul(FReg::F1, FReg::F1, FReg::F0);
+        a.fload(FReg::F2, Mem::bd(x_reg, x_at(i, c)));
+        a.fsub(FReg::F2, FReg::F2, FReg::F1);
+        a.fstore(FReg::F2, Mem::bd(x_reg, x_at(i, c)));
+      }
+    }
+  }
+  // Back substitution with reciprocal pivots.
+  for (int64_t i = B - 1; i >= 0; --i) {
+    for (int64_t k = i + 1; k < B; ++k) {
+      a.fload(FReg::F0, Mem::bd(b_reg, elem(b_off, i, k)));
+      for (int64_t c = 0; c < ncols; ++c) {
+        a.fload(FReg::F1, Mem::bd(x_reg, x_at(k, c)));
+        a.fmul(FReg::F1, FReg::F1, FReg::F0);
+        a.fload(FReg::F2, Mem::bd(x_reg, x_at(i, c)));
+        a.fsub(FReg::F2, FReg::F2, FReg::F1);
+        a.fstore(FReg::F2, Mem::bd(x_reg, x_at(i, c)));
+      }
+    }
+    a.fload(FReg::F0, Mem::bd(b_reg, elem(b_off, i, i)));  // reciprocal
+    for (int64_t c = 0; c < ncols; ++c) {
+      a.fload(FReg::F1, Mem::bd(x_reg, x_at(i, c)));
+      a.fmul(FReg::F1, FReg::F1, FReg::F0);
+      a.fstore(FReg::F1, Mem::bd(x_reg, x_at(i, c)));
+    }
+  }
+}
+
+/// Reduce the cell at kCur: factor B and compute C' = B^-1 C, rhs' =
+/// B^-1 rhs.
+void emit_cell_reduce(AsmBuilder& a) {
+  emit_block_factor(a, kCur, kBOff);
+  emit_block_solve(a, kCur, kBOff, kCur, kCOff, B, B);
+  emit_block_solve(a, kCur, kBOff, kCur, kRhsOff, 1, 1);
+}
+
+/// Full line solve: kLineBase points at the line's first cell.
+void emit_solve_line(AsmBuilder& a, int64_t cells) {
+  // Cell 0: reduce only.
+  a.imov(kCur, kLineBase);
+  emit_cell_reduce(a);
+  // Forward elimination, cells 1..n-1.
+  a.imovi(kCell, 1);
+  a.iaddi(kCur, kLineBase, kCellBytes);
+  Label ftop = a.here();
+  Label fdone = a.label();
+  a.bri(BrCond::kGe, kCell, cells, fdone);
+  {
+    a.isubi(kNbr, kCur, kCellBytes);
+    emit_block_mul_sub(a, kCur, kBOff, kCur, kAOff, kNbr, kCOff);
+    emit_block_vec_sub(a, kCur, kRhsOff, kCur, kAOff, kNbr, kRhsOff);
+    emit_cell_reduce(a);
+  }
+  a.iaddi(kCur, kCur, kCellBytes);
+  a.iaddi(kCell, kCell, 1);
+  a.jmp(ftop);
+  a.bind(fdone);
+  // Back substitution, cells n-2..0.
+  a.imovi(kCell, cells - 2);
+  a.iaddi(kCur, kLineBase, (cells - 2) * kCellBytes);
+  Label btop = a.here();
+  Label bdone = a.label();
+  a.bri(BrCond::kLt, kCell, 0, bdone);
+  {
+    a.iaddi(kNbr, kCur, kCellBytes);
+    emit_block_vec_sub(a, kCur, kRhsOff, kCur, kCOff, kNbr, kRhsOff);
+  }
+  a.isubi(kCur, kCur, kCellBytes);
+  a.isubi(kCell, kCell, 1);
+  a.jmp(btop);
+  a.bind(bdone);
+}
+
+/// Prefetches one whole line starting at the address in `base_reg`.
+void emit_prefetch_line(AsmBuilder& a, IReg base_reg, int64_t line_bytes) {
+  CountedLoop l(a, kPf, 0, line_bytes, 64);
+  a.prefetch(Mem::bi(base_reg, kPf, 0), /*to_l1=*/false);
+  l.close();
+}
+
+}  // namespace
+
+const char* name(BtMode m) {
+  switch (m) {
+    case BtMode::kSerial: return "serial";
+    case BtMode::kTlpCoarse: return "tlp-coarse";
+    case BtMode::kTlpPfetch: return "tlp-pfetch";
+  }
+  return "?";
+}
+
+BtWorkload::BtWorkload(const BtParams& p)
+    : p_(p),
+      name_(std::string("bt.") + kernels::name(p.mode) + ".l" +
+            std::to_string(p.lines) + "x" + std::to_string(p.cells)) {
+  SMT_CHECK_MSG(p.cells >= 2, "need at least two cells per line");
+  SMT_CHECK_MSG(p.lines >= 2, "need at least two lines");
+}
+
+void BtWorkload::setup(core::Machine& m) {
+  const int64_t line_words =
+      static_cast<int64_t>(p_.cells) * BtLine::kWordsPerCell;
+  const int64_t line_bytes = line_words * 8;
+
+  mem::MemoryLayout lay(p_.mem_base);
+  base_ = lay.alloc_words("lines", static_cast<size_t>(line_words) * p_.lines);
+
+  Rng rng(p_.seed);
+  host_solved_.clear();
+  for (size_t l = 0; l < p_.lines; ++l) {
+    BtLine line = make_bt_line(p_.cells, rng);
+    m.memory().store_f64_array(base_ + l * line_bytes, line.data);
+    ref_bt_solve_line(line);
+    host_solved_.push_back(std::move(line));
+  }
+
+  const int64_t cells = static_cast<int64_t>(p_.cells);
+  const int64_t nlines = static_cast<int64_t>(p_.lines);
+  const bool pfetch = p_.mode == BtMode::kTlpPfetch;
+
+  if (pfetch) {
+    sync_layout_ = std::make_unique<mem::MemoryLayout>(p_.sync_base);
+    barrier_ = std::make_unique<sync::TwoThreadBarrier>(*sync_layout_,
+                                                        name_ + ".bar");
+  }
+
+  programs_.clear();
+  switch (p_.mode) {
+    case BtMode::kSerial: {
+      AsmBuilder a(name_);
+      a.imovi(kLineBase, static_cast<int64_t>(base_));
+      CountedLoop ll(a, kLine, 0, nlines);
+      emit_solve_line(a, cells);
+      a.iaddi(kLineBase, kLineBase, line_bytes);
+      ll.close();
+      a.exit();
+      programs_.push_back(a.take());
+      break;
+    }
+
+    case BtMode::kTlpCoarse: {
+      // Lines by parity: disjoint data, no synchronization at all — the
+      // paper's perfectly partitioned case.
+      for (int tid = 0; tid < 2; ++tid) {
+        AsmBuilder a(name_ + ".t" + std::to_string(tid));
+        a.imovi(kLineBase, static_cast<int64_t>(base_) + tid * line_bytes);
+        CountedLoop ll(a, kLine, tid, nlines, 2);
+        emit_solve_line(a, cells);
+        a.iaddi(kLineBase, kLineBase, 2 * line_bytes);
+        ll.close();
+        a.exit();
+        programs_.push_back(a.take());
+      }
+      break;
+    }
+
+    case BtMode::kTlpPfetch: {
+      // Worker: serial schedule with one barrier per line.
+      {
+        AsmBuilder a(name_ + ".worker");
+        barrier_->emit_init(a, kEpoch);
+        a.imovi(kLineBase, static_cast<int64_t>(base_));
+        CountedLoop ll(a, kLine, 0, nlines);
+        barrier_->emit_wait(a, 0, kEpoch, kSync, p_.spin);
+        emit_solve_line(a, cells);
+        a.iaddi(kLineBase, kLineBase, line_bytes);
+        ll.close();
+        a.exit();
+        programs_.push_back(a.take());
+      }
+      // Prefetcher: line l+1 while the worker solves line l.
+      {
+        AsmBuilder a(name_ + ".pfetch");
+        barrier_->emit_init(a, kEpoch);
+        a.imovi(kLineBase, static_cast<int64_t>(base_));
+        emit_prefetch_line(a, kLineBase, line_bytes);
+        CountedLoop ll(a, kLine, 0, nlines);
+        {
+          if (p_.halt_barriers) {
+            barrier_->emit_wait_sleeper(a, 1, kEpoch, kSync);
+          } else {
+            barrier_->emit_wait(a, 1, kEpoch, kSync, p_.spin);
+          }
+          Label skip = a.label();
+          a.iaddi(kNbr, kLine, 1);
+          a.bri(BrCond::kGe, kNbr, nlines, skip);
+          a.iaddi(kLineBase, kLineBase, line_bytes);
+          emit_prefetch_line(a, kLineBase, line_bytes);
+          a.bind(skip);
+        }
+        ll.close();
+        a.exit();
+        programs_.push_back(a.take());
+      }
+      // The worker's barrier side must match the sleeper when halting.
+      if (p_.halt_barriers) {
+        // Rebuild the worker with waker-side barriers.
+        AsmBuilder a(name_ + ".worker");
+        barrier_->emit_init(a, kEpoch);
+        a.imovi(kLineBase, static_cast<int64_t>(base_));
+        CountedLoop ll(a, kLine, 0, nlines);
+        barrier_->emit_wait_waker(a, 0, kEpoch, kSync, p_.spin);
+        emit_solve_line(a, cells);
+        a.iaddi(kLineBase, kLineBase, line_bytes);
+        ll.close();
+        a.exit();
+        programs_.front() = a.take();
+      }
+      break;
+    }
+  }
+}
+
+std::vector<isa::Program> BtWorkload::programs() const { return programs_; }
+
+bool BtWorkload::verify(const core::Machine& m) const {
+  const int64_t line_bytes =
+      static_cast<int64_t>(p_.cells) * BtLine::kWordsPerCell * 8;
+  for (size_t l = 0; l < p_.lines; ++l) {
+    for (size_t cell = 0; cell < p_.cells; ++cell) {
+      const Addr rhs = base_ + l * line_bytes +
+                       cell * static_cast<Addr>(kCellBytes) + kRhsOff;
+      const double* ref = host_solved_[l].cell(cell) + 3 * kBtBlock * kBtBlock;
+      for (size_t i = 0; i < kBtBlock; ++i) {
+        const double got = m.memory().read_f64(rhs + 8 * i);
+        if (rel_err(got, ref[i]) > 1e-6) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace smt::kernels

@@ -1,0 +1,66 @@
+// NAS-BT-like block-tridiagonal solver (paper §5.2.ii).
+//
+// Solves independent block-tridiagonal line systems of 5x5 blocks (the
+// computational core of NPB BT's ADI sweeps) by block Thomas elimination:
+// forward elimination with pivot-free 5x5 block Gaussian solves, then
+// back substitution. All 5x5 block operations are fully unrolled in the
+// emitted code, giving the fp-dense, load-heavy, low-ALU dynamic mix of
+// Table 1's BT column.
+//
+// Variants:
+//   kSerial     one thread solves every line
+//   kTlpCoarse  lines are assigned to threads by parity — the "perfect
+//               workload partitioning" that makes BT the paper's one TLP
+//               success story (disjoint data, no synchronization)
+//   kTlpPfetch  worker solves serially; the sibling prefetches the next
+//               line's blocks, one barrier per line
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "kernels/reference.h"
+#include "mem/sim_memory.h"
+#include "sync/primitives.h"
+
+namespace smt::kernels {
+
+enum class BtMode { kSerial, kTlpCoarse, kTlpPfetch };
+
+const char* name(BtMode m);
+
+struct BtParams {
+  size_t lines = 64;   // number of independent line systems
+  size_t cells = 32;   // cells per line
+  BtMode mode = BtMode::kSerial;
+  uint64_t seed = 23;
+  sync::SpinKind spin = sync::SpinKind::kPause;
+  bool halt_barriers = false;
+  Addr mem_base = 0x10000;   ///< data window base (see MatMulParams)
+  Addr sync_base = 0x8000;
+};
+
+class BtWorkload : public core::Workload {
+ public:
+  explicit BtWorkload(const BtParams& p);
+
+  const std::string& name() const override { return name_; }
+  void setup(core::Machine& m) override;
+  std::vector<isa::Program> programs() const override;
+  bool verify(const core::Machine& m) const override;
+
+  const BtParams& params() const { return p_; }
+
+ private:
+  BtParams p_;
+  std::string name_;
+  Addr base_ = 0;
+  std::vector<BtLine> host_solved_;  // reference solutions per line
+  std::vector<isa::Program> programs_;
+  std::unique_ptr<mem::MemoryLayout> sync_layout_;
+  std::unique_ptr<sync::TwoThreadBarrier> barrier_;
+};
+
+}  // namespace smt::kernels

@@ -1,0 +1,448 @@
+#include "kernels/cg.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "kernels/emit_util.h"
+#include "kernels/layouts.h"
+
+namespace smt::kernels {
+
+using isa::AsmBuilder;
+using isa::BrCond;
+using isa::FReg;
+using isa::IReg;
+using isa::Label;
+using isa::Mem;
+
+namespace {
+
+// Register conventions.
+//
+//   r0 = i (row / vector index)   r1 = k (nonzero index)   r2 = row end
+//   r3 = gathered column / scratch span index
+//   r9 = span index               r10 = iteration counter
+//   r12 = span lo bound           r13 = span hi bound
+//   r14 = sync scratch            r15 = barrier epoch
+//   f0, f1 = dot accumulators     f2, f3 = operands
+//   f6 = rho (live across the iteration)   f7 = alpha / beta
+constexpr IReg kIdx = IReg::R0, kNz = IReg::R1, kEnd = IReg::R2,
+               kCol = IReg::R3, kSpan = IReg::R9, kIter = IReg::R10,
+               kLo = IReg::R12, kHi = IReg::R13, kSync = IReg::R14,
+               kEpoch = IReg::R15;
+
+struct CgCtx {
+  Addr rowptr, colidx, vals, x, z, p, q, r;
+  Addr slot0, slot1;
+  int64_t n;
+  int iters;
+  int64_t span_rows;
+  int log2span;
+};
+
+/// One SpMV row: f0 = sum_k vals[k] * p[colidx[k]], then q[i] = f0.
+/// Expects kIdx = row index.
+void emit_spmv_row(AsmBuilder& a, const CgCtx& c) {
+  a.fmovi(FReg::F0, 0.0);
+  a.load(kNz, Mem::idx(kIdx, 3, static_cast<int64_t>(c.rowptr)));
+  a.load(kEnd, Mem::idx(kIdx, 3, static_cast<int64_t>(c.rowptr) + 8));
+  Label top = a.here();
+  Label done = a.label();
+  a.br(BrCond::kGe, kNz, kEnd, done);
+  a.load(kCol, Mem::idx(kNz, 3, static_cast<int64_t>(c.colidx)));
+  a.fload(FReg::F2, Mem::idx(kNz, 3, static_cast<int64_t>(c.vals)));
+  // The delinquent load: a data-dependent gather over the whole p vector.
+  a.fload(FReg::F3, Mem::idx(kCol, 3, static_cast<int64_t>(c.p)));
+  a.fmul(FReg::F2, FReg::F2, FReg::F3);
+  a.fadd(FReg::F0, FReg::F0, FReg::F2);
+  a.iaddi(kNz, kNz, 1);
+  a.jmp(top);
+  a.bind(done);
+  a.fstore(FReg::F0, Mem::idx(kIdx, 3, static_cast<int64_t>(c.q)));
+}
+
+/// q[lo..hi) = A * p, compile-time bounds.
+void emit_spmv(AsmBuilder& a, const CgCtx& c, int64_t lo, int64_t hi) {
+  CountedLoop li(a, kIdx, lo, hi);
+  emit_spmv_row(a, c);
+  li.close();
+}
+
+/// Sets kLo/kHi to the row range of span `span_reg` within [lo0, hi_limit):
+/// kLo = lo0 + span * span_rows, kHi = min(kLo + span_rows, hi_limit).
+void emit_span_bounds(AsmBuilder& a, const CgCtx& c, IReg span_reg,
+                      int64_t lo0, int64_t hi_limit) {
+  a.ishli(kLo, span_reg, c.log2span);
+  a.iaddi(kLo, kLo, lo0);
+  a.iaddi(kHi, kLo, c.span_rows);
+  Label noclamp = a.label();
+  a.bri(BrCond::kLe, kHi, hi_limit, noclamp);
+  a.imovi(kHi, hi_limit);
+  a.bind(noclamp);
+}
+
+/// q[kLo..kHi) = A * p, register bounds.
+void emit_spmv_range_reg(AsmBuilder& a, const CgCtx& c) {
+  a.imov(kIdx, kLo);
+  Label top = a.here();
+  Label done = a.label();
+  a.br(BrCond::kGe, kIdx, kHi, done);
+  emit_spmv_row(a, c);
+  a.iaddi(kIdx, kIdx, 1);
+  a.jmp(top);
+  a.bind(done);
+}
+
+/// Prefetches the SpMV inputs of rows [kLo, kHi): walks colidx and issues
+/// software prefetches for the gathered p elements (the delinquent load)
+/// and the value stream.
+void emit_prefetch_range_reg(AsmBuilder& a, const CgCtx& c) {
+  a.imov(kIdx, kLo);
+  Label rtop = a.here();
+  Label rdone = a.label();
+  a.br(BrCond::kGe, kIdx, kHi, rdone);
+  {
+    a.load(kNz, Mem::idx(kIdx, 3, static_cast<int64_t>(c.rowptr)));
+    a.load(kEnd, Mem::idx(kIdx, 3, static_cast<int64_t>(c.rowptr) + 8));
+    Label top = a.here();
+    Label done = a.label();
+    a.br(BrCond::kGe, kNz, kEnd, done);
+    a.load(kCol, Mem::idx(kNz, 3, static_cast<int64_t>(c.colidx)));
+    a.prefetch(Mem::idx(kCol, 3, static_cast<int64_t>(c.p)));
+    a.prefetch(Mem::idx(kNz, 3, static_cast<int64_t>(c.vals)));
+    a.iaddi(kNz, kNz, 1);
+    a.jmp(top);
+    a.bind(done);
+  }
+  a.iaddi(kIdx, kIdx, 1);
+  a.jmp(rtop);
+  a.bind(rdone);
+}
+
+/// f2 = dot(xa[lo..hi), ya[lo..hi)) with two accumulator chains (hi-lo
+/// must be even).
+void emit_dot(AsmBuilder& a, Addr xa, Addr ya, int64_t lo, int64_t hi) {
+  SMT_CHECK((hi - lo) % 2 == 0);
+  a.fmovi(FReg::F0, 0.0);
+  a.fmovi(FReg::F1, 0.0);
+  CountedLoop li(a, kIdx, lo, hi, 2);
+  {
+    a.fload(FReg::F2, Mem::idx(kIdx, 3, static_cast<int64_t>(xa)));
+    a.fload(FReg::F3, Mem::idx(kIdx, 3, static_cast<int64_t>(ya)));
+    a.fmul(FReg::F2, FReg::F2, FReg::F3);
+    a.fadd(FReg::F0, FReg::F0, FReg::F2);
+    a.fload(FReg::F2, Mem::idx(kIdx, 3, static_cast<int64_t>(xa) + 8));
+    a.fload(FReg::F3, Mem::idx(kIdx, 3, static_cast<int64_t>(ya) + 8));
+    a.fmul(FReg::F2, FReg::F2, FReg::F3);
+    a.fadd(FReg::F1, FReg::F1, FReg::F2);
+  }
+  li.close();
+  a.fadd(FReg::F2, FReg::F0, FReg::F1);
+}
+
+enum class AxpyKind { kZPlusAlphaP, kRMinusAlphaQ, kPEqualsRPlusBetaP };
+
+/// The three CG vector updates; the scalar lives in f7.
+void emit_axpy(AsmBuilder& a, const CgCtx& c, AxpyKind kind, int64_t lo,
+               int64_t hi) {
+  CountedLoop li(a, kIdx, lo, hi);
+  switch (kind) {
+    case AxpyKind::kZPlusAlphaP:
+      a.fload(FReg::F2, Mem::idx(kIdx, 3, static_cast<int64_t>(c.p)));
+      a.fmul(FReg::F2, FReg::F2, FReg::F7);
+      a.fload(FReg::F3, Mem::idx(kIdx, 3, static_cast<int64_t>(c.z)));
+      a.fadd(FReg::F3, FReg::F3, FReg::F2);
+      a.fstore(FReg::F3, Mem::idx(kIdx, 3, static_cast<int64_t>(c.z)));
+      break;
+    case AxpyKind::kRMinusAlphaQ:
+      a.fload(FReg::F2, Mem::idx(kIdx, 3, static_cast<int64_t>(c.q)));
+      a.fmul(FReg::F2, FReg::F2, FReg::F7);
+      a.fload(FReg::F3, Mem::idx(kIdx, 3, static_cast<int64_t>(c.r)));
+      a.fsub(FReg::F3, FReg::F3, FReg::F2);
+      a.fstore(FReg::F3, Mem::idx(kIdx, 3, static_cast<int64_t>(c.r)));
+      break;
+    case AxpyKind::kPEqualsRPlusBetaP:
+      a.fload(FReg::F2, Mem::idx(kIdx, 3, static_cast<int64_t>(c.p)));
+      a.fmul(FReg::F2, FReg::F2, FReg::F7);
+      a.fload(FReg::F3, Mem::idx(kIdx, 3, static_cast<int64_t>(c.r)));
+      a.fadd(FReg::F3, FReg::F3, FReg::F2);
+      a.fstore(FReg::F3, Mem::idx(kIdx, 3, static_cast<int64_t>(c.p)));
+      break;
+  }
+  li.close();
+}
+
+/// r = p = x over [lo, hi).
+void emit_init_vectors(AsmBuilder& a, const CgCtx& c, int64_t lo,
+                       int64_t hi) {
+  CountedLoop li(a, kIdx, lo, hi);
+  a.fload(FReg::F2, Mem::idx(kIdx, 3, static_cast<int64_t>(c.x)));
+  a.fstore(FReg::F2, Mem::idx(kIdx, 3, static_cast<int64_t>(c.r)));
+  a.fstore(FReg::F2, Mem::idx(kIdx, 3, static_cast<int64_t>(c.p)));
+  li.close();
+}
+
+/// Loads the two partial-reduction slots and leaves their sum in f2.
+void emit_sum_slots(AsmBuilder& a, const CgCtx& c) {
+  a.fload(FReg::F2, Mem::abs(c.slot0));
+  a.fload(FReg::F3, Mem::abs(c.slot1));
+  a.fadd(FReg::F2, FReg::F2, FReg::F3);
+}
+
+}  // namespace
+
+const char* name(CgMode m) {
+  switch (m) {
+    case CgMode::kSerial: return "serial";
+    case CgMode::kTlpCoarse: return "tlp-coarse";
+    case CgMode::kTlpPfetch: return "tlp-pfetch";
+    case CgMode::kTlpPfetchWork: return "tlp-pfetch+work";
+  }
+  return "?";
+}
+
+CgWorkload::CgWorkload(const CgParams& p)
+    : p_(p),
+      name_(std::string("cg.") + kernels::name(p.mode) + ".n" +
+            std::to_string(p.n)) {
+  SMT_CHECK_MSG(p.n % 4 == 0, "n must be divisible by 4");
+  SMT_CHECK_MSG((p.span_rows & (p.span_rows - 1)) == 0,
+                "span_rows must be a power of two");
+}
+
+void CgWorkload::setup(core::Machine& m) {
+  Rng rng(p_.seed);
+  matrix_ = make_sparse_spd(p_.n, p_.nz_per_row, rng);
+
+  std::vector<double> x(p_.n);
+  for (double& v : x) v = rng.next_double(-1.0, 1.0);
+  host_rho_ = ref_cg(matrix_, x, host_z_, p_.iters);
+
+  mem::MemoryLayout lay(p_.mem_base);
+  rowptr_ = lay.alloc_words("rowptr", matrix_.rowptr.size());
+  colidx_ = lay.alloc_words("colidx", matrix_.nnz());
+  vals_ = lay.alloc_words("vals", matrix_.nnz());
+  x_ = lay.alloc_words("x", p_.n);
+  z_ = lay.alloc_words("z", p_.n);
+  p_vec_ = lay.alloc_words("p", p_.n);
+  q_ = lay.alloc_words("q", p_.n);
+  r_ = lay.alloc_words("r", p_.n);
+  dot_slots_ = lay.alloc_words("dot0", 1);
+  const Addr slot1 = lay.alloc_words("dot1", 1);  // separate cache line
+  m.memory().store_i64_array(rowptr_, matrix_.rowptr);
+  m.memory().store_i64_array(colidx_, matrix_.colidx);
+  m.memory().store_f64_array(vals_, matrix_.values);
+  m.memory().store_f64_array(x_, x);
+
+  CgCtx c;
+  c.rowptr = rowptr_;
+  c.colidx = colidx_;
+  c.vals = vals_;
+  c.x = x_;
+  c.z = z_;
+  c.p = p_vec_;
+  c.q = q_;
+  c.r = r_;
+  c.slot0 = dot_slots_;
+  c.slot1 = slot1;
+  c.n = static_cast<int64_t>(p_.n);
+  c.iters = p_.iters;
+  c.span_rows = static_cast<int64_t>(p_.span_rows);
+  c.log2span = log2_exact(p_.span_rows);
+
+  const bool coarse =
+      p_.mode == CgMode::kTlpCoarse || p_.mode == CgMode::kTlpPfetchWork;
+  const bool pfetch = p_.mode == CgMode::kTlpPfetch;
+  const bool hybrid = p_.mode == CgMode::kTlpPfetchWork;
+
+  if (coarse || pfetch) {
+    sync_layout_ = std::make_unique<mem::MemoryLayout>(p_.sync_base);
+    barrier_ = std::make_unique<sync::TwoThreadBarrier>(*sync_layout_,
+                                                        name_ + ".bar");
+  }
+  auto wait = [&](AsmBuilder& a, int tid, bool sleeper) {
+    if (p_.halt_barriers && pfetch) {
+      if (sleeper) {
+        barrier_->emit_wait_sleeper(a, tid, kEpoch, kSync);
+      } else {
+        barrier_->emit_wait_waker(a, tid, kEpoch, kSync, p_.spin);
+      }
+    } else {
+      barrier_->emit_wait(a, tid, kEpoch, kSync, p_.spin);
+    }
+  };
+
+  programs_.clear();
+
+  if (p_.mode == CgMode::kSerial) {
+    AsmBuilder a(name_);
+    emit_init_vectors(a, c, 0, c.n);
+    emit_dot(a, r_, r_, 0, c.n);
+    a.fmov(FReg::F6, FReg::F2);  // rho
+    CountedLoop liter(a, kIter, 0, c.iters);
+    {
+      emit_spmv(a, c, 0, c.n);
+      emit_dot(a, p_vec_, q_, 0, c.n);       // f2 = p.q
+      a.fdiv(FReg::F7, FReg::F6, FReg::F2);  // alpha
+      emit_axpy(a, c, AxpyKind::kZPlusAlphaP, 0, c.n);
+      emit_axpy(a, c, AxpyKind::kRMinusAlphaQ, 0, c.n);
+      emit_dot(a, r_, r_, 0, c.n);           // f2 = rho'
+      a.fdiv(FReg::F7, FReg::F2, FReg::F6);  // beta
+      a.fmov(FReg::F6, FReg::F2);            // rho = rho'
+      emit_axpy(a, c, AxpyKind::kPEqualsRPlusBetaP, 0, c.n);
+    }
+    liter.close();
+    a.exit();
+    programs_.push_back(a.take());
+
+  } else if (coarse) {
+    // ---- Coarse TLP (and its hybrid extension) -------------------------
+    // Each thread owns rows [tid*n/2, (tid+1)*n/2). Reductions go through
+    // the two partial slots with a barrier; both threads then duplicate
+    // the scalar updates (the paper's "parallelization overhead").
+    const int64_t half = c.n / 2;
+    const int64_t ns_half = (half + c.span_rows - 1) / c.span_rows;
+    for (int tid = 0; tid < 2; ++tid) {
+      const int64_t lo = tid * half, hi = lo + half;
+      const Addr my_slot = tid == 0 ? c.slot0 : c.slot1;
+      AsmBuilder a(name_ + ".t" + std::to_string(tid));
+      barrier_->emit_init(a, kEpoch);
+      emit_init_vectors(a, c, lo, hi);
+      emit_dot(a, r_, r_, lo, hi);
+      a.fstore(FReg::F2, Mem::abs(my_slot));
+      wait(a, tid, false);
+      emit_sum_slots(a, c);
+      a.fmov(FReg::F6, FReg::F2);  // rho
+      CountedLoop liter(a, kIter, 0, c.iters);
+      {
+        if (hybrid && tid == 1) {
+          // SpMV in spans over our half; prefetch the next span's gathers
+          // before computing the current span (intra-thread SPR).
+          CountedLoop lspan(a, kSpan, 0, ns_half);
+          {
+            Label skip = a.label();
+            a.iaddi(kCol, kSpan, 1);
+            a.bri(BrCond::kGe, kCol, ns_half, skip);
+            emit_span_bounds(a, c, kCol, lo, hi);
+            emit_prefetch_range_reg(a, c);
+            a.bind(skip);
+            emit_span_bounds(a, c, kSpan, lo, hi);
+            emit_spmv_range_reg(a, c);
+          }
+          lspan.close();
+        } else {
+          emit_spmv(a, c, lo, hi);
+        }
+        emit_dot(a, p_vec_, q_, lo, hi);
+        a.fstore(FReg::F2, Mem::abs(my_slot));
+        wait(a, tid, false);
+        emit_sum_slots(a, c);
+        a.fdiv(FReg::F7, FReg::F6, FReg::F2);  // alpha
+        emit_axpy(a, c, AxpyKind::kZPlusAlphaP, lo, hi);
+        emit_axpy(a, c, AxpyKind::kRMinusAlphaQ, lo, hi);
+        emit_dot(a, r_, r_, lo, hi);
+        a.fstore(FReg::F2, Mem::abs(my_slot));
+        wait(a, tid, false);
+        emit_sum_slots(a, c);
+        a.fdiv(FReg::F7, FReg::F2, FReg::F6);  // beta
+        a.fmov(FReg::F6, FReg::F2);            // rho = rho'
+        emit_axpy(a, c, AxpyKind::kPEqualsRPlusBetaP, lo, hi);
+        // p must be complete before the next SpMV gathers from it.
+        wait(a, tid, false);
+      }
+      liter.close();
+      a.exit();
+      programs_.push_back(a.take());
+    }
+
+  } else {
+    // ---- Pure SPR ------------------------------------------------------
+    SMT_CHECK(pfetch);
+    const int64_t ns = (c.n + c.span_rows - 1) / c.span_rows;
+    // Worker: the serial schedule, with one barrier per SpMV span — the
+    // "frequent invocations of synchronization primitives" the paper
+    // blames for CG's SPR slowdown.
+    {
+      AsmBuilder a(name_ + ".worker");
+      barrier_->emit_init(a, kEpoch);
+      emit_init_vectors(a, c, 0, c.n);
+      emit_dot(a, r_, r_, 0, c.n);
+      a.fmov(FReg::F6, FReg::F2);
+      CountedLoop liter(a, kIter, 0, c.iters);
+      {
+        CountedLoop lspan(a, kSpan, 0, ns);
+        {
+          wait(a, 0, /*sleeper=*/false);
+          emit_span_bounds(a, c, kSpan, 0, c.n);
+          emit_spmv_range_reg(a, c);
+        }
+        lspan.close();
+        emit_dot(a, p_vec_, q_, 0, c.n);
+        a.fdiv(FReg::F7, FReg::F6, FReg::F2);
+        emit_axpy(a, c, AxpyKind::kZPlusAlphaP, 0, c.n);
+        emit_axpy(a, c, AxpyKind::kRMinusAlphaQ, 0, c.n);
+        emit_dot(a, r_, r_, 0, c.n);
+        a.fdiv(FReg::F7, FReg::F2, FReg::F6);
+        a.fmov(FReg::F6, FReg::F2);
+        emit_axpy(a, c, AxpyKind::kPEqualsRPlusBetaP, 0, c.n);
+      }
+      liter.close();
+      a.exit();
+      programs_.push_back(a.take());
+    }
+    // Prefetcher: one span ahead of the worker; at the last span of an
+    // iteration it wraps around to span 0 (the next iteration's first).
+    {
+      AsmBuilder a(name_ + ".pfetch");
+      barrier_->emit_init(a, kEpoch);
+      a.imovi(kCol, 0);
+      emit_span_bounds(a, c, kCol, 0, c.n);
+      emit_prefetch_range_reg(a, c);
+      CountedLoop liter(a, kIter, 0, c.iters);
+      {
+        CountedLoop lspan(a, kSpan, 0, ns);
+        {
+          wait(a, 1, /*sleeper=*/true);
+          Label wrapped = a.label();
+          a.iaddi(kCol, kSpan, 1);
+          a.bri(BrCond::kLt, kCol, ns, wrapped);
+          a.imovi(kCol, 0);
+          a.bind(wrapped);
+          emit_span_bounds(a, c, kCol, 0, c.n);
+          emit_prefetch_range_reg(a, c);
+        }
+        lspan.close();
+      }
+      liter.close();
+      a.exit();
+      programs_.push_back(a.take());
+    }
+  }
+}
+
+std::vector<isa::Program> CgWorkload::programs() const { return programs_; }
+
+bool CgWorkload::verify(const core::Machine& m) const {
+  // Residual check: x - A z must be tiny relative to x. This is robust to
+  // the benign floating-point reordering the threaded variants introduce
+  // (split reductions associate differently).
+  std::vector<double> z(p_.n);
+  for (size_t i = 0; i < p_.n; ++i) z[i] = m.memory().read_f64(z_ + 8 * i);
+  std::vector<double> az;
+  ref_spmv(matrix_, z, az);
+  double res2 = 0.0, max_dz = 0.0;
+  for (size_t i = 0; i < p_.n; ++i) {
+    const double xv = m.memory().read_f64(x_ + 8 * i);
+    const double d = az[i] - xv;
+    res2 += d * d;
+    max_dz = std::max(max_dz, std::fabs(z[i] - host_z_[i]));
+  }
+  // The solution must agree with the host reference up to reordering noise,
+  // and the residual must be at the level the reference reached after the
+  // same number of iterations.
+  return max_dz < 1e-5 && res2 <= 4.0 * host_rho_ + 1e-12;
+}
+
+}  // namespace smt::kernels

@@ -1,0 +1,79 @@
+// NAS-CG-like conjugate gradient kernel (paper §5.2.i).
+//
+// Solves A z = x on a randomly generated sparse SPD matrix (CSR), running a
+// fixed number of CG iterations exactly like the NPB CG inner loop. The
+// benchmark's character is its random memory access pattern: the SpMV
+// gather p[colidx[k]] is the delinquent load that causes nearly all L2
+// misses (the paper identified it with Valgrind profiling).
+//
+// Variants:
+//   kSerial         one thread
+//   kTlpCoarse      row-range partitioning with barrier-synchronized
+//                   reductions (each thread computes partial dot products;
+//                   scalar updates are duplicated on both threads)
+//   kTlpPfetch      pure SPR: the sibling walks colidx ahead of the worker
+//                   and prefetches the gathered p entries plus the CSR
+//                   streams, throttled by one barrier per row span — the
+//                   frequent synchronization the paper blames for CG's SPR
+//                   slowdown
+//   kTlpPfetchWork  hybrid: coarse partitioning + thread 1 also prefetches
+//                   its own next row span
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "kernels/reference.h"
+#include "mem/sim_memory.h"
+#include "sync/primitives.h"
+
+namespace smt::kernels {
+
+enum class CgMode { kSerial, kTlpCoarse, kTlpPfetch, kTlpPfetchWork };
+
+const char* name(CgMode m);
+
+struct CgParams {
+  size_t n = 2048;        // unknowns
+  size_t nz_per_row = 8;  // off-diagonal entries placed per row (doubled by
+                          // symmetrization)
+  int iters = 15;         // CG iterations
+  size_t span_rows = 64;  // SPR precomputation span, in matrix rows
+  CgMode mode = CgMode::kSerial;
+  uint64_t seed = 11;
+  sync::SpinKind spin = sync::SpinKind::kPause;
+  bool halt_barriers = false;
+  Addr mem_base = 0x10000;   ///< data window base (see MatMulParams)
+  Addr sync_base = 0x8000;
+};
+
+class CgWorkload : public core::Workload {
+ public:
+  explicit CgWorkload(const CgParams& p);
+
+  const std::string& name() const override { return name_; }
+  void setup(core::Machine& m) override;
+  std::vector<isa::Program> programs() const override;
+  bool verify(const core::Machine& m) const override;
+
+  const CgParams& params() const { return p_; }
+  size_t nnz() const { return matrix_.nnz(); }
+
+ private:
+  CgParams p_;
+  std::string name_;
+  SparseMatrix matrix_;
+  std::vector<double> host_z_;  // reference solution
+  double host_rho_ = 0.0;       // reference final residual
+  // Simulated-memory layout.
+  Addr rowptr_ = 0, colidx_ = 0, vals_ = 0;
+  Addr x_ = 0, z_ = 0, p_vec_ = 0, q_ = 0, r_ = 0;
+  Addr dot_slots_ = 0;  // two partial-reduction words
+  std::vector<isa::Program> programs_;
+  std::unique_ptr<mem::MemoryLayout> sync_layout_;
+  std::unique_ptr<sync::TwoThreadBarrier> barrier_;
+};
+
+}  // namespace smt::kernels

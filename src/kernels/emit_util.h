@@ -1,0 +1,40 @@
+// Small emission helpers shared by the kernel builders.
+#pragma once
+
+#include "isa/asm_builder.h"
+
+namespace smt::kernels {
+
+/// Counted loop emitter:
+///
+///   CountedLoop l(a, IReg::R3, 0, 16);   // emits "r3 = 0" + binds top
+///   ... body ...
+///   l.close();                           // emits "r3 += step; if < end ^"
+///
+/// The index register must not be clobbered by the body.
+class CountedLoop {
+ public:
+  CountedLoop(isa::AsmBuilder& a, isa::IReg idx, int64_t begin, int64_t end,
+              int64_t step = 1)
+      : a_(a), idx_(idx), end_(end), step_(step) {
+    a_.imovi(idx_, begin);
+    top_ = a_.here();
+  }
+
+  CountedLoop(const CountedLoop&) = delete;
+  CountedLoop& operator=(const CountedLoop&) = delete;
+
+  void close() {
+    a_.iaddi(idx_, idx_, step_);
+    a_.bri(isa::BrCond::kLt, idx_, end_, top_);
+  }
+
+ private:
+  isa::AsmBuilder& a_;
+  isa::IReg idx_;
+  int64_t end_;
+  int64_t step_;
+  isa::Label top_;
+};
+
+}  // namespace smt::kernels

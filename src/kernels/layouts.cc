@@ -1,0 +1,17 @@
+#include "kernels/layouts.h"
+
+namespace smt::kernels {
+
+int log2_exact(size_t v) {
+  SMT_CHECK_MSG(v != 0 && (v & (v - 1)) == 0, "value must be a power of two");
+  int l = 0;
+  while ((size_t{1} << l) != v) ++l;
+  return l;
+}
+
+BlockedLayout::BlockedLayout(size_t n, size_t tile)
+    : n_(n), tile_(tile), log2n_(log2_exact(n)), log2t_(log2_exact(tile)) {
+  SMT_CHECK_MSG(tile <= n, "tile larger than matrix");
+}
+
+}  // namespace smt::kernels

@@ -1,0 +1,62 @@
+// Blocked array layouts with binary-mask (shift/or) indexing.
+//
+// The paper's MM kernel uses Blocked Array Layouts [Athanasaki & Koziris,
+// INTERACT'04] where a matrix is stored tile-by-tile and element addresses
+// are computed with binary masks. For power-of-two matrix order N and tile
+// order T, the word offset of element (i, j) is a bit-field concatenation
+//
+//   offset(i,j) = (i_hi << (log2N + log2T)) | (j_hi << (2*log2T))
+//               | (i_lo << log2T) | j_lo
+//
+// where i = (i_hi << log2T) | i_lo and j likewise. The four fields occupy
+// disjoint bit ranges, so the offset is computable with only shifts, ANDs
+// and ORs — which is exactly why ~25% of MM's dynamic instructions are
+// logical ops executable only on ALU0 (paper §5.3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace smt::kernels {
+
+/// Integer log2 of a power of two; checks exactness.
+int log2_exact(size_t v);
+
+/// Host-side mirror of the blocked layout used by the DSL kernels; tests
+/// and verifiers use it to read simulated matrices back.
+class BlockedLayout {
+ public:
+  BlockedLayout(size_t n, size_t tile);
+
+  size_t n() const { return n_; }
+  size_t tile() const { return tile_; }
+  int log2n() const { return log2n_; }
+  int log2t() const { return log2t_; }
+  size_t words() const { return n_ * n_; }
+  size_t tiles_per_dim() const { return n_ >> log2t_; }
+  size_t tile_words() const { return tile_ * tile_; }
+
+  /// Word offset of element (i, j).
+  size_t offset(size_t i, size_t j) const {
+    SMT_DCHECK(i < n_ && j < n_);
+    const size_t m = tile_ - 1;
+    return ((i & ~m) << log2n_) | ((j & ~m) << log2t_) | ((i & m) << log2t_) |
+           (j & m);
+  }
+
+  /// Word offset of the first element of tile (ti, tj).
+  size_t tile_offset(size_t ti, size_t tj) const {
+    SMT_DCHECK(ti < tiles_per_dim() && tj < tiles_per_dim());
+    return ((ti << (log2n_ - log2t_)) | tj) << (2 * log2t_);
+  }
+
+ private:
+  size_t n_;
+  size_t tile_;
+  int log2n_;
+  int log2t_;
+};
+
+}  // namespace smt::kernels

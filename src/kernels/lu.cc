@@ -1,0 +1,534 @@
+#include "kernels/lu.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "kernels/emit_util.h"
+#include "kernels/layouts.h"
+#include "kernels/reference.h"
+
+namespace smt::kernels {
+
+using isa::AsmBuilder;
+using isa::BrCond;
+using isa::FReg;
+using isa::IReg;
+using isa::Label;
+using isa::Mem;
+
+namespace {
+
+// Register conventions for all LU variants.
+//
+//   r0 = kk (tile step)   r1 = it/jt (tile loop)   r2 = jt (trailing)
+//   r3 = k   r4 = i   r5 = j                       (intra-tile)
+//   r6, r7, r8  = tile base pointers
+//   r9, r10, r11 = row pointers
+//   r12, r13 = scratch      r14 = sync scratch     r15 = barrier epoch
+constexpr IReg kKk = IReg::R0, kT1 = IReg::R1, kT2 = IReg::R2;
+constexpr IReg kK = IReg::R3, kI = IReg::R4, kJ = IReg::R5;
+constexpr IReg kB0 = IReg::R6, kB1 = IReg::R7, kB2 = IReg::R8;
+constexpr IReg kR0 = IReg::R9, kR1 = IReg::R10, kR2 = IReg::R11;
+constexpr IReg kS0 = IReg::R12, kS1 = IReg::R13;
+constexpr IReg kSync = IReg::R14, kEpoch = IReg::R15;
+
+struct LuCtx {
+  Addr base;
+  int64_t n, t, nt;
+  int log2n, log2t;
+  int64_t row_bytes() const { return n * 8; }
+};
+
+/// dst = &A[ti*T][tj*T]: base + ti*T*n*8 + tj*T*8 via shifts and adds.
+void emit_lu_tile_base(AsmBuilder& a, const LuCtx& c, IReg dst, IReg ti,
+                       IReg tj) {
+  a.ishli(kS0, ti, c.log2t + c.log2n + 3);
+  a.ishli(dst, tj, c.log2t + 3);
+  a.iadd(dst, dst, kS0);
+  a.iaddi(dst, dst, static_cast<int64_t>(c.base));
+}
+
+/// A hand-rolled loop whose index starts at reg `start_plus_one_of` + 1 and
+/// runs to `end` (used by the triangular intra-tile loops).
+struct TriLoop {
+  TriLoop(AsmBuilder& a, IReg idx, IReg start_after, int64_t end)
+      : a_(a), idx_(idx), end_(end) {
+    a_.iaddi(idx_, start_after, 1);
+    top_ = a_.here();
+    done_ = a_.label();
+    a_.bri(BrCond::kGe, idx_, end_, done_);
+  }
+  void close() {
+    a_.iaddi(idx_, idx_, 1);
+    a_.jmp(top_);
+    a_.bind(done_);
+  }
+  AsmBuilder& a_;
+  IReg idx_;
+  int64_t end_;
+  Label top_, done_;
+};
+
+/// In-place LU factorization of the T x T tile at kB0 (row stride n*8).
+void emit_diag_factor(AsmBuilder& a, const LuCtx& c) {
+  a.imov(kR0, kB0);                       // row k
+  CountedLoop lk(a, kK, 0, c.t);
+  {
+    a.fload(FReg::F1, Mem::bi(kR0, kK, 3));  // pivot A[k,k]
+    a.fmovi(FReg::F0, 1.0);
+    a.fdiv(FReg::F0, FReg::F0, FReg::F1);    // reciprocal
+    a.iaddi(kR1, kR0, c.row_bytes());        // row i = k+1
+    TriLoop li(a, kI, kK, c.t);
+    {
+      a.fload(FReg::F2, Mem::bi(kR1, kK, 3));  // A[i,k]
+      a.fmul(FReg::F2, FReg::F2, FReg::F0);    // l_ik
+      a.fstore(FReg::F2, Mem::bi(kR1, kK, 3));
+      TriLoop lj(a, kJ, kK, c.t);
+      {
+        a.fload(FReg::F3, Mem::bi(kR0, kJ, 3));  // A[k,j]
+        a.fmul(FReg::F3, FReg::F3, FReg::F2);
+        a.fload(FReg::F4, Mem::bi(kR1, kJ, 3));  // A[i,j]
+        a.fsub(FReg::F4, FReg::F4, FReg::F3);
+        a.fstore(FReg::F4, Mem::bi(kR1, kJ, 3));
+      }
+      lj.close();
+      a.iaddi(kR1, kR1, c.row_bytes());
+    }
+    li.close();
+    a.iaddi(kR0, kR0, c.row_bytes());
+  }
+  lk.close();
+}
+
+/// Target tile at kB1 <- L(kB0)^-1 * target (unit lower-triangular solve).
+void emit_row_solve(AsmBuilder& a, const LuCtx& c) {
+  a.imov(kR2, kB1);                       // target row k
+  CountedLoop lk(a, kK, 0, c.t);
+  {
+    TriLoop li(a, kI, kK, c.t);
+    {
+      // kR0 = L row i, kR1 = target row i.
+      a.ishli(kS0, kI, c.log2n + 3);
+      a.iadd(kR0, kB0, kS0);
+      a.iadd(kR1, kB1, kS0);
+      a.fload(FReg::F0, Mem::bi(kR0, kK, 3));  // L[i,k]
+      CountedLoop lj(a, kJ, 0, c.t);
+      {
+        a.fload(FReg::F1, Mem::bi(kR2, kJ, 3));  // target[k,j]
+        a.fmul(FReg::F1, FReg::F1, FReg::F0);
+        a.fload(FReg::F2, Mem::bi(kR1, kJ, 3));  // target[i,j]
+        a.fsub(FReg::F2, FReg::F2, FReg::F1);
+        a.fstore(FReg::F2, Mem::bi(kR1, kJ, 3));
+      }
+      lj.close();
+    }
+    li.close();
+    a.iaddi(kR2, kR2, c.row_bytes());
+  }
+  lk.close();
+}
+
+/// Target tile at kB1 <- target * U(kB0)^-1 (upper-triangular solve from
+/// the right, right-looking: scale column k, then update columns j > k).
+void emit_col_solve(AsmBuilder& a, const LuCtx& c) {
+  a.imov(kR0, kB0);                       // U row k
+  CountedLoop lk(a, kK, 0, c.t);
+  {
+    a.fload(FReg::F1, Mem::bi(kR0, kK, 3));  // U[k,k]
+    a.fmovi(FReg::F0, 1.0);
+    a.fdiv(FReg::F0, FReg::F0, FReg::F1);
+    // Scale column k of the target (strided walk down the rows).
+    a.imov(kR1, kB1);
+    CountedLoop li(a, kI, 0, c.t);
+    {
+      a.fload(FReg::F2, Mem::bi(kR1, kK, 3));
+      a.fmul(FReg::F2, FReg::F2, FReg::F0);
+      a.fstore(FReg::F2, Mem::bi(kR1, kK, 3));
+      a.iaddi(kR1, kR1, c.row_bytes());
+    }
+    li.close();
+    // Update columns j > k: target[:,j] -= target[:,k] * U[k,j].
+    TriLoop lj(a, kJ, kK, c.t);
+    {
+      a.fload(FReg::F3, Mem::bi(kR0, kJ, 3));  // U[k,j]
+      a.imov(kR1, kB1);
+      CountedLoop li2(a, kI, 0, c.t);
+      {
+        a.fload(FReg::F4, Mem::bi(kR1, kK, 3));  // target[i,k]
+        a.fmul(FReg::F4, FReg::F4, FReg::F3);
+        a.fload(FReg::F5, Mem::bi(kR1, kJ, 3));  // target[i,j]
+        a.fsub(FReg::F5, FReg::F5, FReg::F4);
+        a.fstore(FReg::F5, Mem::bi(kR1, kJ, 3));
+        a.iaddi(kR1, kR1, c.row_bytes());
+      }
+      li2.close();
+    }
+    lj.close();
+    a.iaddi(kR0, kR0, c.row_bytes());
+  }
+  lk.close();
+}
+
+/// Trailing update: tile(kB2) -= tile(kB0 = left) * tile(kB1 = top).
+void emit_trailing_update(AsmBuilder& a, const LuCtx& c) {
+  a.imov(kR0, kB0);  // left row i
+  a.imov(kR1, kB2);  // target row i
+  CountedLoop li(a, kI, 0, c.t);
+  {
+    a.imov(kR2, kB1);  // top row k
+    CountedLoop lk(a, kK, 0, c.t);
+    {
+      a.fload(FReg::F0, Mem::bi(kR0, kK, 3));  // left[i,k]
+      CountedLoop lj(a, kJ, 0, c.t, 2);
+      {
+        a.fload(FReg::F1, Mem::bi(kR2, kJ, 3));
+        a.fmul(FReg::F1, FReg::F1, FReg::F0);
+        a.fload(FReg::F2, Mem::bi(kR1, kJ, 3));
+        a.fsub(FReg::F2, FReg::F2, FReg::F1);
+        a.fstore(FReg::F2, Mem::bi(kR1, kJ, 3));
+        a.fload(FReg::F1, Mem::bi(kR2, kJ, 3 /*scale*/, 8));
+        a.fmul(FReg::F1, FReg::F1, FReg::F0);
+        a.fload(FReg::F2, Mem::bi(kR1, kJ, 3, 8));
+        a.fsub(FReg::F2, FReg::F2, FReg::F1);
+        a.fstore(FReg::F2, Mem::bi(kR1, kJ, 3, 8));
+      }
+      lj.close();
+      a.iaddi(kR2, kR2, c.row_bytes());
+    }
+    lk.close();
+    a.iaddi(kR0, kR0, c.row_bytes());
+    a.iaddi(kR1, kR1, c.row_bytes());
+  }
+  li.close();
+}
+
+/// Prefetches the tile at (ti, tj) element by element with full address
+/// computation per element (the paper's LU prefetcher profile: as many
+/// retired instructions as the worker, dominated by address arithmetic).
+void emit_prefetch_tile(AsmBuilder& a, const LuCtx& c, IReg ti, IReg tj) {
+  emit_lu_tile_base(a, c, kB0, ti, tj);
+  CountedLoop li(a, kI, 0, c.t);
+  {
+    CountedLoop lj(a, kJ, 0, c.t);
+    {
+      a.ishli(kS0, kI, c.log2n + 3);
+      a.iadd(kS0, kS0, kB0);
+      a.ishli(kS1, kJ, 3);
+      a.iadd(kS0, kS0, kS1);
+      a.prefetch(Mem::bd(kS0, 0), /*to_l1=*/true);
+    }
+    lj.close();
+  }
+  li.close();
+}
+
+/// Tile loop from kk+1 to NT over register `idx`.
+struct TileTriLoop {
+  TileTriLoop(AsmBuilder& a, const LuCtx& c, IReg idx) : a_(a), nt_(c.nt) {
+    a_.iaddi(idx, kKk, 1);
+    idx_ = idx;
+    top_ = a_.here();
+    done_ = a_.label();
+    a_.bri(BrCond::kGe, idx, nt_, done_);
+  }
+  void close() {
+    a_.iaddi(idx_, idx_, 1);
+    a_.jmp(top_);
+    a_.bind(done_);
+  }
+  AsmBuilder& a_;
+  int64_t nt_;
+  IReg idx_;
+  Label top_, done_;
+};
+
+/// Emits "skip unless (value of reg) has parity `tid`": used by the coarse
+/// variant to split panel/trailing tiles between the threads.
+struct ParityGuard {
+  ParityGuard(AsmBuilder& a, IReg reg, int tid) : a_(a) {
+    skip_ = a_.label();
+    a_.iandi(kS1, reg, 1);
+    a_.bri(BrCond::kNe, kS1, tid, skip_);
+  }
+  void close() { a_.bind(skip_); }
+  AsmBuilder& a_;
+  Label skip_;
+};
+
+}  // namespace
+
+const char* name(LuMode m) {
+  switch (m) {
+    case LuMode::kSerial: return "serial";
+    case LuMode::kTlpCoarse: return "tlp-coarse";
+    case LuMode::kTlpPfetch: return "tlp-pfetch";
+  }
+  return "?";
+}
+
+LuWorkload::LuWorkload(const LuParams& p)
+    : p_(p),
+      name_(std::string("lu.") + kernels::name(p.mode) + ".n" +
+            std::to_string(p.n)) {
+  SMT_CHECK_MSG(p.tile >= 4 && p.tile <= p.n, "bad tile size");
+}
+
+void LuWorkload::setup(core::Machine& m) {
+  const size_t n = p_.n;
+  mem::MemoryLayout mem_layout(p_.mem_base);
+  base_ = mem_layout.alloc("A", n * n * 8, 64);
+
+  Rng rng(p_.seed);
+  std::vector<double> host = random_diag_dominant_matrix(n, rng);
+  m.memory().store_f64_array(base_, host);
+
+  // The reference result: the same tiled algorithm, host-side, so the
+  // comparison is bit-for-bit in exact arithmetic order... floating-point
+  // order differs from plain ref_lu only inside tiles, so run the identical
+  // tiled schedule here.
+  host_ref_ = host;
+  {
+    const size_t T = p_.tile, NT = n / T;
+    auto at = [&](size_t i, size_t j) -> double& {
+      return host_ref_[i * n + j];
+    };
+    for (size_t kk = 0; kk < NT; ++kk) {
+      const size_t k0 = kk * T;
+      // Diagonal factorization.
+      for (size_t k = k0; k < k0 + T; ++k) {
+        const double recip = 1.0 / at(k, k);
+        for (size_t i = k + 1; i < k0 + T; ++i) {
+          at(i, k) *= recip;
+          for (size_t j = k + 1; j < k0 + T; ++j) {
+            at(i, j) -= at(i, k) * at(k, j);
+          }
+        }
+      }
+      // Row panel: L^-1 * tile.
+      for (size_t jt = kk + 1; jt < NT; ++jt) {
+        const size_t j0 = jt * T;
+        for (size_t k = k0; k < k0 + T; ++k) {
+          for (size_t i = k + 1; i < k0 + T; ++i) {
+            const double l = at(i, k);
+            for (size_t j = j0; j < j0 + T; ++j) at(i, j) -= l * at(k, j);
+          }
+        }
+      }
+      // Column panel: tile * U^-1 (right-looking).
+      for (size_t it = kk + 1; it < NT; ++it) {
+        const size_t i0 = it * T;
+        for (size_t k = k0; k < k0 + T; ++k) {
+          const double recip = 1.0 / at(k, k);
+          for (size_t i = i0; i < i0 + T; ++i) at(i, k) *= recip;
+          for (size_t j = k + 1; j < k0 + T; ++j) {
+            const double u = at(k, j);
+            for (size_t i = i0; i < i0 + T; ++i) at(i, j) -= at(i, k) * u;
+          }
+        }
+      }
+      // Trailing update.
+      for (size_t it = kk + 1; it < NT; ++it) {
+        for (size_t jt = kk + 1; jt < NT; ++jt) {
+          const size_t i0 = it * T, j0 = jt * T;
+          for (size_t i = i0; i < i0 + T; ++i) {
+            for (size_t k = k0; k < k0 + T; ++k) {
+              const double l = at(i, k);
+              for (size_t j = j0; j < j0 + T; ++j) at(i, j) -= l * at(k, j);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  LuCtx ctx;
+  ctx.base = base_;
+  ctx.n = static_cast<int64_t>(n);
+  ctx.t = static_cast<int64_t>(p_.tile);
+  ctx.nt = static_cast<int64_t>(n / p_.tile);
+  ctx.log2n = log2_exact(n);
+  ctx.log2t = log2_exact(p_.tile);
+
+  const bool coarse = p_.mode == LuMode::kTlpCoarse;
+  const bool pfetch = p_.mode == LuMode::kTlpPfetch;
+
+  if (coarse || pfetch) {
+    sync_layout_ = std::make_unique<mem::MemoryLayout>(p_.sync_base);
+    barrier_ = std::make_unique<sync::TwoThreadBarrier>(*sync_layout_,
+                                                        name_ + ".bar");
+  }
+
+  auto emit_barrier = [&](AsmBuilder& a, int tid, bool sleeper) {
+    if (p_.halt_barriers && pfetch) {
+      if (sleeper) {
+        barrier_->emit_wait_sleeper(a, tid, kEpoch, kSync);
+      } else {
+        barrier_->emit_wait_waker(a, tid, kEpoch, kSync, p_.spin);
+      }
+    } else {
+      barrier_->emit_wait(a, tid, kEpoch, kSync, p_.spin);
+    }
+  };
+
+  programs_.clear();
+
+  // --- Computation program (serial; coarse threads; pfetch worker) -------
+  // `tid` < 0 means "run everything, no barriers" (serial). For coarse,
+  // each thread runs the kk loop with parity-guarded panel/trailing tiles
+  // and a barrier after each phase. For pfetch, the worker (tid 0) runs
+  // everything, with a barrier before each phase.
+  auto build_compute = [&](int tid, bool with_barriers,
+                           bool partitioned) -> isa::Program {
+    AsmBuilder a(name_ + (tid >= 0 ? ".t" + std::to_string(tid) : ""));
+    if (with_barriers) barrier_->emit_init(a, kEpoch);
+    CountedLoop lkk(a, kKk, 0, ctx.nt);
+    {
+      // Phase 0: diagonal tile (thread 0 / serial).
+      if (with_barriers) emit_barrier(a, tid, /*sleeper=*/false);
+      if (!partitioned || tid == 0) {
+        emit_lu_tile_base(a, ctx, kB0, kKk, kKk);
+        emit_diag_factor(a, ctx);
+      }
+      if (with_barriers && partitioned) {
+        emit_barrier(a, tid, /*sleeper=*/false);
+      }
+
+      // Phase 1: panels.
+      if (with_barriers && !partitioned) {
+        emit_barrier(a, tid, /*sleeper=*/false);
+      }
+      {
+        TileTriLoop ljt(a, ctx, kT1);
+        if (partitioned) {
+          ParityGuard g(a, kT1, tid);
+          emit_lu_tile_base(a, ctx, kB0, kKk, kKk);
+          emit_lu_tile_base(a, ctx, kB1, kKk, kT1);
+          emit_row_solve(a, ctx);
+          g.close();
+        } else {
+          emit_lu_tile_base(a, ctx, kB0, kKk, kKk);
+          emit_lu_tile_base(a, ctx, kB1, kKk, kT1);
+          emit_row_solve(a, ctx);
+        }
+        ljt.close();
+        TileTriLoop lit(a, ctx, kT1);
+        if (partitioned) {
+          ParityGuard g(a, kT1, tid);
+          emit_lu_tile_base(a, ctx, kB0, kKk, kKk);
+          emit_lu_tile_base(a, ctx, kB1, kT1, kKk);
+          emit_col_solve(a, ctx);
+          g.close();
+        } else {
+          emit_lu_tile_base(a, ctx, kB0, kKk, kKk);
+          emit_lu_tile_base(a, ctx, kB1, kT1, kKk);
+          emit_col_solve(a, ctx);
+        }
+        lit.close();
+      }
+      if (with_barriers) emit_barrier(a, tid, /*sleeper=*/false);
+
+      // Phase 2: trailing update.
+      {
+        TileTriLoop lit(a, ctx, kT1);
+        TileTriLoop ljt(a, ctx, kT2);
+        if (partitioned) {
+          a.iadd(kS1, kT1, kT2);  // parity of it+jt splits the tiles
+          ParityGuard g(a, kS1, tid);
+          emit_lu_tile_base(a, ctx, kB0, kT1, kKk);
+          emit_lu_tile_base(a, ctx, kB1, kKk, kT2);
+          emit_lu_tile_base(a, ctx, kB2, kT1, kT2);
+          emit_trailing_update(a, ctx);
+          g.close();
+        } else {
+          emit_lu_tile_base(a, ctx, kB0, kT1, kKk);
+          emit_lu_tile_base(a, ctx, kB1, kKk, kT2);
+          emit_lu_tile_base(a, ctx, kB2, kT1, kT2);
+          emit_trailing_update(a, ctx);
+        }
+        ljt.close();
+        lit.close();
+      }
+      // No barrier after the trailing phase: the next step's phase-0
+      // barrier provides the ordering, and after the last step the
+      // threads simply exit.
+    }
+    lkk.close();
+    a.exit();
+    return a.take();
+  };
+
+  switch (p_.mode) {
+    case LuMode::kSerial:
+      programs_.push_back(
+          build_compute(-1, /*with_barriers=*/false, /*partitioned=*/false));
+      break;
+
+    case LuMode::kTlpCoarse:
+      programs_.push_back(
+          build_compute(0, /*with_barriers=*/true, /*partitioned=*/true));
+      programs_.push_back(
+          build_compute(1, /*with_barriers=*/true, /*partitioned=*/true));
+      break;
+
+    case LuMode::kTlpPfetch: {
+      // Worker: serial schedule with a barrier before each phase.
+      programs_.push_back(
+          build_compute(0, /*with_barriers=*/true, /*partitioned=*/false));
+      // Prefetcher: stays one phase ahead. While the worker runs phase p of
+      // step kk, the prefetcher fetches the tiles of the next phase.
+      AsmBuilder a(name_ + ".pfetch");
+      barrier_->emit_init(a, kEpoch);
+      // Ahead of the loop: the first diagonal tile.
+      a.imovi(kT1, 0);
+      emit_prefetch_tile(a, ctx, kT1, kT1);
+      CountedLoop lkk(a, kKk, 0, ctx.nt);
+      {
+        // Worker starts phase 0 (diag) -> prefetch the panels.
+        emit_barrier(a, 1, /*sleeper=*/true);
+        {
+          TileTriLoop ljt(a, ctx, kT1);
+          emit_prefetch_tile(a, ctx, kKk, kT1);
+          ljt.close();
+          TileTriLoop lit(a, ctx, kT1);
+          emit_prefetch_tile(a, ctx, kT1, kKk);
+          lit.close();
+        }
+        // Worker starts phase 1 (panels) -> prefetch the trailing tiles.
+        emit_barrier(a, 1, /*sleeper=*/true);
+        {
+          TileTriLoop lit(a, ctx, kT1);
+          TileTriLoop ljt(a, ctx, kT2);
+          emit_prefetch_tile(a, ctx, kT1, kT2);
+          ljt.close();
+          lit.close();
+        }
+        // Worker starts phase 2 (trailing) -> prefetch the next diag tile.
+        emit_barrier(a, 1, /*sleeper=*/true);
+        {
+          Label skip = a.label();
+          a.iaddi(kT1, kKk, 1);
+          a.bri(BrCond::kGe, kT1, ctx.nt, skip);
+          emit_prefetch_tile(a, ctx, kT1, kT1);
+          a.bind(skip);
+        }
+      }
+      lkk.close();
+      a.exit();
+      programs_.push_back(a.take());
+      break;
+    }
+  }
+}
+
+std::vector<isa::Program> LuWorkload::programs() const { return programs_; }
+
+bool LuWorkload::verify(const core::Machine& m) const {
+  const size_t n = p_.n;
+  for (size_t i = 0; i < n * n; ++i) {
+    const double got = m.memory().read_f64(base_ + 8 * i);
+    if (rel_err(got, host_ref_[i]) > 1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace smt::kernels

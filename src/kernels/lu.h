@@ -1,0 +1,71 @@
+// Tiled LU decomposition (paper §5.1.ii).
+//
+// In-place, pivot-free, right-looking tiled LU on a row-major n x n matrix
+// (diagonally dominant inputs keep it stable). Each tile step kk has the
+// paper's three computation phases, determined by inter-tile dependences:
+//
+//   phase 0  factor the diagonal tile (kk,kk)
+//   phase 1  panel solves: row tiles (kk, jt>kk) through L(kk,kk)^-1 and
+//            column tiles (it>kk, kk) through U(kk,kk)^-1
+//   phase 2  trailing update: A(it,jt) -= A(it,kk) * A(kk,jt)
+//
+// Variants:
+//   kSerial      one thread
+//   kTlpCoarse   panel and trailing tiles split between the threads by
+//                parity, with a barrier after each phase (the diagonal
+//                factorization runs on thread 0)
+//   kTlpPfetch   worker runs the serial code; the sibling prefetches the
+//                next phase's tiles into L1 ("the prefetcher thread fills
+//                part of the L1 cache with the next tile to be factorized"),
+//                with per-element address computation — which is why, as in
+//                the paper, the LU prefetcher retires about as many
+//                instructions as the worker
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "mem/sim_memory.h"
+#include "sync/primitives.h"
+
+namespace smt::kernels {
+
+enum class LuMode { kSerial, kTlpCoarse, kTlpPfetch };
+
+const char* name(LuMode m);
+
+struct LuParams {
+  size_t n = 64;     // matrix order (power of two)
+  size_t tile = 16;  // tile order (power of two)
+  LuMode mode = LuMode::kSerial;
+  uint64_t seed = 7;
+  sync::SpinKind spin = sync::SpinKind::kPause;
+  bool halt_barriers = false;
+  Addr mem_base = 0x10000;   ///< data window base (see MatMulParams)
+  Addr sync_base = 0x8000;
+};
+
+class LuWorkload : public core::Workload {
+ public:
+  explicit LuWorkload(const LuParams& p);
+
+  const std::string& name() const override { return name_; }
+  void setup(core::Machine& m) override;
+  std::vector<isa::Program> programs() const override;
+  bool verify(const core::Machine& m) const override;
+
+  const LuParams& params() const { return p_; }
+
+ private:
+  LuParams p_;
+  std::string name_;
+  Addr base_ = 0;
+  std::vector<double> host_ref_;  // expected factorization
+  std::vector<isa::Program> programs_;
+  std::unique_ptr<mem::MemoryLayout> sync_layout_;
+  std::unique_ptr<sync::TwoThreadBarrier> barrier_;
+};
+
+}  // namespace smt::kernels

@@ -1,0 +1,331 @@
+#include "kernels/matmul.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "kernels/emit_util.h"
+#include "kernels/reference.h"
+
+namespace smt::kernels {
+
+using isa::AsmBuilder;
+using isa::BrCond;
+using isa::FReg;
+using isa::IReg;
+using isa::Label;
+using isa::Mem;
+
+namespace {
+
+// Register conventions for all MM variants.
+//
+//   r0 = it   r1 = jt   r2 = kt        (tile indices)
+//   r3 = i    r4 = k    r5 = j         (intra-tile indices)
+//   r6 = A tile base    r7 = B tile base    r8 = C tile base
+//   r9 = A row base     r10 = C row base    r11 = B row base
+//   r12, r13 = scratch offsets
+//   r14 = sync scratch  r15 = barrier sense
+//   f0 = a, f1 = b, f2 = c
+constexpr IReg kIt = IReg::R0, kJt = IReg::R1, kKt = IReg::R2;
+constexpr IReg kI = IReg::R3, kK = IReg::R4, kJ = IReg::R5;
+constexpr IReg kAT = IReg::R6, kBT = IReg::R7, kCT = IReg::R8;
+constexpr IReg kARow = IReg::R9, kCRow = IReg::R10, kBRow = IReg::R11;
+constexpr IReg kS0 = IReg::R12, kS1 = IReg::R13;
+constexpr IReg kSync = IReg::R14, kSense = IReg::R15;
+
+struct MmCtx {
+  const BlockedLayout* layout;
+  Addr a_base, b_base, c_base;
+  int log2nt;    // log2(tiles per dimension)
+  int log2t;     // log2(tile order)
+  int64_t nt;    // tiles per dimension
+  int64_t t;     // tile order
+};
+
+/// dst = array_base | (((ti << log2nt) | tj) << (2*log2t + 3)).
+/// Array bases are aligned to the matrix size, so OR == ADD — this is the
+/// binary-mask "fast indexing" of Blocked Array Layouts.
+void emit_tile_base(AsmBuilder& a, const MmCtx& c, IReg dst, IReg ti, IReg tj,
+                    Addr array_base) {
+  a.ishli(dst, ti, c.log2nt);
+  a.ior(dst, dst, tj);
+  a.ishli(dst, dst, 2 * c.log2t + 3);
+  a.iori(dst, dst, static_cast<int64_t>(array_base));
+}
+
+/// One C[i,j] += A[i,k] * B[k,j] element update. Expects kS1 = j*8 and the
+/// three row-base registers valid. The A element is re-loaded per element,
+/// as in the paper's layout-optimized code (whose dynamic mix is ~39%
+/// loads).
+void emit_mm_element(AsmBuilder& a) {
+  a.fload(FReg::F0, Mem::bi(kARow, kK, 3));  // a[i,k]
+  a.ior(kS0, kBRow, kS1);                    // &b[k,j]
+  a.fload(FReg::F1, Mem::bd(kS0, 0));
+  a.fmul(FReg::F1, FReg::F1, FReg::F0);
+  a.ior(kS0, kCRow, kS1);                    // &c[i,j]
+  a.fload(FReg::F2, Mem::bd(kS0, 0));
+  a.fadd(FReg::F2, FReg::F2, FReg::F1);
+  a.fstore(FReg::F2, Mem::bd(kS0, 0));
+}
+
+/// Multiplies the tiles at kAT/kBT into kCT. `jstart`/`jstep` implement the
+/// fine-grained circular element assignment (serial: 0/1, thread t of the
+/// fine variants: t/2). The serial path unrolls j by two.
+void emit_tile_multiply(AsmBuilder& a, const MmCtx& c, int jstart, int jstep) {
+  const int64_t row_shift = c.log2t + 3;
+  CountedLoop li(a, kI, 0, c.t);
+  {
+    a.ishli(kS0, kI, row_shift);
+    a.ior(kARow, kAT, kS0);
+    a.ior(kCRow, kCT, kS0);
+    CountedLoop lk(a, kK, 0, c.t);
+    {
+      a.ishli(kS0, kK, row_shift);
+      a.ior(kBRow, kBT, kS0);
+      if (jstep == 1) {
+        CountedLoop lj(a, kJ, jstart, c.t, 2);
+        a.ishli(kS1, kJ, 3);
+        emit_mm_element(a);
+        a.iaddi(kS1, kS1, 8);
+        emit_mm_element(a);
+        lj.close();
+      } else {
+        CountedLoop lj(a, kJ, jstart, c.t, jstep);
+        a.ishli(kS1, kJ, 3);
+        emit_mm_element(a);
+        lj.close();
+      }
+    }
+    lk.close();
+  }
+  li.close();
+}
+
+/// The kt loop: C tile (it,jt) += sum over kt of A(it,kt)*B(kt,jt).
+void emit_c_tile(AsmBuilder& a, const MmCtx& c, int jstart, int jstep) {
+  emit_tile_base(a, c, kCT, kIt, kJt, c.c_base);
+  CountedLoop lkt(a, kKt, 0, c.nt);
+  {
+    emit_tile_base(a, c, kAT, kIt, kKt, c.a_base);
+    emit_tile_base(a, c, kBT, kKt, kJt, c.b_base);
+    emit_tile_multiply(a, c, jstart, jstep);
+  }
+  lkt.close();
+}
+
+/// Prefetches all A/B tiles of the precomputation span at tile indices
+/// (ti, tj): the A tile row A(ti,*) and B tile column B(*,tj) — the data
+/// the worker's kt loop will stream through. Uses kKt and kJ as loop
+/// registers, kAT/kBT as scratch. `ti`/`tj` are parameters so the caller
+/// can aim at the *next* span while its own loop indices name the current
+/// one.
+void emit_prefetch_span(AsmBuilder& a, const MmCtx& c, IReg ti, IReg tj) {
+  const int64_t tile_bytes = c.t * c.t * 8;
+  CountedLoop lkt(a, kKt, 0, c.nt);
+  {
+    emit_tile_base(a, c, kAT, ti, kKt, c.a_base);
+    CountedLoop ll(a, kJ, 0, tile_bytes, 64);
+    a.prefetch(Mem::bi(kAT, kJ, 0));
+    ll.close();
+    emit_tile_base(a, c, kBT, kKt, tj, c.b_base);
+    CountedLoop l2(a, kJ, 0, tile_bytes, 64);
+    a.prefetch(Mem::bi(kBT, kJ, 0));
+    l2.close();
+  }
+  lkt.close();
+}
+
+void emit_barrier(AsmBuilder& a, const MatMulParams& p,
+                  const sync::TwoThreadBarrier& bar, int tid, bool sleeper) {
+  if (p.halt_barriers) {
+    if (sleeper) {
+      bar.emit_wait_sleeper(a, tid, kSense, kSync);
+    } else {
+      bar.emit_wait_waker(a, tid, kSense, kSync, p.spin);
+    }
+  } else {
+    bar.emit_wait(a, tid, kSense, kSync, p.spin);
+  }
+}
+
+}  // namespace
+
+const char* name(MmMode m) {
+  switch (m) {
+    case MmMode::kSerial: return "serial";
+    case MmMode::kTlpFine: return "tlp-fine";
+    case MmMode::kTlpCoarse: return "tlp-coarse";
+    case MmMode::kTlpPfetch: return "tlp-pfetch";
+    case MmMode::kTlpPfetchWork: return "tlp-pfetch+work";
+  }
+  return "?";
+}
+
+MatMulWorkload::MatMulWorkload(const MatMulParams& p)
+    : p_(p),
+      name_(std::string("mm.") + kernels::name(p.mode) + ".n" +
+            std::to_string(p.n)),
+      layout_(p.n, p.tile) {
+  SMT_CHECK_MSG(p.tile >= 4 && p.tile <= p.n, "bad tile size");
+}
+
+uint64_t MatMulWorkload::flops() const {
+  return 2ull * p_.n * p_.n * p_.n;
+}
+
+void MatMulWorkload::setup(core::Machine& m) {
+  const size_t n = p_.n;
+  const size_t words = n * n;
+  // Power-of-two array alignment makes base|offset == base+offset, the
+  // precondition of the mask-indexing scheme.
+  mem::MemoryLayout mem_layout(p_.mem_base);
+  a_base_ = mem_layout.alloc("A", words * 8, words * 8);
+  b_base_ = mem_layout.alloc("B", words * 8, words * 8);
+  c_base_ = mem_layout.alloc("C", words * 8, words * 8);
+
+  Rng rng(p_.seed);
+  host_a_ = random_matrix(n, rng);
+  host_b_ = random_matrix(n, rng);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      m.memory().write_f64(a_base_ + 8 * layout_.offset(i, j),
+                           host_a_[i * n + j]);
+      m.memory().write_f64(b_base_ + 8 * layout_.offset(i, j),
+                           host_b_[i * n + j]);
+    }
+  }
+  ref_matmul(host_a_, host_b_, host_c_, n);
+
+  MmCtx ctx;
+  ctx.layout = &layout_;
+  ctx.a_base = a_base_;
+  ctx.b_base = b_base_;
+  ctx.c_base = c_base_;
+  ctx.log2t = layout_.log2t();
+  ctx.log2nt = layout_.log2n() - layout_.log2t();
+  ctx.nt = static_cast<int64_t>(layout_.tiles_per_dim());
+  ctx.t = static_cast<int64_t>(p_.tile);
+  const int64_t num_spans = ctx.nt * ctx.nt;
+
+  programs_.clear();
+  switch (p_.mode) {
+    case MmMode::kSerial: {
+      AsmBuilder a(name_);
+      CountedLoop lit(a, kIt, 0, ctx.nt);
+      CountedLoop ljt(a, kJt, 0, ctx.nt);
+      emit_c_tile(a, ctx, 0, 1);
+      ljt.close();
+      lit.close();
+      a.exit();
+      programs_.push_back(a.take());
+      break;
+    }
+
+    case MmMode::kTlpFine: {
+      for (int tid = 0; tid < 2; ++tid) {
+        AsmBuilder a(name_ + ".t" + std::to_string(tid));
+        CountedLoop lit(a, kIt, 0, ctx.nt);
+        CountedLoop ljt(a, kJt, 0, ctx.nt);
+        emit_c_tile(a, ctx, tid, 2);
+        ljt.close();
+        lit.close();
+        a.exit();
+        programs_.push_back(a.take());
+      }
+      break;
+    }
+
+    case MmMode::kTlpCoarse: {
+      for (int tid = 0; tid < 2; ++tid) {
+        AsmBuilder a(name_ + ".t" + std::to_string(tid));
+        CountedLoop lit(a, kIt, 0, ctx.nt);
+        CountedLoop ljt(a, kJt, 0, ctx.nt);
+        // Skip tiles whose linear index parity is not ours.
+        Label skip = a.label();
+        a.ishli(kS0, kIt, ctx.log2nt);
+        a.ior(kS0, kS0, kJt);
+        a.iandi(kS0, kS0, 1);
+        a.bri(BrCond::kNe, kS0, tid, skip);
+        emit_c_tile(a, ctx, 0, 1);
+        a.bind(skip);
+        ljt.close();
+        lit.close();
+        a.exit();
+        programs_.push_back(a.take());
+      }
+      break;
+    }
+
+    case MmMode::kTlpPfetch:
+    case MmMode::kTlpPfetchWork: {
+      const bool hybrid = p_.mode == MmMode::kTlpPfetchWork;
+      sync_layout_ = std::make_unique<mem::MemoryLayout>(p_.sync_base);
+      barrier_ = std::make_unique<sync::TwoThreadBarrier>(*sync_layout_,
+                                                          name_ + ".bar");
+      // Thread 0: computation. Pure SPR: the whole workload; hybrid: the
+      // even fine-grained share. One barrier per span (= one C tile).
+      {
+        AsmBuilder a(name_ + ".worker");
+        barrier_->emit_init(a, kSense);
+        CountedLoop lit(a, kIt, 0, ctx.nt);
+        CountedLoop ljt(a, kJt, 0, ctx.nt);
+        emit_barrier(a, p_, *barrier_, 0, /*sleeper=*/false);
+        emit_c_tile(a, ctx, 0, hybrid ? 2 : 1);
+        ljt.close();
+        lit.close();
+        a.exit();
+        programs_.push_back(a.take());
+      }
+      // Thread 1: precomputation (plus the odd work share when hybrid).
+      // kARow/kCRow double as "next span" tile indices here — they are
+      // free between tile multiplies.
+      {
+        AsmBuilder a(name_ + (hybrid ? ".pfetch+work" : ".pfetch"));
+        barrier_->emit_init(a, kSense);
+        // Prefetch span 0 before the loop, unthrottled.
+        a.imovi(kARow, 0);
+        a.imovi(kCRow, 0);
+        emit_prefetch_span(a, ctx, kARow, kCRow);
+        CountedLoop lit(a, kIt, 0, ctx.nt);
+        CountedLoop ljt(a, kJt, 0, ctx.nt);
+        {
+          emit_barrier(a, p_, *barrier_, 1, /*sleeper=*/true);
+          // Derive the linear index of span e+1 and prefetch it.
+          Label skip = a.label();
+          a.ishli(kS0, kIt, ctx.log2nt);
+          a.ior(kS0, kS0, kJt);
+          a.iaddi(kS0, kS0, 1);
+          a.bri(BrCond::kGe, kS0, num_spans, skip);
+          a.ishri(kARow, kS0, ctx.log2nt);
+          a.iandi(kCRow, kS0, ctx.nt - 1);
+          emit_prefetch_span(a, ctx, kARow, kCRow);
+          a.bind(skip);
+          if (hybrid) emit_c_tile(a, ctx, 1, 2);
+        }
+        ljt.close();
+        lit.close();
+        a.exit();
+        programs_.push_back(a.take());
+      }
+      break;
+    }
+  }
+}
+
+std::vector<isa::Program> MatMulWorkload::programs() const {
+  return programs_;
+}
+
+bool MatMulWorkload::verify(const core::Machine& m) const {
+  const size_t n = p_.n;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const double got =
+          m.memory().read_f64(c_base_ + 8 * layout_.offset(i, j));
+      if (rel_err(got, host_c_[i * n + j]) > 1e-9) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace smt::kernels

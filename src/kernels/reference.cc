@@ -1,0 +1,258 @@
+#include "kernels/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace smt::kernels {
+
+std::vector<double> random_matrix(size_t n, Rng& rng, double lo, double hi) {
+  std::vector<double> m(n * n);
+  for (double& v : m) v = rng.next_double(lo, hi);
+  return m;
+}
+
+std::vector<double> random_diag_dominant_matrix(size_t n, Rng& rng) {
+  std::vector<double> m = random_matrix(n, rng, -1.0, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    m[i * n + i] = static_cast<double>(n) + rng.next_double(1.0, 2.0);
+  }
+  return m;
+}
+
+void ref_matmul(const std::vector<double>& a, const std::vector<double>& b,
+                std::vector<double>& c, size_t n) {
+  SMT_CHECK(a.size() == n * n && b.size() == n * n);
+  c.assign(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < n; ++k) {
+      const double aik = a[i * n + k];
+      for (size_t j = 0; j < n; ++j) {
+        c[i * n + j] += aik * b[k * n + j];
+      }
+    }
+  }
+}
+
+void ref_lu(std::vector<double>& a, size_t n) {
+  SMT_CHECK(a.size() == n * n);
+  for (size_t k = 0; k < n; ++k) {
+    const double pivot = a[k * n + k];
+    SMT_CHECK_MSG(std::fabs(pivot) > 1e-12, "zero pivot in pivot-free LU");
+    for (size_t i = k + 1; i < n; ++i) {
+      a[i * n + k] /= pivot;
+      const double lik = a[i * n + k];
+      for (size_t j = k + 1; j < n; ++j) {
+        a[i * n + j] -= lik * a[k * n + j];
+      }
+    }
+  }
+}
+
+SparseMatrix make_sparse_spd(size_t n, size_t nz_per_row, Rng& rng) {
+  // Collect a random symmetric off-diagonal pattern, then add a dominant
+  // diagonal. Duplicates within a row are merged by summing values.
+  std::vector<std::vector<std::pair<int64_t, double>>> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < nz_per_row; ++k) {
+      const auto j = static_cast<int64_t>(rng.next_below(n));
+      if (static_cast<size_t>(j) == i) continue;
+      const double v = rng.next_double(-1.0, 1.0);
+      rows[i].emplace_back(j, v);
+      rows[j].emplace_back(static_cast<int64_t>(i), v);  // symmetry
+    }
+  }
+
+  SparseMatrix m;
+  m.n = n;
+  m.rowptr.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    auto& row = rows[i];
+    std::sort(row.begin(), row.end());
+    // Merge duplicate columns.
+    std::vector<std::pair<int64_t, double>> merged;
+    for (const auto& [j, v] : row) {
+      if (!merged.empty() && merged.back().first == j) {
+        merged.back().second += v;
+      } else {
+        merged.emplace_back(j, v);
+      }
+    }
+    double offdiag_sum = 0.0;
+    for (const auto& [j, v] : merged) offdiag_sum += std::fabs(v);
+    // Dominant diagonal makes the symmetric matrix positive definite.
+    merged.emplace_back(static_cast<int64_t>(i), offdiag_sum + 1.0);
+    std::sort(merged.begin(), merged.end());
+    for (const auto& [j, v] : merged) {
+      m.colidx.push_back(j);
+      m.values.push_back(v);
+    }
+    m.rowptr[i + 1] = static_cast<int64_t>(m.colidx.size());
+  }
+  return m;
+}
+
+void ref_spmv(const SparseMatrix& a, const std::vector<double>& x,
+              std::vector<double>& y) {
+  SMT_CHECK(x.size() == a.n);
+  y.assign(a.n, 0.0);
+  for (size_t i = 0; i < a.n; ++i) {
+    double s = 0.0;
+    for (int64_t k = a.rowptr[i]; k < a.rowptr[i + 1]; ++k) {
+      s += a.values[k] * x[a.colidx[k]];
+    }
+    y[i] = s;
+  }
+}
+
+double ref_cg(const SparseMatrix& a, const std::vector<double>& x,
+              std::vector<double>& z, int iters) {
+  const size_t n = a.n;
+  z.assign(n, 0.0);
+  std::vector<double> r = x;
+  std::vector<double> p = r;
+  std::vector<double> q(n);
+
+  double rho = 0.0;
+  for (size_t i = 0; i < n; ++i) rho += r[i] * r[i];
+
+  for (int it = 0; it < iters; ++it) {
+    ref_spmv(a, p, q);
+    double pq = 0.0;
+    for (size_t i = 0; i < n; ++i) pq += p[i] * q[i];
+    const double alpha = rho / pq;
+    for (size_t i = 0; i < n; ++i) z[i] += alpha * p[i];
+    for (size_t i = 0; i < n; ++i) r[i] -= alpha * q[i];
+    double rho_new = 0.0;
+    for (size_t i = 0; i < n; ++i) rho_new += r[i] * r[i];
+    const double beta = rho_new / rho;
+    rho = rho_new;
+    for (size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  return rho;
+}
+
+BtLine make_bt_line(size_t cells, Rng& rng) {
+  BtLine line;
+  line.cells = cells;
+  line.data.resize(cells * BtLine::kWordsPerCell);
+  constexpr size_t B = kBtBlock;
+  for (size_t c = 0; c < cells; ++c) {
+    double* cell = line.cell(c);
+    double* a = cell;
+    double* b = cell + B * B;
+    double* cc = cell + 2 * B * B;
+    double* rhs = cell + 3 * B * B;
+    for (size_t i = 0; i < B * B; ++i) {
+      a[i] = rng.next_double(-0.1, 0.1);
+      b[i] = rng.next_double(-0.5, 0.5);
+      cc[i] = rng.next_double(-0.1, 0.1);
+    }
+    // Diagonal dominance of the diagonal block keeps pivot-free block
+    // elimination stable.
+    for (size_t i = 0; i < B; ++i) b[i * B + i] += 4.0;
+    for (size_t i = 0; i < B; ++i) rhs[i] = rng.next_double(-1.0, 1.0);
+  }
+  return line;
+}
+
+void ref_mat5_mul(const double* a, const double* b, double* c) {
+  constexpr size_t B = kBtBlock;
+  for (size_t i = 0; i < B; ++i) {
+    for (size_t j = 0; j < B; ++j) {
+      double s = 0.0;
+      for (size_t k = 0; k < B; ++k) s += a[i * B + k] * b[k * B + j];
+      c[i * B + j] = s;
+    }
+  }
+}
+
+void ref_mat5_vec(const double* a, const double* x, double* y) {
+  constexpr size_t B = kBtBlock;
+  for (size_t i = 0; i < B; ++i) {
+    double s = 0.0;
+    for (size_t k = 0; k < B; ++k) s += a[i * B + k] * x[k];
+    y[i] = s;
+  }
+}
+
+void ref_mat5_solve(const double* a, double* x, size_t ncols) {
+  // Solves A * X = X in place for X (ncols right-hand sides, row-major
+  // with stride ncols), by Gaussian elimination without pivoting.
+  constexpr size_t B = kBtBlock;
+  double lu[B * B];
+  std::memcpy(lu, a, sizeof lu);
+  // Factor.
+  for (size_t k = 0; k < B; ++k) {
+    const double pivot = lu[k * B + k];
+    SMT_CHECK_MSG(std::fabs(pivot) > 1e-12, "zero pivot in 5x5 solve");
+    for (size_t i = k + 1; i < B; ++i) {
+      lu[i * B + k] /= pivot;
+      for (size_t j = k + 1; j < B; ++j) {
+        lu[i * B + j] -= lu[i * B + k] * lu[k * B + j];
+      }
+    }
+  }
+  // Forward substitution (unit L).
+  for (size_t c = 0; c < ncols; ++c) {
+    for (size_t i = 0; i < B; ++i) {
+      double s = x[i * ncols + c];
+      for (size_t k = 0; k < i; ++k) s -= lu[i * B + k] * x[k * ncols + c];
+      x[i * ncols + c] = s;
+    }
+    // Back substitution.
+    for (size_t ii = B; ii-- > 0;) {
+      double s = x[ii * ncols + c];
+      for (size_t k = ii + 1; k < B; ++k) s -= lu[ii * B + k] * x[k * ncols + c];
+      x[ii * ncols + c] = s / lu[ii * B + ii];
+    }
+  }
+}
+
+void ref_bt_solve_line(BtLine& line) {
+  constexpr size_t B = kBtBlock;
+  const size_t n = line.cells;
+  SMT_CHECK(n >= 1);
+
+  // Forward elimination: for each cell i, eliminate the sub-diagonal block
+  // using the previous cell's (already reduced) diagonal:
+  //   B_i   <- B_i - A_i * Cprev'   (Cprev' = B_{i-1}^{-1} C_{i-1})
+  //   rhs_i <- rhs_i - A_i * rhsprev' (rhsprev' = B_{i-1}^{-1} rhs_{i-1})
+  // storing C_i' and rhs_i' back in place.
+  for (size_t i = 0; i < n; ++i) {
+    double* cell = line.cell(i);
+    double* a = cell;
+    double* b = cell + B * B;
+    double* c = cell + 2 * B * B;
+    double* rhs = cell + 3 * B * B;
+    if (i > 0) {
+      const double* prev = line.cell(i - 1);
+      const double* cp = prev + 2 * B * B;   // C' of previous cell
+      const double* rp = prev + 3 * B * B;   // rhs' of previous cell
+      double tmp[B * B];
+      ref_mat5_mul(a, cp, tmp);
+      for (size_t k = 0; k < B * B; ++k) b[k] -= tmp[k];
+      double tv[B];
+      ref_mat5_vec(a, rp, tv);
+      for (size_t k = 0; k < B; ++k) rhs[k] -= tv[k];
+    }
+    // Reduce: C' = B^{-1} C, rhs' = B^{-1} rhs.
+    ref_mat5_solve(b, c, B);
+    ref_mat5_solve(b, rhs, 1);
+  }
+
+  // Back substitution: x_i = rhs_i' - C_i' x_{i+1}.
+  for (size_t i = n - 1; i-- > 0;) {
+    double* cell = line.cell(i);
+    const double* c = cell + 2 * B * B;
+    double* rhs = cell + 3 * B * B;
+    const double* xnext = line.cell(i + 1) + 3 * B * B;
+    double tv[B];
+    ref_mat5_vec(c, xnext, tv);
+    for (size_t k = 0; k < B; ++k) rhs[k] -= tv[k];
+  }
+}
+
+}  // namespace smt::kernels

@@ -1,0 +1,89 @@
+// Host-side reference implementations of every kernel, used to verify the
+// numerical results the simulated programs produce, and to generate input
+// data sets (matrices, sparse systems, grids).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace smt::kernels {
+
+/// Dense row-major n*n matrix filled with uniform values in [lo, hi).
+std::vector<double> random_matrix(size_t n, Rng& rng, double lo = -1.0,
+                                  double hi = 1.0);
+
+/// Row-major diagonally dominant matrix (stable for pivot-free LU).
+std::vector<double> random_diag_dominant_matrix(size_t n, Rng& rng);
+
+/// C = A * B (row-major, n*n).
+void ref_matmul(const std::vector<double>& a, const std::vector<double>& b,
+                std::vector<double>& c, size_t n);
+
+/// In-place LU factorization without pivoting (L unit-diagonal, stored
+/// below the diagonal; U on and above).
+void ref_lu(std::vector<double>& a, size_t n);
+
+// ---------------------------------------------------------------------------
+// Sparse system for CG (NAS-CG-like random pattern, symmetric positive
+// definite via diagonal shift).
+// ---------------------------------------------------------------------------
+
+struct SparseMatrix {
+  size_t n = 0;
+  std::vector<int64_t> rowptr;  // size n+1
+  std::vector<int64_t> colidx;  // size nnz
+  std::vector<double> values;   // size nnz
+  size_t nnz() const { return colidx.size(); }
+};
+
+/// Random sparse SPD matrix: `nz_per_row` off-diagonal entries per row at
+/// random columns (symmetrized), plus a dominant diagonal.
+SparseMatrix make_sparse_spd(size_t n, size_t nz_per_row, Rng& rng);
+
+/// y = A * x.
+void ref_spmv(const SparseMatrix& a, const std::vector<double>& x,
+              std::vector<double>& y);
+
+/// Conjugate gradient: solves A z = x from z = 0, `iters` iterations.
+/// Returns the final residual norm squared; `z` receives the solution.
+double ref_cg(const SparseMatrix& a, const std::vector<double>& x,
+              std::vector<double>& z, int iters);
+
+// ---------------------------------------------------------------------------
+// Block-tridiagonal (BT-like) 5x5 line systems.
+// ---------------------------------------------------------------------------
+
+inline constexpr size_t kBtBlock = 5;  // 5x5 blocks as in NAS BT
+
+/// One line system of `cells` cells: block tridiagonal matrix with 5x5
+/// blocks (A = sub-diagonal, B = diagonal, C = super-diagonal) and a
+/// 5-vector right-hand side per cell. Blocks are stored row-major,
+/// contiguous per cell: [A | B | C | rhs] = 25+25+25+5 doubles per cell.
+struct BtLine {
+  size_t cells = 0;
+  std::vector<double> data;  // cells * 80 doubles
+  static constexpr size_t kWordsPerCell = 3 * kBtBlock * kBtBlock + kBtBlock;
+
+  double* cell(size_t i) { return data.data() + i * kWordsPerCell; }
+  const double* cell(size_t i) const {
+    return data.data() + i * kWordsPerCell;
+  }
+};
+
+/// Generates a line with diagonally dominant blocks (stable pivot-free
+/// block elimination).
+BtLine make_bt_line(size_t cells, Rng& rng);
+
+/// Solves the line in place by block Thomas elimination: forward
+/// elimination with 5x5 block Gaussian solves, then back substitution.
+/// On return, each cell's rhs holds the solution vector.
+void ref_bt_solve_line(BtLine& line);
+
+// 5x5 dense helpers (shared by the reference solver and tests).
+void ref_mat5_mul(const double* a, const double* b, double* c);       // c = a*b
+void ref_mat5_vec(const double* a, const double* x, double* y);       // y = a*x
+void ref_mat5_solve(const double* a, double* x, size_t ncols);        // X <- A^-1 X (Gauss, no pivot)
+
+}  // namespace smt::kernels

@@ -1,0 +1,183 @@
+#include "mem/hierarchy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace smt::mem {
+
+CacheHierarchy::CacheHierarchy(const HierConfig& cfg)
+    : cfg_(cfg), l1_(cfg.l1), l2_(cfg.l2) {
+  SMT_CHECK(cfg.num_mshrs >= 1);
+  mshrs_.resize(cfg.num_mshrs);
+  for (auto& s : streams_) s.resize(cfg.hw_prefetch_streams);
+}
+
+void CacheHierarchy::hw_stream_observe(CpuId cpu, Addr line, Cycle now) {
+  auto& table = streams_[idx(cpu)];
+  const Addr line_bytes = static_cast<Addr>(cfg_.l2.line_bytes);
+  // Repeated misses to a line the stream already advanced past must not
+  // reallocate (they are merges/secondary misses on the same line).
+  for (const StreamEntry& s : table) {
+    if (s.valid && s.next_line == line + line_bytes) return;
+  }
+  for (StreamEntry& s : table) {
+    if (!s.valid || s.next_line != line) continue;
+    // Ascending stream hit: slide the window and fetch ahead.
+    s.next_line = line + line_bytes;
+    const int degree = s.confirmed ? 1 : cfg_.hw_prefetch_degree;
+    s.confirmed = true;
+    for (int d = 1; d <= degree; ++d) {
+      const Addr ahead = line + static_cast<Addr>(d) * line_bytes;
+      bool in_flight = false;
+      for (const Mshr& m : mshrs_) {
+        if (m.valid && m.line == ahead && m.ready > now) {
+          in_flight = true;
+          break;
+        }
+      }
+      if (in_flight || l2_.probe(ahead)) continue;
+      ++stats_[idx(cpu)].hw_prefetch_fills;
+      const Cycle l2_start = std::max(now, l2_free_);
+      l2_free_ = l2_start + cfg_.l2_cycles_per_access;
+      const Cache::AccessResult r2 = l2_.access(ahead, /*is_write=*/false);
+      if (r2.writeback) writeback(l2_start);
+      fetch_from_memory(ahead, l2_start);
+    }
+    return;
+  }
+  // No stream matched: allocate one (round-robin) anticipating line+1.
+  StreamEntry& s = table[stream_rr_[idx(cpu)]];
+  stream_rr_[idx(cpu)] = (stream_rr_[idx(cpu)] + 1) % table.size();
+  s.valid = true;
+  s.confirmed = false;
+  s.next_line = line + line_bytes;
+}
+
+void CacheHierarchy::reset_stats() {
+  stats_ = {};
+  for (auto& m : pc_misses_) m.clear();
+}
+
+void CacheHierarchy::writeback(Cycle now) {
+  // A dirty line leaving L2 occupies the bus for one line transfer but the
+  // requester does not wait for it.
+  bus_free_ = std::max(bus_free_, now) + cfg_.bus_cycles_per_line;
+}
+
+Cycle CacheHierarchy::fetch_from_memory(Addr line, Cycle now) {
+  // Merge with an in-flight fill of the same line.
+  for (const Mshr& m : mshrs_) {
+    if (m.valid && m.line == line && m.ready > now) return m.ready;
+  }
+  // Allocate an MSHR: a free one if available, otherwise wait for the
+  // earliest to retire (this is the memory-level-parallelism bound).
+  Mshr* slot = nullptr;
+  for (Mshr& m : mshrs_) {
+    if (!m.valid || m.ready <= now) {
+      slot = &m;
+      break;
+    }
+  }
+  Cycle start = now;
+  if (slot == nullptr) {
+    slot = &mshrs_[0];
+    for (Mshr& m : mshrs_) {
+      if (m.ready < slot->ready) slot = &m;
+    }
+    start = slot->ready;
+  }
+  // Serialize line transfers on the front-side bus.
+  const Cycle bus_start = std::max(start, bus_free_);
+  bus_free_ = bus_start + cfg_.bus_cycles_per_line;
+  const Cycle ready = bus_start + cfg_.mem_lat;
+  slot->line = line;
+  slot->ready = ready;
+  slot->valid = true;
+  return ready;
+}
+
+AccessOutcome CacheHierarchy::access(Addr a, bool is_write, CpuId cpu,
+                                     Cycle now, uint32_t pc) {
+  CpuStats& st = stats_[idx(cpu)];
+  ++st.accesses;
+
+  const Addr line = l1_.line_of(a);
+
+  // A line whose fill is still in flight is present in the cache state
+  // already (fills update state eagerly); route such accesses through the
+  // MSHR table first so they observe the true arrival time.
+  for (const Mshr& m : mshrs_) {
+    if (m.valid && m.line == line && m.ready > now) {
+      ++st.l1_misses;  // the data was not usable from L1 yet
+      // Keep the stream engine advancing even when the demand merges with
+      // an in-flight fill (it usually does once the stream is ahead).
+      if (cfg_.hw_stream_prefetch) hw_stream_observe(cpu, line, now);
+      return {.ready = m.ready, .served_by = ServedBy::kInFlight,
+              .l2_miss = false};
+    }
+  }
+
+  const Cache::AccessResult r1 = l1_.access(a, is_write);
+  if (r1.hit) {
+    return {.ready = now + cfg_.l1_hit_lat, .served_by = ServedBy::kL1,
+            .l2_miss = false};
+  }
+  ++st.l1_misses;
+  if (r1.writeback) {
+    // L1 victim written back into L2 (state only; no requester delay).
+    l2_.access(r1.evicted_line, /*is_write=*/true);
+  }
+
+  ++st.l2_accesses;
+  // The L2 port is a shared bandwidth resource: accesses from both logical
+  // processors (and prefetches) serialize on it.
+  const Cycle l2_start = std::max(now, l2_free_);
+  l2_free_ = l2_start + cfg_.l2_cycles_per_access;
+  const Cache::AccessResult r2 = l2_.access(a, is_write);
+  if (r2.hit) {
+    // Demand first, then let the stream engine fetch ahead.
+    if (cfg_.hw_stream_prefetch) hw_stream_observe(cpu, line, now);
+    return {.ready = l2_start + cfg_.l2_hit_lat, .served_by = ServedBy::kL2,
+            .l2_miss = false};
+  }
+  ++st.l2_misses;
+  if (!is_write) ++st.l2_read_misses;
+  if (track_pc_misses_) ++pc_misses_[idx(cpu)][pc];
+  if (r2.writeback) writeback(l2_start);
+
+  const Cycle ready = fetch_from_memory(line, l2_start);
+  if (cfg_.hw_stream_prefetch) hw_stream_observe(cpu, line, now);
+  return {.ready = ready, .served_by = ServedBy::kMemory, .l2_miss = true};
+}
+
+Cycle CacheHierarchy::prefetch(Addr a, bool to_l1, CpuId cpu, Cycle now) {
+  CpuStats& st = stats_[idx(cpu)];
+  ++st.prefetches;
+
+  const Addr line = l2_.line_of(a);
+
+  // Already in flight? Nothing more to do.
+  for (const Mshr& m : mshrs_) {
+    if (m.valid && m.line == line && m.ready > now) return m.ready;
+  }
+
+  Cycle ready = now + cfg_.l2_hit_lat;
+  if (!l2_.probe(a)) {
+    ++st.prefetch_fills;
+    const Cycle l2_start = std::max(now, l2_free_);
+    l2_free_ = l2_start + cfg_.l2_cycles_per_access;
+    const Cache::AccessResult r2 = l2_.access(a, /*is_write=*/false);
+    if (r2.writeback) writeback(l2_start);
+    ready = fetch_from_memory(line, l2_start);
+  } else {
+    l2_.access(a, /*is_write=*/false);  // refresh LRU
+  }
+  if (to_l1) {
+    const Cache::AccessResult r1 = l1_.access(a, /*is_write=*/false);
+    if (r1.writeback) l2_.access(r1.evicted_line, /*is_write=*/true);
+  }
+  return ready;
+}
+
+}  // namespace smt::mem

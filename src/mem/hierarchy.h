@@ -1,0 +1,138 @@
+// Timed two-level cache hierarchy shared by both logical processors.
+//
+// On a Hyper-Threading package, both logical CPUs share L1D and L2 of the
+// single physical core, so there is no coherence traffic to model — only
+// capacity/conflict interference and bus bandwidth, which are exactly the
+// effects the paper measures. Timing model:
+//
+//   L1 hit            : l1_hit_lat
+//   L1 miss / L2 hit  : l2_hit_lat
+//   L2 miss           : MSHR allocation + serialized bus transfer + mem_lat
+//
+// A finite MSHR file bounds memory-level parallelism; misses to a line that
+// is already in flight merge with the pending fill (and are not recounted
+// as bus-level misses, matching the paper's "L2 misses as seen by the bus
+// unit"). A dirty victim charges bus occupancy for its writeback.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/cache.h"
+
+namespace smt::mem {
+
+struct HierConfig {
+  CacheConfig l1{"L1D", 8 * 1024, 4, 64};
+  CacheConfig l2{"L2", 512 * 1024, 8, 64};
+  Cycle l1_hit_lat = 3;
+  Cycle l2_hit_lat = 18;
+  Cycle mem_lat = 230;
+  int num_mshrs = 8;
+  /// Front-side-bus occupancy per 64-byte line. A 533 MT/s x 8 B FSB under
+  /// a 2.8 GHz core moves ~1.5 B per core cycle, i.e. ~40 cycles per line;
+  /// this is the bandwidth wall that keeps SMT from helping the paper's
+  /// memory-bound kernels (both contexts share one bus).
+  Cycle bus_cycles_per_line = 40;
+  /// L2 port occupancy per access (hit or fill): the 256-bit L2 bus moves a
+  /// 64-byte line in 4 core cycles. Shared by both logical processors, it
+  /// caps the combined L1-miss rate SMT can sustain.
+  Cycle l2_cycles_per_access = 4;
+
+  /// Hardware stream prefetcher (Netburst fetched ahead on ascending
+  /// line streams). It covers the regular access patterns, which is why
+  /// software SPR only pays off for irregular, data-dependent loads — the
+  /// ones "traditionally difficult for hardware prefetchers" (paper §2).
+  bool hw_stream_prefetch = true;
+  int hw_prefetch_streams = 8;   // tracked streams per logical CPU
+  int hw_prefetch_degree = 2;    // lines fetched ahead on a stream hit
+};
+
+/// Which level served an access (for stats and tests).
+enum class ServedBy : uint8_t { kL1, kL2, kMemory, kInFlight };
+
+struct AccessOutcome {
+  Cycle ready = 0;            ///< cycle at which the data is usable
+  ServedBy served_by = ServedBy::kL1;
+  bool l2_miss = false;       ///< counted as a bus-level read miss
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const HierConfig& cfg);
+
+  /// A demand load/store issued by `cpu` at cycle `now`. `pc` is the static
+  /// instruction index used for delinquent-load attribution (pass 0 if
+  /// unknown). Stores are write-allocate: a store miss performs the same
+  /// fill as a load miss (the RFO read the paper's bus unit counts).
+  AccessOutcome access(Addr a, bool is_write, CpuId cpu, Cycle now,
+                       uint32_t pc = 0);
+
+  /// Non-binding software prefetch into L2 (and L1 if `to_l1`). Returns the
+  /// cycle the line lands; the prefetch instruction itself retires without
+  /// waiting for it.
+  Cycle prefetch(Addr a, bool to_l1, CpuId cpu, Cycle now);
+
+  struct CpuStats {
+    uint64_t accesses = 0;
+    uint64_t l1_misses = 0;
+    uint64_t l2_accesses = 0;
+    uint64_t l2_misses = 0;        // demand misses (loads + store RFOs)
+    uint64_t l2_read_misses = 0;   // demand load misses only
+    uint64_t prefetches = 0;
+    uint64_t prefetch_fills = 0;   // prefetches that actually missed L2
+    uint64_t hw_prefetch_fills = 0;  // lines fetched by the stream engine
+  };
+
+  const CpuStats& stats(CpuId cpu) const { return stats_[idx(cpu)]; }
+  void reset_stats();
+
+  /// Per-static-PC demand L2 miss counts (Valgrind-analog); enable before
+  /// running to pay the hashing cost only when profiling.
+  void set_track_pc_misses(bool on) { track_pc_misses_ = on; }
+  const std::unordered_map<uint32_t, uint64_t>& pc_l2_misses(CpuId cpu) const {
+    return pc_misses_[idx(cpu)];
+  }
+
+  const Cache& l1() const { return l1_; }
+  const Cache& l2() const { return l2_; }
+  const HierConfig& config() const { return cfg_; }
+
+ private:
+  struct Mshr {
+    Addr line = 0;
+    Cycle ready = 0;  // also serves as "free when <= now"
+    bool valid = false;
+  };
+
+  /// Starts (or merges into) a memory fetch of `line`; returns data-ready
+  /// cycle. Updates bus and MSHR state.
+  Cycle fetch_from_memory(Addr line, Cycle now);
+
+  void writeback(Cycle now);
+
+  /// Feeds the stream-prefetch engine with a demand L1 miss.
+  void hw_stream_observe(CpuId cpu, Addr line, Cycle now);
+
+  HierConfig cfg_;
+  Cache l1_;
+  Cache l2_;
+  std::vector<Mshr> mshrs_;
+  Cycle bus_free_ = 0;
+  Cycle l2_free_ = 0;  // L2 port occupancy (shared bandwidth)
+
+  struct StreamEntry {
+    Addr next_line = 0;
+    bool confirmed = false;  // needs one hit before fetching ahead
+    bool valid = false;
+  };
+  std::array<std::vector<StreamEntry>, kNumLogicalCpus> streams_;
+  std::array<size_t, kNumLogicalCpus> stream_rr_{};  // allocation cursor
+  bool track_pc_misses_ = false;
+  std::array<CpuStats, kNumLogicalCpus> stats_{};
+  std::array<std::unordered_map<uint32_t, uint64_t>, kNumLogicalCpus> pc_misses_;
+};
+
+}  // namespace smt::mem

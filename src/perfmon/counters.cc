@@ -1,0 +1,79 @@
+#include "perfmon/counters.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace smt::perfmon {
+
+namespace {
+constexpr const char* kEventNames[kNumEventValues] = {
+    "cycles_active",
+    "cycles_halted",
+    "instr_retired",
+    "uops_retired",
+    "branches_retired",
+    "loads_retired",
+    "stores_retired",
+    "fp_uops_retired",
+    "prefetches_retired",
+    "l1_misses",
+    "l2_accesses",
+    "l2_misses",
+    "l2_read_misses",
+    "resource_stall_cycles",
+    "store_buffer_stall_cycles",
+    "rob_stall_cycles",
+    "load_queue_stall_cycles",
+    "fetch_stall_cycles",
+    "uop_queue_full_cycles",
+    "dispatched_uops",
+    "issued_uops",
+    "machine_clears",
+    "pauses_executed",
+    "halt_transitions",
+    "ipis_sent",
+    "ipis_received",
+};
+}  // namespace
+
+const char* name(Event e) {
+  const auto i = static_cast<size_t>(e);
+  SMT_DCHECK(i < static_cast<size_t>(kNumEventValues));
+  return kEventNames[i];
+}
+
+Snapshot Snapshot::operator-(const Snapshot& rhs) const {
+  Snapshot out;
+  for (int c = 0; c < kNumLogicalCpus; ++c) {
+    for (int e = 0; e < kNumEventValues; ++e) {
+      SMT_DCHECK(v[c][e] >= rhs.v[c][e]);
+      out.v[c][e] = v[c][e] - rhs.v[c][e];
+    }
+  }
+  return out;
+}
+
+double PerfCounters::cpi(CpuId cpu) const {
+  const uint64_t instr = get(cpu, Event::kInstrRetired);
+  if (instr == 0) return 0.0;
+  return static_cast<double>(get(cpu, Event::kCyclesActive)) /
+         static_cast<double>(instr);
+}
+
+std::string PerfCounters::to_string() const {
+  std::string out;
+  char buf[128];
+  for (int e = 0; e < kNumEventValues; ++e) {
+    const uint64_t a = v_[0][e];
+    const uint64_t b = v_[1][e];
+    if (a == 0 && b == 0) continue;
+    std::snprintf(buf, sizeof buf, "%-28s cpu0=%-14llu cpu1=%llu\n",
+                  kEventNames[e], static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace smt::perfmon

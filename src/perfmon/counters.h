@@ -1,0 +1,62 @@
+// Per-logical-CPU event accumulation, snapshots and derived metrics.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.h"
+#include "perfmon/events.h"
+
+namespace smt::perfmon {
+
+/// Immutable copy of all counters at one instant; subtraction yields the
+/// events in an interval, the way the paper brackets each kernel phase.
+struct Snapshot {
+  std::array<std::array<uint64_t, kNumEventValues>, kNumLogicalCpus> v{};
+
+  uint64_t get(CpuId cpu, Event e) const {
+    return v[idx(cpu)][static_cast<int>(e)];
+  }
+  uint64_t total(Event e) const {
+    uint64_t t = 0;
+    for (const auto& cpu : v) t += cpu[static_cast<int>(e)];
+    return t;
+  }
+  Snapshot operator-(const Snapshot& rhs) const;
+};
+
+class PerfCounters {
+ public:
+  void add(CpuId cpu, Event e, uint64_t n = 1) {
+    v_[idx(cpu)][static_cast<int>(e)] += n;
+  }
+
+  uint64_t get(CpuId cpu, Event e) const {
+    return v_[idx(cpu)][static_cast<int>(e)];
+  }
+
+  uint64_t total(Event e) const {
+    uint64_t t = 0;
+    for (const auto& cpu : v_) t += cpu[static_cast<int>(e)];
+    return t;
+  }
+
+  void reset() { v_ = {}; }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.v = v_;
+    return s;
+  }
+
+  /// Cycles-per-instruction of one context over its active cycles.
+  double cpi(CpuId cpu) const;
+
+  /// Multi-line human-readable dump of all nonzero events.
+  std::string to_string() const;
+
+ private:
+  std::array<std::array<uint64_t, kNumEventValues>, kNumLogicalCpus> v_{};
+};
+
+}  // namespace smt::perfmon

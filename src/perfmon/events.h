@@ -1,0 +1,56 @@
+// Performance-monitoring event set.
+//
+// The paper extends Intel's HT-aware performance counters with a small
+// custom user-space library and reports three headline events per logical
+// processor: L2 read misses as seen by the bus unit, resource stall cycles
+// in the allocator waiting for store-buffer entries, and retired uops.
+// This module is the analogue: the simulator core raises these events with
+// logical-CPU qualification and PerfCounters accumulates them.
+#pragma once
+
+#include <cstdint>
+
+namespace smt::perfmon {
+
+enum class Event : uint8_t {
+  // Time
+  kCyclesActive,          ///< cycles this context was not halted
+  kCyclesHalted,          ///< cycles spent in the halt sleep state
+  // Retirement
+  kInstrRetired,
+  kUopsRetired,
+  kBranchesRetired,
+  kLoadsRetired,
+  kStoresRetired,
+  kFpUopsRetired,
+  kPrefetchesRetired,
+  // Memory system (demand accesses by this logical CPU)
+  kL1Misses,
+  kL2Accesses,
+  kL2Misses,              ///< loads + store RFOs missing L2
+  kL2ReadMisses,          ///< the paper's "L2 misses seen by the bus unit"
+  // Allocator stalls (counted once per stalled cycle, by blocking reason
+  // of the oldest blocked uop)
+  kResourceStallCycles,   ///< any allocator stall
+  kStoreBufferStallCycles,///< the paper's "resource stall cycles" metric
+  kRobStallCycles,
+  kLoadQueueStallCycles,
+  // Frontend
+  kFetchStallCycles,      ///< pause / machine-clear / uop-queue-full
+  kUopQueueFullCycles,
+  kDispatchedUops,
+  kIssuedUops,
+  // SMT-specific
+  kMachineClears,         ///< memory-order violations (spin-loop exits)
+  kPausesExecuted,
+  kHaltTransitions,
+  kIpisSent,
+  kIpisReceived,
+  kNumEvents,
+};
+
+inline constexpr int kNumEventValues = static_cast<int>(Event::kNumEvents);
+
+const char* name(Event e);
+
+}  // namespace smt::perfmon

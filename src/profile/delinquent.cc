@@ -1,0 +1,58 @@
+#include "profile/delinquent.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "isa/disasm.h"
+
+namespace smt::profile {
+
+std::vector<DelinquentLoad> find_delinquent_loads(
+    const mem::CacheHierarchy& hier, CpuId cpu, const isa::Program& prog,
+    double coverage) {
+  const auto& pc_misses = hier.pc_l2_misses(cpu);
+  uint64_t total = 0;
+  std::vector<DelinquentLoad> all;
+  all.reserve(pc_misses.size());
+  for (const auto& [pc, misses] : pc_misses) {
+    total += misses;
+    DelinquentLoad d;
+    d.pc = pc;
+    d.l2_misses = misses;
+    if (pc < prog.size()) d.disasm = isa::disasm(prog.at(pc));
+    all.push_back(std::move(d));
+  }
+  if (total == 0) return {};
+
+  std::sort(all.begin(), all.end(),
+            [](const DelinquentLoad& a, const DelinquentLoad& b) {
+              return a.l2_misses > b.l2_misses;
+            });
+
+  std::vector<DelinquentLoad> picked;
+  uint64_t covered = 0;
+  for (DelinquentLoad& d : all) {
+    d.share = static_cast<double>(d.l2_misses) / static_cast<double>(total);
+    if (static_cast<double>(covered) >=
+        coverage * static_cast<double>(total)) {
+      break;
+    }
+    covered += d.l2_misses;
+    picked.push_back(d);
+  }
+  return picked;
+}
+
+std::string report(const std::vector<DelinquentLoad>& loads) {
+  std::string out = "delinquent loads (pc, L2 misses, share):\n";
+  char buf[160];
+  for (const auto& d : loads) {
+    std::snprintf(buf, sizeof buf, "  pc=%-5u %-10llu %5.1f%%  %s\n", d.pc,
+                  static_cast<unsigned long long>(d.l2_misses),
+                  100.0 * d.share, d.disasm.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace smt::profile

@@ -1,0 +1,33 @@
+// Delinquent-load identification (the paper's Valgrind memory-profiling
+// step): ranks static load instructions by the demand L2 misses they cause,
+// so precomputation threads can be constructed from "the memory loads that
+// triggered the majority (92%-96%) of L2 misses".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/program.h"
+#include "mem/hierarchy.h"
+
+namespace smt::profile {
+
+struct DelinquentLoad {
+  uint32_t pc = 0;
+  uint64_t l2_misses = 0;
+  double share = 0.0;       ///< fraction of the context's total L2 misses
+  std::string disasm;
+};
+
+/// Extracts the ranked delinquent loads of `cpu` from a hierarchy that ran
+/// with set_track_pc_misses(true). `coverage` trims the list to the static
+/// instructions covering that fraction of all misses (paper: 0.92-0.96).
+std::vector<DelinquentLoad> find_delinquent_loads(
+    const mem::CacheHierarchy& hier, CpuId cpu, const isa::Program& prog,
+    double coverage = 0.95);
+
+/// Human-readable report of the ranking.
+std::string report(const std::vector<DelinquentLoad>& loads);
+
+}  // namespace smt::profile

@@ -1,0 +1,227 @@
+#include "streams/stream_gen.h"
+
+#include "common/check.h"
+#include "isa/asm_builder.h"
+
+namespace smt::streams {
+
+using isa::AsmBuilder;
+using isa::BrCond;
+using isa::FReg;
+using isa::IReg;
+using isa::Label;
+using isa::Mem;
+
+namespace {
+
+// Register conventions (S and T disjoint, per the paper's construction):
+//   int targets  T = r0..r5      int sources  S = r8, r9
+//   fp  targets  T = f0..f5      fp  sources  S = f8, f9
+//   r12 = vector cursor, r13 = vector end, r14 = loop counter
+constexpr int kNumSources = 2;
+constexpr IReg kCursor = IReg::R12;
+constexpr IReg kEnd = IReg::R13;
+constexpr IReg kCounter = IReg::R14;
+constexpr IReg kIStoreSrc = IReg::R8;
+constexpr FReg kFStoreSrc = FReg::F8;
+
+constexpr int kUnroll = 24;       // arithmetic streams
+constexpr int kMemUnroll = 16;    // memory streams (per inner iteration)
+
+struct ArithOp {
+  enum Kind { kInt, kFp } domain;
+  void (AsmBuilder::*int_op)(IReg, IReg, IReg) = nullptr;
+  void (AsmBuilder::*fp_op)(FReg, FReg, FReg) = nullptr;
+};
+
+/// Emits one accumulation t = t op s for slot `i` of the unrolled body.
+void emit_arith(AsmBuilder& a, StreamKind kind, int ilp, int i) {
+  const int t = i % ilp;
+  const int s = i % kNumSources;
+  const IReg it = isa::ireg_n(t);
+  const IReg is = isa::ireg_n(8 + s);
+  const FReg ft = isa::freg_n(t);
+  const FReg fs = isa::freg_n(8 + s);
+  switch (kind) {
+    case StreamKind::kIAdd: a.iadd(it, it, is); break;
+    case StreamKind::kISub: a.isub(it, it, is); break;
+    case StreamKind::kIMul: a.imul(it, it, is); break;
+    case StreamKind::kIDiv: a.idiv(it, it, is); break;
+    case StreamKind::kFAdd: a.fadd(ft, ft, fs); break;
+    case StreamKind::kFSub: a.fsub(ft, ft, fs); break;
+    case StreamKind::kFMul: a.fmul(ft, ft, fs); break;
+    case StreamKind::kFDiv: a.fdiv(ft, ft, fs); break;
+    case StreamKind::kFAddMul:
+      // Circular mix: alternating fp-add and fp-mul over the same chains.
+      if (i % 2 == 0) {
+        a.fadd(ft, ft, fs);
+      } else {
+        a.fmul(ft, ft, fs);
+      }
+      break;
+    default:
+      SMT_CHECK_MSG(false, "not an arithmetic stream");
+  }
+}
+
+isa::Program build_arith(const StreamSpec& spec, int tid) {
+  AsmBuilder a(spec.label() + (tid ? ".t1" : ".t0"));
+  const int ilp = static_cast<int>(spec.ilp);
+
+  // Source values keep accumulators finite for the whole run: add/sub
+  // streams accumulate 0, mul/div streams scale by 1.
+  const bool multiplicative = spec.kind == StreamKind::kFMul ||
+                              spec.kind == StreamKind::kFDiv ||
+                              spec.kind == StreamKind::kFAddMul;
+  for (int s = 0; s < kNumSources; ++s) {
+    if (is_fp_stream(spec.kind)) {
+      a.fmovi(isa::freg_n(8 + s), multiplicative ? 1.0 : 0.0);
+    } else {
+      const bool imuldiv =
+          spec.kind == StreamKind::kIMul || spec.kind == StreamKind::kIDiv;
+      a.imovi(isa::ireg_n(8 + s), imuldiv ? 1 : 0);
+    }
+  }
+  for (int t = 0; t < ilp; ++t) {
+    if (is_fp_stream(spec.kind)) {
+      a.fmovi(isa::freg_n(t), 1.0);
+    } else {
+      a.imovi(isa::ireg_n(t), 1);
+    }
+  }
+
+  a.imovi(kCounter, 0);
+  const int64_t iters =
+      static_cast<int64_t>((spec.ops + kUnroll - 1) / kUnroll);
+  Label loop = a.here();
+  for (int i = 0; i < kUnroll; ++i) emit_arith(a, spec.kind, ilp, i);
+  a.iaddi(kCounter, kCounter, 1);
+  a.bri(BrCond::kLt, kCounter, iters, loop);
+  a.exit();
+  return a.take();
+}
+
+isa::Program build_memory(const StreamSpec& spec, mem::MemoryLayout& layout,
+                          int tid) {
+  AsmBuilder a(spec.label() + (tid ? ".t1" : ".t0"));
+  const int ilp = static_cast<int>(spec.ilp);
+  const Addr vec = layout.alloc_words(
+      spec.label() + ".vec" + std::to_string(tid), spec.vector_words);
+  const int64_t vec_bytes = static_cast<int64_t>(spec.vector_words) * 8;
+
+  const bool is_store =
+      spec.kind == StreamKind::kIStore || spec.kind == StreamKind::kFStore;
+  const bool is_fp = is_fp_stream(spec.kind);
+
+  if (is_store) {
+    if (is_fp) {
+      a.fmovi(kFStoreSrc, 1.0);
+    } else {
+      a.imovi(kIStoreSrc, 1);
+    }
+  }
+
+  const uint64_t words_per_pass = spec.vector_words;
+  const int64_t passes = static_cast<int64_t>(
+      (spec.ops + words_per_pass - 1) / words_per_pass);
+
+  a.imovi(kCounter, 0);
+  Label outer = a.here();
+  a.imovi(kCursor, static_cast<int64_t>(vec));
+  a.imovi(kEnd, static_cast<int64_t>(vec) + vec_bytes);
+  Label inner = a.here();
+  for (int i = 0; i < kMemUnroll; ++i) {
+    const Mem m = Mem::bd(kCursor, 8 * i);
+    if (is_store) {
+      if (is_fp) {
+        a.fstore(kFStoreSrc, m);
+      } else {
+        a.store(kIStoreSrc, m);
+      }
+    } else {
+      // Loads rotate over the target set; |T| governs the WAW chain count
+      // exactly as for the arithmetic streams.
+      if (is_fp) {
+        a.fload(isa::freg_n(i % ilp), m);
+      } else {
+        a.load(isa::ireg_n(i % ilp), m);
+      }
+    }
+  }
+  a.iaddi(kCursor, kCursor, 8 * kMemUnroll);
+  a.br(BrCond::kLt, kCursor, kEnd, inner);
+  a.iaddi(kCounter, kCounter, 1);
+  a.bri(BrCond::kLt, kCounter, passes, outer);
+  a.exit();
+  return a.take();
+}
+
+}  // namespace
+
+const char* name(StreamKind k) {
+  switch (k) {
+    case StreamKind::kFAdd: return "fadd";
+    case StreamKind::kFSub: return "fsub";
+    case StreamKind::kFMul: return "fmul";
+    case StreamKind::kFDiv: return "fdiv";
+    case StreamKind::kFAddMul: return "fadd-mul";
+    case StreamKind::kFLoad: return "fload";
+    case StreamKind::kFStore: return "fstore";
+    case StreamKind::kIAdd: return "iadd";
+    case StreamKind::kISub: return "isub";
+    case StreamKind::kIMul: return "imul";
+    case StreamKind::kIDiv: return "idiv";
+    case StreamKind::kILoad: return "iload";
+    case StreamKind::kIStore: return "istore";
+  }
+  return "?";
+}
+
+bool is_memory_stream(StreamKind k) {
+  switch (k) {
+    case StreamKind::kFLoad:
+    case StreamKind::kFStore:
+    case StreamKind::kILoad:
+    case StreamKind::kIStore:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_fp_stream(StreamKind k) {
+  switch (k) {
+    case StreamKind::kFAdd:
+    case StreamKind::kFSub:
+    case StreamKind::kFMul:
+    case StreamKind::kFDiv:
+    case StreamKind::kFAddMul:
+    case StreamKind::kFLoad:
+    case StreamKind::kFStore:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* name(IlpLevel l) {
+  switch (l) {
+    case IlpLevel::kMin: return "minILP";
+    case IlpLevel::kMed: return "medILP";
+    case IlpLevel::kMax: return "maxILP";
+  }
+  return "?";
+}
+
+std::string StreamSpec::label() const {
+  return std::string(streams::name(kind)) + "." + streams::name(ilp);
+}
+
+isa::Program build_stream(const StreamSpec& spec, mem::MemoryLayout& layout,
+                          int tid) {
+  SMT_CHECK(spec.ops > 0);
+  if (is_memory_stream(spec.kind)) return build_memory(spec, layout, tid);
+  return build_arith(spec, tid);
+}
+
+}  // namespace smt::streams

@@ -1,0 +1,60 @@
+// Synthetic homogeneous instruction streams (paper §4).
+//
+// Each stream repeats one operation kind (or the circular fadd/fmul mix)
+// with a controlled degree of instruction-level parallelism: the target
+// register set T and source set S are kept disjoint, operations are
+// read-modify-write accumulations (t = t op s), and |T| selects how many
+// independent dependence chains exist:
+//
+//   |T| = 1  minimum ILP — one chain, serialized at unit latency
+//   |T| = 3  medium ILP
+//   |T| = 6  maximum ILP — enough chains to saturate the unit
+//
+// Memory streams traverse a private per-thread vector sequentially, exactly
+// as in the paper ("each thread operates on a private vector, whose
+// elements are traversed sequentially").
+#pragma once
+
+#include <string>
+
+#include "isa/program.h"
+#include "mem/sim_memory.h"
+
+namespace smt::streams {
+
+enum class StreamKind {
+  kFAdd, kFSub, kFMul, kFDiv, kFAddMul,
+  kFLoad, kFStore,
+  kIAdd, kISub, kIMul, kIDiv,
+  kILoad, kIStore,
+};
+
+const char* name(StreamKind k);
+bool is_memory_stream(StreamKind k);
+bool is_fp_stream(StreamKind k);
+
+enum class IlpLevel : int { kMin = 1, kMed = 3, kMax = 6 };
+
+const char* name(IlpLevel l);
+
+struct StreamSpec {
+  StreamKind kind = StreamKind::kFAdd;
+  IlpLevel ilp = IlpLevel::kMax;
+  /// Approximate number of stream operations to execute (loop overhead is
+  /// a few percent on top).
+  uint64_t ops = 400'000;
+  /// Memory streams: private vector length in 8-byte words. The default
+  /// (16 Ki words = 128 KiB) misses L1 on every line but stays L2-resident,
+  /// reproducing the paper's low-miss-rate load/store streams.
+  size_t vector_words = 16 * 1024;
+
+  std::string label() const;
+};
+
+/// Builds the stream program for thread `tid`. Memory streams allocate the
+/// thread's private vector from `layout` (tid keeps the two threads'
+/// vectors distinct).
+isa::Program build_stream(const StreamSpec& spec, mem::MemoryLayout& layout,
+                          int tid);
+
+}  // namespace smt::streams

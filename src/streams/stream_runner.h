@@ -1,0 +1,33 @@
+// Execution drivers for the stream experiments: single-stream CPI and
+// co-executed pair CPI / slowdown factors (paper Figures 1 and 2).
+#pragma once
+
+#include "core/machine.h"
+#include "streams/stream_gen.h"
+
+namespace smt::streams {
+
+struct StreamMeasurement {
+  double cpi[kNumLogicalCpus] = {0.0, 0.0};
+  uint64_t instrs[kNumLogicalCpus] = {0, 0};
+  Cycle cycles = 0;
+};
+
+/// Runs one stream alone on logical CPU 0 (the sibling sits idle, so the
+/// context owns all resources) and reports its CPI.
+StreamMeasurement run_single(const StreamSpec& spec,
+                             const core::MachineConfig& cfg = {});
+
+/// Co-executes two streams, one per logical CPU, and measures both CPIs
+/// over the fully-overlapped window (up to the first stream's completion,
+/// mirroring the paper's fixed-duration co-execution methodology).
+StreamMeasurement run_pair(const StreamSpec& a, const StreamSpec& b,
+                           const core::MachineConfig& cfg = {});
+
+/// Fig. 2's slowdown factor: CPI of `victim` while co-running with
+/// `aggressor`, relative to its single-threaded CPI, minus 1 — i.e. 0.0
+/// means unaffected, 1.0 means "100% slowdown" (doubled CPI).
+double slowdown_factor(const StreamSpec& victim, const StreamSpec& aggressor,
+                       const core::MachineConfig& cfg = {});
+
+}  // namespace smt::streams

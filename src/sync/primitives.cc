@@ -1,0 +1,137 @@
+#include "sync/primitives.h"
+
+#include "common/check.h"
+
+namespace smt::sync {
+
+using isa::AsmBuilder;
+using isa::BrCond;
+using isa::IReg;
+using isa::Label;
+using isa::Mem;
+
+namespace {
+
+void emit_spin_body(AsmBuilder& a, SpinKind kind, Label spin) {
+  if (kind == SpinKind::kPause) a.pause();
+  a.jmp(spin);
+}
+
+}  // namespace
+
+void emit_spin_until_eq(AsmBuilder& a, Addr addr, IReg scratch, int64_t value,
+                        SpinKind kind) {
+  Label spin = a.here();
+  Label done = a.label();
+  a.load(scratch, Mem::abs(addr));
+  a.bri(BrCond::kEq, scratch, value, done);
+  emit_spin_body(a, kind, spin);
+  a.bind(done);
+}
+
+void emit_spin_until_eq_reg(AsmBuilder& a, Addr addr, IReg scratch,
+                            IReg value_reg, SpinKind kind) {
+  Label spin = a.here();
+  Label done = a.label();
+  a.load(scratch, Mem::abs(addr));
+  a.br(BrCond::kEq, scratch, value_reg, done);
+  emit_spin_body(a, kind, spin);
+  a.bind(done);
+}
+
+void emit_spin_until_ge_reg(AsmBuilder& a, Addr addr, IReg scratch,
+                            IReg value_reg, SpinKind kind) {
+  Label spin = a.here();
+  Label done = a.label();
+  a.load(scratch, Mem::abs(addr));
+  a.br(BrCond::kGe, scratch, value_reg, done);
+  emit_spin_body(a, kind, spin);
+  a.bind(done);
+}
+
+void emit_flag_set(AsmBuilder& a, Addr addr, IReg scratch, int64_t value) {
+  a.imovi(scratch, value);
+  a.store(scratch, Mem::abs(addr));
+}
+
+void emit_lock_acquire(AsmBuilder& a, Addr lock_addr, IReg scratch,
+                       SpinKind kind) {
+  a.imovi(scratch, 1);
+  Label spin = a.here();
+  Label got = a.label();
+  a.xchg(scratch, Mem::abs(lock_addr));
+  a.bri(BrCond::kEq, scratch, 0, got);
+  // A failed attempt leaves scratch == 1, ready for the next exchange.
+  emit_spin_body(a, kind, spin);
+  a.bind(got);
+}
+
+void emit_lock_release(AsmBuilder& a, Addr lock_addr, IReg scratch) {
+  a.imovi(scratch, 0);
+  a.store(scratch, Mem::abs(lock_addr));
+}
+
+TwoThreadBarrier::TwoThreadBarrier(mem::MemoryLayout& layout,
+                                   const std::string& name) {
+  // One cache line per word: the arrival flags and the sleeping word must
+  // not share lines, or the spin traffic of one thread would thrash the
+  // other's flag (MemoryLayout pads regions to line boundaries).
+  flags_ = layout.alloc(name + ".flag0", 8);
+  layout.alloc(name + ".flag1", 8);  // contiguous region ids; address below
+  sleeping_ = layout.alloc(name + ".sleeping", 8);
+  // flag_addr() recomputes from the recorded regions:
+  flag1_ = layout.regions()[layout.regions().size() - 2].base;
+}
+
+Addr TwoThreadBarrier::flag_addr(int tid) const {
+  SMT_CHECK(tid == 0 || tid == 1);
+  return tid == 0 ? flags_ : flag1_;
+}
+
+void TwoThreadBarrier::emit_init(AsmBuilder& a, IReg sense_reg) const {
+  a.imovi(sense_reg, 0);
+}
+
+// The arrival flags carry a monotonically increasing episode counter (the
+// episode's sense is its low bit — this generalizes sense reversal). A
+// binary flag would race on back-to-back barriers: the sibling can arrive
+// at episode e and overwrite its flag for e+1 before this thread samples
+// it; with monotonic epochs the exit condition flag >= epoch stays
+// satisfied forever once reached.
+void TwoThreadBarrier::emit_wait(AsmBuilder& a, int tid, IReg sense_reg,
+                                 IReg scratch, SpinKind kind) const {
+  a.iaddi(sense_reg, sense_reg, 1);
+  a.store(sense_reg, Mem::abs(flag_addr(tid)));
+  emit_spin_until_ge_reg(a, flag_addr(1 - tid), scratch, sense_reg, kind);
+}
+
+void TwoThreadBarrier::emit_wait_sleeper(AsmBuilder& a, int tid,
+                                         IReg sense_reg,
+                                         IReg scratch) const {
+  a.iaddi(sense_reg, sense_reg, 1);
+  a.store(sense_reg, Mem::abs(flag_addr(tid)));
+  // Publish "about to halt", release all partitioned resources, sleep.
+  // The sibling's IPI is sticky in the core (x86 HLT-with-pending-interrupt
+  // semantics), so the store->halt window cannot lose the wake-up.
+  emit_flag_set(a, sleeping_, scratch, 1);
+  a.halt();
+  emit_flag_set(a, sleeping_, scratch, 0);
+  // The IPI is only ever sent after the sibling published its own arrival,
+  // so no further wait is needed here.
+}
+
+void TwoThreadBarrier::emit_wait_waker(AsmBuilder& a, int tid, IReg sense_reg,
+                                       IReg scratch, SpinKind kind) const {
+  a.iaddi(sense_reg, sense_reg, 1);
+  a.store(sense_reg, Mem::abs(flag_addr(tid)));
+  // Wait for the sibling's arrival, then for it to be (about to be) asleep,
+  // then wake it. The sleeper always halts at a sleeper barrier, so waiting
+  // for sleeping==1 cannot hang; monotonic epochs plus the sleeper's
+  // "reset sleeping before next arrival" ordering make the stale-sleeping
+  // observation benign (the IPI is then the sticky pre-halt delivery).
+  emit_spin_until_ge_reg(a, flag_addr(1 - tid), scratch, sense_reg, kind);
+  emit_spin_until_eq(a, sleeping_, scratch, 1, kind);
+  a.ipi();
+}
+
+}  // namespace smt::sync

@@ -1,0 +1,93 @@
+// User-space synchronization primitives of paper §3.1, as DSL emitters.
+//
+// The paper implements lightweight spin-wait loops over shared variables,
+// embeds `pause` to de-pipeline them (Intel's recommendation), and adds
+// kernel extensions that let a spinning logical processor execute `halt` —
+// releasing its statically partitioned queue halves to the sibling — and be
+// woken later by an IPI. Sense-reversing barriers are built on top. All of
+// those exist here as code emitters targeting the micro-ISA: each function
+// appends the instruction sequence of one primitive to a thread's program.
+//
+// Register discipline: emitters only touch the registers the caller passes
+// in (plus the shared memory words they own), so kernels can reserve their
+// own registers around synchronization points.
+#pragma once
+
+#include <string>
+
+#include "isa/asm_builder.h"
+#include "mem/sim_memory.h"
+
+namespace smt::sync {
+
+/// How a wait loop burns time until its condition flips.
+enum class SpinKind {
+  kTight,  ///< naive spin: maximum resource consumption + machine clears
+  kPause,  ///< spin with pause (the paper's default)
+};
+
+/// Spin until the 64-bit word at `addr` equals `value`.
+void emit_spin_until_eq(isa::AsmBuilder& a, Addr addr, isa::IReg scratch,
+                        int64_t value, SpinKind kind);
+
+/// Spin until the word at `addr` equals the value in `value_reg`.
+void emit_spin_until_eq_reg(isa::AsmBuilder& a, Addr addr, isa::IReg scratch,
+                            isa::IReg value_reg, SpinKind kind);
+
+/// Spin until the word at `addr` is >= the value in `value_reg` (the
+/// monotonic-epoch wait used by the barrier).
+void emit_spin_until_ge_reg(isa::AsmBuilder& a, Addr addr, isa::IReg scratch,
+                            isa::IReg value_reg, SpinKind kind);
+
+/// Store an immediate flag value (release-style signal).
+void emit_flag_set(isa::AsmBuilder& a, Addr addr, isa::IReg scratch,
+                   int64_t value);
+
+/// Test-and-set spin lock via atomic xchg.
+void emit_lock_acquire(isa::AsmBuilder& a, Addr lock_addr, isa::IReg scratch,
+                       SpinKind kind);
+void emit_lock_release(isa::AsmBuilder& a, Addr lock_addr, isa::IReg scratch);
+
+/// Sense-reversing barrier for the two hardware contexts ([12] in the
+/// paper, specialized to two participants): each thread publishes its
+/// arrival by writing its episode counter to its own flag word and waits
+/// for the sibling's flag to catch up. The counter's low bit is the
+/// episode's sense; carrying the whole counter makes back-to-back episodes
+/// race-free. The `sense_reg` passed to the waits holds this counter and
+/// must be initialized once via emit_init and preserved between waits.
+///
+/// Three wait flavours:
+///  * emit_wait          — symmetric spin (tight or pause) wait;
+///  * emit_wait_sleeper  — the "long duration" variant of §3.2: the early
+///    arriver (the precomputation thread) publishes arrival, marks itself
+///    sleeping and halts its logical processor until the sibling's IPI;
+///  * emit_wait_waker    — the counterpart: publish arrival, wait for the
+///    sibling to be asleep, wake it with an IPI.
+/// A sleeper barrier must pair sleeper and waker sides at the same episode.
+class TwoThreadBarrier {
+ public:
+  TwoThreadBarrier(mem::MemoryLayout& layout, const std::string& name);
+
+  /// Initializes the thread-local sense register (call once per program,
+  /// before any wait).
+  void emit_init(isa::AsmBuilder& a, isa::IReg sense_reg) const;
+
+  void emit_wait(isa::AsmBuilder& a, int tid, isa::IReg sense_reg,
+                 isa::IReg scratch, SpinKind kind) const;
+
+  void emit_wait_sleeper(isa::AsmBuilder& a, int tid, isa::IReg sense_reg,
+                         isa::IReg scratch) const;
+
+  void emit_wait_waker(isa::AsmBuilder& a, int tid, isa::IReg sense_reg,
+                       isa::IReg scratch, SpinKind kind) const;
+
+  Addr flag_addr(int tid) const;
+  Addr sleeping_addr() const { return sleeping_; }
+
+ private:
+  Addr flags_;     // arrival flag of thread 0 (own cache line)
+  Addr flag1_;     // arrival flag of thread 1 (own cache line)
+  Addr sleeping_;  // sleeper publishes "I am about to halt"
+};
+
+}  // namespace smt::sync

@@ -1,0 +1,151 @@
+// Tests for the common utilities: RNG determinism, statistics, and the
+// table/number formatting the bench harness depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace smt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForAGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(13), 13u);
+  }
+  // Small bounds hit every residue (sanity against bias bugs).
+  Rng r2(8);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r2.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoublesAreInRange) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_double(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  // Regression pin: SplitMix64(0) must produce the published sequence.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ull);
+}
+
+// ---------------------------------------------------------------------------
+// RunningStats
+// ---------------------------------------------------------------------------
+
+TEST(RunningStats, MeanMinMax) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 6.0}) s.add(v);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(RunningStats, EmptyIsDefined) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Helpers, SafeRatioAndRelErr) {
+  EXPECT_DOUBLE_EQ(safe_ratio(6.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(safe_ratio(6.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rel_err(2.0, 2.0), 0.0);
+  EXPECT_NEAR(rel_err(2.0, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(rel_err(0.0, 0.0), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// TextTable and formatting
+// ---------------------------------------------------------------------------
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "12345"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // Every line has the same width (header, rule, rows).
+  size_t first_len = s.find('\n');
+  size_t pos = 0;
+  for (int line = 0; pos < s.size(); ++line) {
+    const size_t next = s.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, first_len) << "line " << line;
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, CsvEscapesCommas) {
+  TextTable t({"k", "v"});
+  t.add_row({"a,b", "1"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("a;b,1"), std::string::npos);
+}
+
+TEST(TextTableDeath, ArityMismatchIsFatal) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "arity");
+}
+
+TEST(Format, FixedPoint) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(-0.5, 3), "-0.500");
+}
+
+TEST(Format, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+}
+
+TEST(Format, EngineeringSuffixes) {
+  EXPECT_EQ(fmt_eng(950, 0), "950");
+  EXPECT_EQ(fmt_eng(1500, 1), "1.5K");
+  EXPECT_EQ(fmt_eng(2.5e6, 1), "2.5M");
+  EXPECT_EQ(fmt_eng(4.6e9, 2), "4.60G");
+}
+
+}  // namespace
+}  // namespace smt

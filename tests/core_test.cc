@@ -1,0 +1,186 @@
+// Tests for the public API layer: Machine, Workload, ExperimentRunner and
+// the perfmon snapshot arithmetic they rely on.
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "core/runner.h"
+#include "core/workload.h"
+#include "isa/asm_builder.h"
+#include "perfmon/counters.h"
+
+namespace smt::core {
+namespace {
+
+using isa::AsmBuilder;
+using isa::BrCond;
+using isa::IReg;
+using isa::Mem;
+using perfmon::Event;
+
+isa::Program count_to(int n, Addr out) {
+  AsmBuilder a("count");
+  a.imovi(IReg::R0, 0);
+  isa::Label loop = a.here();
+  a.iaddi(IReg::R0, IReg::R0, 1);
+  a.bri(BrCond::kLt, IReg::R0, n, loop);
+  a.store(IReg::R0, Mem::abs(out));
+  a.exit();
+  return a.take();
+}
+
+TEST(Machine, DefaultConfigIsNetburstClass) {
+  Machine m;
+  EXPECT_EQ(m.config().core.fetch_width, 3);
+  EXPECT_EQ(m.config().core.retire_width, 3);
+  EXPECT_EQ(m.config().mem.l1.size_bytes, 8u * 1024);
+  EXPECT_EQ(m.config().mem.l2.size_bytes, 512u * 1024);
+  EXPECT_EQ(m.config().mem.l2.assoc, 8);  // the paper's A = 8
+}
+
+TEST(Machine, CustomConfigPropagates) {
+  MachineConfig cfg;
+  cfg.core.lat_fadd = 9;
+  cfg.mem.l1.size_bytes = 16 * 1024;
+  Machine m(cfg);
+  EXPECT_EQ(m.config().core.lat_fadd, 9u);
+  EXPECT_EQ(m.hierarchy().config().l1.size_bytes, 16u * 1024);
+}
+
+TEST(Machine, RunsASingleProgram) {
+  Machine m;
+  m.load_program(CpuId::kCpu0, count_to(100, 0x9000));
+  m.run();
+  EXPECT_EQ(m.memory().read_i64(0x9000), 100);
+  EXPECT_GT(m.cycles(), 0u);
+}
+
+TEST(Machine, RunsTwoIndependentPrograms) {
+  Machine m;
+  m.load_program(CpuId::kCpu0, count_to(100, 0x9000));
+  m.load_program(CpuId::kCpu1, count_to(50, 0x9040));
+  m.run();
+  EXPECT_EQ(m.memory().read_i64(0x9000), 100);
+  EXPECT_EQ(m.memory().read_i64(0x9040), 50);
+}
+
+TEST(MachineDeath, DoubleBindIsFatal) {
+  Machine m;
+  m.load_program(CpuId::kCpu0, count_to(1, 0x9000));
+  EXPECT_DEATH(m.load_program(CpuId::kCpu0, count_to(1, 0x9000)),
+               "already has a program");
+}
+
+TEST(Machine, SingleThreadOwnsAllCycles) {
+  Machine m;
+  m.load_program(CpuId::kCpu0, count_to(1000, 0x9000));
+  m.run();
+  // A lone context is active for the whole wall clock (modulo the final
+  // exit-transition cycle); the idle context accumulates nothing.
+  const uint64_t active = m.counters().get(CpuId::kCpu0, Event::kCyclesActive);
+  EXPECT_LE(m.cycles() - active, 1u);
+  EXPECT_EQ(m.counters().get(CpuId::kCpu1, Event::kCyclesActive), 0u);
+  EXPECT_EQ(m.counters().get(CpuId::kCpu1, Event::kInstrRetired), 0u);
+}
+
+TEST(Machine, DeterministicAcrossInstances) {
+  auto run_once = [] {
+    Machine m;
+    m.load_program(CpuId::kCpu0, count_to(500, 0x9000));
+    m.load_program(CpuId::kCpu1, count_to(700, 0x9040));
+    m.run();
+    return m.cycles();
+  };
+  const Cycle a = run_once();
+  const Cycle b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, DeltaBracketsAnInterval) {
+  Machine m;
+  m.load_program(CpuId::kCpu0, count_to(100, 0x9000));
+  const perfmon::Snapshot before = m.counters().snapshot();
+  m.run();
+  const perfmon::Snapshot after = m.counters().snapshot();
+  const perfmon::Snapshot delta = after - before;
+  EXPECT_EQ(delta.get(CpuId::kCpu0, Event::kInstrRetired),
+            after.get(CpuId::kCpu0, Event::kInstrRetired));
+  EXPECT_EQ(delta.total(Event::kInstrRetired),
+            delta.get(CpuId::kCpu0, Event::kInstrRetired));
+}
+
+TEST(PerfCounters, CpiIsCyclesOverInstructions) {
+  perfmon::PerfCounters c;
+  c.add(CpuId::kCpu0, Event::kCyclesActive, 500);
+  c.add(CpuId::kCpu0, Event::kInstrRetired, 250);
+  EXPECT_DOUBLE_EQ(c.cpi(CpuId::kCpu0), 2.0);
+  EXPECT_DOUBLE_EQ(c.cpi(CpuId::kCpu1), 0.0);  // no instructions: defined 0
+}
+
+TEST(PerfCounters, ResetClearsEverything) {
+  perfmon::PerfCounters c;
+  c.add(CpuId::kCpu1, Event::kL2Misses, 7);
+  c.reset();
+  EXPECT_EQ(c.total(Event::kL2Misses), 0u);
+}
+
+TEST(PerfCounters, ToStringListsNonzeroEvents) {
+  perfmon::PerfCounters c;
+  c.add(CpuId::kCpu0, Event::kMachineClears, 3);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("machine_clears"), std::string::npos);
+  EXPECT_EQ(s.find("ipis_sent"), std::string::npos);
+}
+
+TEST(PerfCounters, EveryEventHasAName) {
+  for (int e = 0; e < perfmon::kNumEventValues; ++e) {
+    EXPECT_NE(perfmon::name(static_cast<Event>(e)), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+class TrivialWorkload : public Workload {
+ public:
+  explicit TrivialWorkload(bool pass) : pass_(pass) {}
+  const std::string& name() const override { return name_; }
+  void setup(Machine& m) override { m.memory().write_i64(0xa000, 5); }
+  std::vector<isa::Program> programs() const override {
+    AsmBuilder a("t");
+    a.load(IReg::R0, Mem::abs(0xa000));
+    a.iaddi(IReg::R0, IReg::R0, 1);
+    a.store(IReg::R0, Mem::abs(0xa000));
+    a.exit();
+    return {a.take()};
+  }
+  bool verify(const Machine& m) const override {
+    return pass_ && m.memory().read_i64(0xa000) == 6;
+  }
+
+ private:
+  std::string name_ = "trivial";
+  bool pass_;
+};
+
+TEST(Runner, RunsAndVerifies) {
+  TrivialWorkload w(true);
+  const RunStats st = run_workload(MachineConfig{}, w);
+  EXPECT_TRUE(st.verified);
+  EXPECT_EQ(st.workload, "trivial");
+  EXPECT_GT(st.cycles, 0u);
+  EXPECT_EQ(st.cpu(CpuId::kCpu0, Event::kStoresRetired), 1u);
+}
+
+TEST(Runner, ReportsFailedVerification) {
+  TrivialWorkload w(false);
+  const RunStats st = run_workload(MachineConfig{}, w);
+  EXPECT_FALSE(st.verified);
+}
+
+}  // namespace
+}  // namespace smt::core

@@ -1,0 +1,164 @@
+// Unit tests for the micro-ISA: opcode traits, builder, labels, disasm.
+#include <gtest/gtest.h>
+
+#include "isa/asm_builder.h"
+#include "isa/disasm.h"
+#include "isa/opcode.h"
+#include "isa/program.h"
+#include "isa/registers.h"
+
+namespace smt::isa {
+namespace {
+
+TEST(Registers, FlatIdsPartitionIntAndFp) {
+  EXPECT_EQ(id(IReg::R0), 0);
+  EXPECT_EQ(id(IReg::R15), 15);
+  EXPECT_EQ(id(FReg::F0), 16);
+  EXPECT_EQ(id(FReg::F15), 31);
+  EXPECT_TRUE(is_int_reg(id(IReg::R7)));
+  EXPECT_TRUE(is_fp_reg(id(FReg::F7)));
+  EXPECT_FALSE(is_fp_reg(kNoReg));
+}
+
+TEST(Registers, RoundTrip) {
+  for (int i = 0; i < kNumIRegs; ++i) {
+    EXPECT_EQ(ireg(id(ireg_n(i))), ireg_n(i));
+  }
+  for (int i = 0; i < kNumFRegs; ++i) {
+    EXPECT_EQ(freg(id(freg_n(i))), freg_n(i));
+  }
+}
+
+TEST(OpcodeTraits, UnitClasses) {
+  EXPECT_EQ(unit_class(Opcode::kIAdd), UnitClass::kAlu);
+  EXPECT_EQ(unit_class(Opcode::kIAnd), UnitClass::kAlu0);
+  EXPECT_EQ(unit_class(Opcode::kIShl), UnitClass::kAlu0);
+  EXPECT_EQ(unit_class(Opcode::kFAdd), UnitClass::kFpAdd);
+  EXPECT_EQ(unit_class(Opcode::kFSub), UnitClass::kFpAdd);
+  EXPECT_EQ(unit_class(Opcode::kFMul), UnitClass::kFpMul);
+  EXPECT_EQ(unit_class(Opcode::kFDiv), UnitClass::kFpDiv);
+  EXPECT_EQ(unit_class(Opcode::kLoad), UnitClass::kLoad);
+  EXPECT_EQ(unit_class(Opcode::kFStore), UnitClass::kStore);
+  EXPECT_EQ(unit_class(Opcode::kBr), UnitClass::kBranch);
+  EXPECT_EQ(unit_class(Opcode::kPause), UnitClass::kNone);
+}
+
+TEST(OpcodeTraits, MemFlags) {
+  EXPECT_TRUE(traits(Opcode::kLoad).is_load);
+  EXPECT_FALSE(traits(Opcode::kLoad).is_store);
+  EXPECT_TRUE(traits(Opcode::kStore).is_store);
+  EXPECT_FALSE(traits(Opcode::kStore).writes_reg);
+  EXPECT_TRUE(traits(Opcode::kXchg).is_load);
+  EXPECT_TRUE(traits(Opcode::kXchg).is_store);
+  EXPECT_TRUE(traits(Opcode::kXchg).writes_reg);
+  EXPECT_TRUE(traits(Opcode::kPrefetch).is_mem);
+  EXPECT_FALSE(traits(Opcode::kPrefetch).writes_reg);
+}
+
+TEST(OpcodeTraits, FpDestinations) {
+  EXPECT_TRUE(traits(Opcode::kFAdd).fp_dst);
+  EXPECT_TRUE(traits(Opcode::kFLoad).fp_dst);
+  EXPECT_FALSE(traits(Opcode::kLoad).fp_dst);
+}
+
+TEST(AsmBuilder, EmitsAndFinalizes) {
+  AsmBuilder a("t");
+  a.imovi(IReg::R0, 42);
+  a.iaddi(IReg::R0, IReg::R0, 1);
+  a.exit();
+  Program p = a.take();
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.at(0).op, Opcode::kIMovImm);
+  EXPECT_EQ(p.at(0).imm, 42);
+  EXPECT_EQ(p.at(1).op, Opcode::kIAdd);
+  EXPECT_TRUE(p.at(1).use_imm);
+  EXPECT_EQ(p.at(2).op, Opcode::kExit);
+  EXPECT_EQ(p.name(), "t");
+}
+
+TEST(AsmBuilder, ForwardAndBackwardLabels) {
+  AsmBuilder a("labels");
+  Label skip = a.label();          // forward reference
+  a.imovi(IReg::R0, 0);
+  Label loop = a.here();           // backward reference
+  a.iaddi(IReg::R0, IReg::R0, 1);
+  a.bri(BrCond::kLt, IReg::R0, 10, loop);
+  a.jmp(skip);
+  a.imovi(IReg::R1, 99);           // skipped
+  a.bind(skip);
+  a.exit();
+  Program p = a.take();
+  EXPECT_EQ(p.at(2).target, 1);    // bri -> loop
+  EXPECT_EQ(p.at(3).target, 5);    // jmp -> skip (the exit)
+}
+
+TEST(AsmBuilder, MemOperandEncoding) {
+  AsmBuilder a("mem");
+  a.load(IReg::R1, Mem::bi(IReg::R2, IReg::R3, 3, 16));
+  a.fstore(FReg::F4, Mem::abs(0x1000));
+  a.exit();
+  Program p = a.take();
+  EXPECT_EQ(p.at(0).mem.base, id(IReg::R2));
+  EXPECT_EQ(p.at(0).mem.index, id(IReg::R3));
+  EXPECT_EQ(p.at(0).mem.scale_log2, 3);
+  EXPECT_EQ(p.at(0).mem.disp, 16);
+  EXPECT_EQ(p.at(1).mem.base, kNoReg);
+  EXPECT_EQ(p.at(1).mem.disp, 0x1000);
+  EXPECT_EQ(p.at(1).rs1, id(FReg::F4));
+}
+
+TEST(AsmBuilder, XchgReadsAndWritesSameRegister) {
+  AsmBuilder a("x");
+  a.xchg(IReg::R5, Mem::abs(0x2000));
+  a.exit();
+  Program p = a.take();
+  EXPECT_EQ(p.at(0).rd, id(IReg::R5));
+  EXPECT_EQ(p.at(0).rs1, id(IReg::R5));
+}
+
+TEST(AsmBuilderDeath, UnboundLabelIsFatal) {
+  AsmBuilder a("bad");
+  Label l = a.label();
+  a.jmp(l);
+  EXPECT_DEATH(a.take(), "never bound");
+}
+
+TEST(AsmBuilderDeath, FallingOffTheEndIsFatal) {
+  AsmBuilder a("bad");
+  a.imovi(IReg::R0, 1);
+  EXPECT_DEATH(a.take(), "fall off");
+}
+
+TEST(AsmBuilderDeath, DoubleBindIsFatal) {
+  AsmBuilder a("bad");
+  Label l = a.here();
+  EXPECT_DEATH(a.bind(l), "twice");
+}
+
+TEST(Disasm, FormatsCommonInstructions) {
+  AsmBuilder a("d");
+  a.fadd(FReg::F2, FReg::F2, FReg::F5);
+  a.imovi(IReg::R3, -7);
+  Label loop = a.here();
+  a.load(IReg::R1, Mem::bi(IReg::R2, IReg::R3, 3, 8));
+  a.bri(BrCond::kGe, IReg::R1, 0, loop);
+  a.exit();
+  Program p = a.take();
+  EXPECT_NE(disasm(p.at(0)).find("fadd"), std::string::npos);
+  EXPECT_NE(disasm(p.at(0)).find("f2"), std::string::npos);
+  EXPECT_NE(disasm(p.at(2)).find("[r2+r3*8+8]"), std::string::npos);
+  EXPECT_NE(disasm(p.at(3)).find("ge"), std::string::npos);
+  const std::string full = disasm(p);
+  EXPECT_NE(full.find("0:"), std::string::npos);
+  EXPECT_NE(full.find("exit"), std::string::npos);
+}
+
+TEST(Disasm, EveryOpcodeHasAName) {
+  for (int i = 0; i < kNumOpcodeValues; ++i) {
+    EXPECT_NE(traits(static_cast<Opcode>(i)).name, nullptr);
+    EXPECT_GT(std::string(traits(static_cast<Opcode>(i)).name).size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace smt::isa

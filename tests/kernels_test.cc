@@ -1,0 +1,564 @@
+// Kernel tests: host references, layouts, and end-to-end simulated
+// execution of every kernel variant at small sizes, verified against the
+// host-side reference implementations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/runner.h"
+#include "kernels/bt.h"
+#include "kernels/cg.h"
+#include "kernels/layouts.h"
+#include "kernels/lu.h"
+#include "kernels/matmul.h"
+#include "kernels/reference.h"
+#include "perfmon/events.h"
+#include "sync/primitives.h"
+
+namespace smt::kernels {
+namespace {
+
+using core::MachineConfig;
+using core::RunStats;
+using perfmon::Event;
+
+// ---------------------------------------------------------------------------
+// Layouts
+// ---------------------------------------------------------------------------
+
+TEST(BlockedLayout, OffsetIsABijection) {
+  BlockedLayout l(16, 4);
+  std::vector<bool> seen(l.words(), false);
+  for (size_t i = 0; i < 16; ++i) {
+    for (size_t j = 0; j < 16; ++j) {
+      const size_t off = l.offset(i, j);
+      ASSERT_LT(off, l.words());
+      EXPECT_FALSE(seen[off]) << "collision at " << i << "," << j;
+      seen[off] = true;
+    }
+  }
+}
+
+TEST(BlockedLayout, TilesAreContiguous) {
+  BlockedLayout l(16, 4);
+  // Within tile (ti, tj) the 16 elements occupy [tile_offset, +16).
+  for (size_t ti = 0; ti < 4; ++ti) {
+    for (size_t tj = 0; tj < 4; ++tj) {
+      const size_t base = l.tile_offset(ti, tj);
+      for (size_t i = 0; i < 4; ++i) {
+        for (size_t j = 0; j < 4; ++j) {
+          const size_t off = l.offset(ti * 4 + i, tj * 4 + j);
+          EXPECT_EQ(off, base + i * 4 + j);
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockedLayout, RowMajorWhenTileEqualsMatrix) {
+  BlockedLayout l(8, 8);
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < 8; ++j) EXPECT_EQ(l.offset(i, j), i * 8 + j);
+  }
+}
+
+TEST(Log2Exact, PowersOfTwo) {
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(64), 6);
+  EXPECT_EQ(log2_exact(1 << 20), 20);
+}
+
+// ---------------------------------------------------------------------------
+// Host references
+// ---------------------------------------------------------------------------
+
+TEST(Reference, MatmulIdentity) {
+  const size_t n = 8;
+  Rng rng(1);
+  std::vector<double> a = random_matrix(n, rng);
+  std::vector<double> eye(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) eye[i * n + i] = 1.0;
+  std::vector<double> c;
+  ref_matmul(a, eye, c, n);
+  for (size_t i = 0; i < n * n; ++i) EXPECT_DOUBLE_EQ(c[i], a[i]);
+}
+
+TEST(Reference, LuReconstructsMatrix) {
+  const size_t n = 12;
+  Rng rng(2);
+  std::vector<double> a = random_diag_dominant_matrix(n, rng);
+  std::vector<double> lu = a;
+  ref_lu(lu, n);
+  // Rebuild A = L*U and compare.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      const size_t kmax = std::min(i, j + 1);
+      for (size_t k = 0; k < kmax; ++k) s += lu[i * n + k] * lu[k * n + j];
+      if (i <= j) s += lu[i * n + j];  // unit diagonal of L
+      EXPECT_LT(rel_err(s, a[i * n + j]), 1e-9);
+    }
+  }
+}
+
+TEST(Reference, SparseSpdIsSymmetricWithDominantDiagonal) {
+  Rng rng(3);
+  SparseMatrix m = make_sparse_spd(64, 4, rng);
+  EXPECT_EQ(m.rowptr.size(), 65u);
+  // Build a dense mirror and check symmetry + diagonal dominance.
+  std::vector<double> dense(64 * 64, 0.0);
+  for (size_t i = 0; i < 64; ++i) {
+    for (int64_t k = m.rowptr[i]; k < m.rowptr[i + 1]; ++k) {
+      dense[i * 64 + m.colidx[k]] += m.values[k];
+    }
+  }
+  for (size_t i = 0; i < 64; ++i) {
+    double off = 0.0;
+    for (size_t j = 0; j < 64; ++j) {
+      EXPECT_NEAR(dense[i * 64 + j], dense[j * 64 + i], 1e-12);
+      if (i != j) off += std::fabs(dense[i * 64 + j]);
+    }
+    EXPECT_GT(dense[i * 64 + i], off);  // strict dominance -> SPD
+  }
+}
+
+TEST(Reference, CgConvergesOnSpdSystem) {
+  Rng rng(4);
+  SparseMatrix m = make_sparse_spd(128, 5, rng);
+  std::vector<double> x(m.n, 1.0), z;
+  const double rho0 = 128.0;  // |r|^2 at z=0 is |x|^2
+  const double rho = ref_cg(m, x, z, 25);
+  EXPECT_LT(rho, rho0 * 1e-10);
+  // Check A z ~= x.
+  std::vector<double> az;
+  ref_spmv(m, z, az);
+  for (size_t i = 0; i < m.n; ++i) EXPECT_LT(std::fabs(az[i] - x[i]), 1e-4);
+}
+
+TEST(Reference, BtLineSolveSatisfiesSystem) {
+  Rng rng(5);
+  const size_t cells = 8;
+  BtLine line = make_bt_line(cells, rng);
+  const BtLine orig = line;  // keep the original blocks/rhs
+  ref_bt_solve_line(line);
+  // Extract solution vectors and check A_i x_{i-1} + B_i x_i + C_i x_{i+1}
+  // == rhs_i against the original data.
+  constexpr size_t B = kBtBlock;
+  for (size_t i = 0; i < cells; ++i) {
+    const double* a = orig.cell(i);
+    const double* b = a + B * B;
+    const double* c = a + 2 * B * B;
+    const double* rhs = a + 3 * B * B;
+    double acc[B] = {};
+    double tmp[B];
+    if (i > 0) {
+      ref_mat5_vec(a, line.cell(i - 1) + 3 * B * B, tmp);
+      for (size_t k = 0; k < B; ++k) acc[k] += tmp[k];
+    }
+    ref_mat5_vec(b, line.cell(i) + 3 * B * B, tmp);
+    for (size_t k = 0; k < B; ++k) acc[k] += tmp[k];
+    if (i + 1 < cells) {
+      ref_mat5_vec(c, line.cell(i + 1) + 3 * B * B, tmp);
+      for (size_t k = 0; k < B; ++k) acc[k] += tmp[k];
+    }
+    for (size_t k = 0; k < B; ++k) EXPECT_LT(rel_err(acc[k], rhs[k]), 1e-8);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated MM variants (small sizes; correctness end to end)
+// ---------------------------------------------------------------------------
+
+class MatMulModes : public ::testing::TestWithParam<MmMode> {};
+
+TEST_P(MatMulModes, ComputesCorrectProduct) {
+  MatMulParams p;
+  p.n = 16;
+  p.tile = 4;
+  p.mode = GetParam();
+  MatMulWorkload w(p);
+  const RunStats stats = core::run_workload(MachineConfig{}, w);
+  EXPECT_TRUE(stats.verified) << w.name();
+  EXPECT_GT(stats.cycles, 0u);
+  EXPECT_GT(stats.total(Event::kInstrRetired), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, MatMulModes,
+                         ::testing::Values(MmMode::kSerial, MmMode::kTlpFine,
+                                           MmMode::kTlpCoarse,
+                                           MmMode::kTlpPfetch,
+                                           MmMode::kTlpPfetchWork),
+                         [](const auto& info) {
+                           std::string s = name(info.param);
+                           for (char& c : s) {
+                             if (c == '-' || c == '+') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(MatMul, SprWithHaltBarriersStillCorrect) {
+  MatMulParams p;
+  p.n = 16;
+  p.tile = 4;
+  p.mode = MmMode::kTlpPfetch;
+  p.halt_barriers = true;
+  MatMulWorkload w(p);
+  const RunStats stats = core::run_workload(MachineConfig{}, w);
+  EXPECT_TRUE(stats.verified);
+  EXPECT_GT(stats.cpu(CpuId::kCpu1, Event::kHaltTransitions), 0u);
+}
+
+TEST(MatMul, TlpModesSplitTheWork) {
+  MatMulParams p;
+  p.n = 16;
+  p.tile = 4;
+  p.mode = MmMode::kTlpCoarse;
+  MatMulWorkload w(p);
+  const RunStats stats = core::run_workload(MachineConfig{}, w);
+  const uint64_t i0 = stats.cpu(CpuId::kCpu0, Event::kInstrRetired);
+  const uint64_t i1 = stats.cpu(CpuId::kCpu1, Event::kInstrRetired);
+  EXPECT_GT(i0, 0u);
+  EXPECT_GT(i1, 0u);
+  // Roughly equal halves.
+  EXPECT_LT(static_cast<double>(i0 > i1 ? i0 - i1 : i1 - i0) /
+                static_cast<double>(i0 + i1),
+            0.2);
+}
+
+TEST(MatMul, PrefetcherIsLightweight) {
+  MatMulParams p;
+  p.n = 32;
+  p.tile = 8;
+  p.mode = MmMode::kTlpPfetch;
+  MatMulWorkload w(p);
+  const RunStats stats = core::run_workload(MachineConfig{}, w);
+  ASSERT_TRUE(stats.verified);
+  // The MM prefetcher retires far fewer instructions than the worker
+  // (paper Table 1: 0.20e9 vs 4.60e9).
+  EXPECT_LT(stats.cpu(CpuId::kCpu1, Event::kInstrRetired) * 2,
+            stats.cpu(CpuId::kCpu0, Event::kInstrRetired));
+  EXPECT_GT(stats.cpu(CpuId::kCpu1, Event::kPrefetchesRetired), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated LU variants
+// ---------------------------------------------------------------------------
+
+class LuModes : public ::testing::TestWithParam<LuMode> {};
+
+TEST_P(LuModes, ComputesCorrectFactorization) {
+  LuParams p;
+  p.n = 16;
+  p.tile = 4;
+  p.mode = GetParam();
+  LuWorkload w(p);
+  const RunStats stats = core::run_workload(MachineConfig{}, w);
+  EXPECT_TRUE(stats.verified) << w.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, LuModes,
+                         ::testing::Values(LuMode::kSerial, LuMode::kTlpCoarse,
+                                           LuMode::kTlpPfetch),
+                         [](const auto& info) {
+                           std::string s = name(info.param);
+                           for (char& c : s) {
+                             if (c == '-' || c == '+') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(Lu, LargerSizeStillCorrect) {
+  LuParams p;
+  p.n = 32;
+  p.tile = 8;
+  p.mode = LuMode::kTlpCoarse;
+  LuWorkload w(p);
+  EXPECT_TRUE(core::run_workload(MachineConfig{}, w).verified);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated CG variants
+// ---------------------------------------------------------------------------
+
+CgParams small_cg(CgMode mode) {
+  CgParams p;
+  p.n = 256;
+  p.nz_per_row = 4;
+  p.iters = 8;
+  p.span_rows = 32;
+  p.mode = mode;
+  return p;
+}
+
+class CgModes : public ::testing::TestWithParam<CgMode> {};
+
+TEST_P(CgModes, SolvesTheSystem) {
+  CgWorkload w(small_cg(GetParam()));
+  const RunStats stats = core::run_workload(MachineConfig{}, w);
+  EXPECT_TRUE(stats.verified) << w.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, CgModes,
+                         ::testing::Values(CgMode::kSerial, CgMode::kTlpCoarse,
+                                           CgMode::kTlpPfetch,
+                                           CgMode::kTlpPfetchWork),
+                         [](const auto& info) {
+                           std::string s = name(info.param);
+                           for (char& c : s) {
+                             if (c == '-' || c == '+') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(Cg, PrefetchModeIssuesPrefetches) {
+  CgWorkload w(small_cg(CgMode::kTlpPfetch));
+  const RunStats stats = core::run_workload(MachineConfig{}, w);
+  ASSERT_TRUE(stats.verified);
+  EXPECT_GT(stats.cpu(CpuId::kCpu1, Event::kPrefetchesRetired), 100u);
+  EXPECT_EQ(stats.cpu(CpuId::kCpu0, Event::kPrefetchesRetired), 0u);
+}
+
+TEST(Cg, CoarseSplitsWorkRoughlyEvenly) {
+  CgWorkload w(small_cg(CgMode::kTlpCoarse));
+  const RunStats stats = core::run_workload(MachineConfig{}, w);
+  ASSERT_TRUE(stats.verified);
+  const double i0 =
+      static_cast<double>(stats.cpu(CpuId::kCpu0, Event::kInstrRetired));
+  const double i1 =
+      static_cast<double>(stats.cpu(CpuId::kCpu1, Event::kInstrRetired));
+  EXPECT_LT(std::fabs(i0 - i1) / (i0 + i1), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated BT variants
+// ---------------------------------------------------------------------------
+
+BtParams small_bt(BtMode mode) {
+  BtParams p;
+  p.lines = 4;
+  p.cells = 6;
+  p.mode = mode;
+  return p;
+}
+
+class BtModes : public ::testing::TestWithParam<BtMode> {};
+
+TEST_P(BtModes, SolvesEveryLine) {
+  BtWorkload w(small_bt(GetParam()));
+  const RunStats stats = core::run_workload(MachineConfig{}, w);
+  EXPECT_TRUE(stats.verified) << w.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, BtModes,
+                         ::testing::Values(BtMode::kSerial, BtMode::kTlpCoarse,
+                                           BtMode::kTlpPfetch),
+                         [](const auto& info) {
+                           std::string s = name(info.param);
+                           for (char& c : s) {
+                             if (c == '-' || c == '+') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(Bt, CoarseNeedsNoSynchronization) {
+  BtWorkload w(small_bt(BtMode::kTlpCoarse));
+  const RunStats stats = core::run_workload(MachineConfig{}, w);
+  ASSERT_TRUE(stats.verified);
+  EXPECT_EQ(stats.total(Event::kPausesExecuted), 0u);
+  EXPECT_EQ(stats.total(Event::kIpisSent), 0u);
+}
+
+TEST(Bt, HaltBarrierPrefetchIsCorrect) {
+  BtParams p = small_bt(BtMode::kTlpPfetch);
+  p.halt_barriers = true;
+  BtWorkload w(p);
+  const RunStats stats = core::run_workload(MachineConfig{}, w);
+  EXPECT_TRUE(stats.verified);
+  EXPECT_GT(stats.cpu(CpuId::kCpu1, Event::kHaltTransitions), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parameter sweeps: every kernel stays correct across sizes/tiles/spans.
+// ---------------------------------------------------------------------------
+
+using MmSweepCase = std::tuple<size_t, size_t, MmMode>;  // n, tile, mode
+
+class MatMulSweep : public ::testing::TestWithParam<MmSweepCase> {};
+
+TEST_P(MatMulSweep, CorrectAcrossSizesAndTiles) {
+  const auto [n, tile, mode] = GetParam();
+  MatMulParams p;
+  p.n = n;
+  p.tile = tile;
+  p.mode = mode;
+  MatMulWorkload w(p);
+  EXPECT_TRUE(core::run_workload(MachineConfig{}, w).verified) << w.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MatMulSweep,
+    ::testing::Values(MmSweepCase{8, 4, MmMode::kSerial},
+                      MmSweepCase{16, 8, MmMode::kSerial},
+                      MmSweepCase{16, 16, MmMode::kSerial},  // one tile
+                      MmSweepCase{32, 4, MmMode::kTlpFine},
+                      MmSweepCase{32, 8, MmMode::kTlpCoarse},
+                      MmSweepCase{32, 16, MmMode::kTlpPfetch},
+                      MmSweepCase{16, 8, MmMode::kTlpPfetchWork}));
+
+using LuSweepCase = std::tuple<size_t, size_t, LuMode>;
+
+class LuSweep : public ::testing::TestWithParam<LuSweepCase> {};
+
+TEST_P(LuSweep, CorrectAcrossSizesAndTiles) {
+  const auto [n, tile, mode] = GetParam();
+  LuParams p;
+  p.n = n;
+  p.tile = tile;
+  p.mode = mode;
+  LuWorkload w(p);
+  EXPECT_TRUE(core::run_workload(MachineConfig{}, w).verified) << w.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSweep,
+                         ::testing::Values(LuSweepCase{8, 4, LuMode::kSerial},
+                                           LuSweepCase{16, 16, LuMode::kSerial},
+                                           LuSweepCase{32, 4, LuMode::kTlpCoarse},
+                                           LuSweepCase{16, 8, LuMode::kTlpPfetch},
+                                           LuSweepCase{64, 32, LuMode::kSerial}));
+
+class CgSpanSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CgSpanSweep, SprCorrectAcrossSpanSizes) {
+  CgParams p;
+  p.n = 256;
+  p.nz_per_row = 4;
+  p.iters = 5;
+  p.span_rows = GetParam();
+  p.mode = CgMode::kTlpPfetch;
+  CgWorkload w(p);
+  EXPECT_TRUE(core::run_workload(MachineConfig{}, w).verified)
+      << "span=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Spans, CgSpanSweep,
+                         ::testing::Values(8, 16, 64, 256));
+
+TEST(CgSweep, HybridWithTinySpans) {
+  CgParams p;
+  p.n = 128;
+  p.nz_per_row = 3;
+  p.iters = 4;
+  p.span_rows = 8;
+  p.mode = CgMode::kTlpPfetchWork;
+  CgWorkload w(p);
+  EXPECT_TRUE(core::run_workload(MachineConfig{}, w).verified);
+}
+
+using BtSweepCase = std::tuple<size_t, size_t, BtMode>;
+
+class BtSweep : public ::testing::TestWithParam<BtSweepCase> {};
+
+TEST_P(BtSweep, CorrectAcrossGridShapes) {
+  const auto [lines, cells, mode] = GetParam();
+  BtParams p;
+  p.lines = lines;
+  p.cells = cells;
+  p.mode = mode;
+  BtWorkload w(p);
+  EXPECT_TRUE(core::run_workload(MachineConfig{}, w).verified) << w.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BtSweep,
+                         ::testing::Values(BtSweepCase{2, 2, BtMode::kSerial},
+                                           BtSweepCase{3, 7, BtMode::kTlpCoarse},
+                                           BtSweepCase{2, 12, BtMode::kTlpPfetch},
+                                           BtSweepCase{8, 4, BtMode::kTlpCoarse},
+                                           BtSweepCase{5, 3, BtMode::kSerial}));
+
+TEST(KernelConfigs, HaltBarriersAcrossSprKernels) {
+  // Every SPR kernel must stay correct when its throttling barriers use
+  // the halt/IPI sleeper protocol.
+  {
+    MatMulParams p;
+    p.n = 16;
+    p.tile = 4;
+    p.mode = MmMode::kTlpPfetchWork;
+    p.halt_barriers = true;
+    MatMulWorkload w(p);
+    EXPECT_TRUE(core::run_workload(MachineConfig{}, w).verified);
+  }
+  {
+    LuParams p;
+    p.n = 16;
+    p.tile = 4;
+    p.mode = LuMode::kTlpPfetch;
+    p.halt_barriers = true;
+    LuWorkload w(p);
+    EXPECT_TRUE(core::run_workload(MachineConfig{}, w).verified);
+  }
+  {
+    CgParams p;
+    p.n = 128;
+    p.nz_per_row = 3;
+    p.iters = 3;
+    p.span_rows = 16;
+    p.mode = CgMode::kTlpPfetch;
+    p.halt_barriers = true;
+    CgWorkload w(p);
+    EXPECT_TRUE(core::run_workload(MachineConfig{}, w).verified);
+  }
+}
+
+TEST(KernelConfigs, TightSpinBarriersStillCorrect) {
+  MatMulParams p;
+  p.n = 16;
+  p.tile = 4;
+  p.mode = MmMode::kTlpPfetch;
+  p.spin = sync::SpinKind::kTight;
+  MatMulWorkload w(p);
+  const RunStats st = core::run_workload(MachineConfig{}, w);
+  EXPECT_TRUE(st.verified);
+  // Tight spinning across the sync variables must trigger machine clears.
+  EXPECT_GT(st.total(perfmon::Event::kMachineClears), 0u);
+}
+
+TEST(KernelConfigs, KernelsRunOnCustomMachines) {
+  // A machine with tiny caches and no hardware prefetcher still computes
+  // correct results (timing changes, semantics do not).
+  MachineConfig cfg;
+  cfg.mem.l1 = {"L1", 2 * 1024, 2, 64};
+  cfg.mem.l2 = {"L2", 32 * 1024, 4, 64};
+  cfg.mem.hw_stream_prefetch = false;
+  cfg.core.rob_size = 32;
+  cfg.core.sched_window = 12;
+  MatMulParams p;
+  p.n = 16;
+  p.tile = 4;
+  p.mode = MmMode::kTlpCoarse;
+  MatMulWorkload w(p);
+  EXPECT_TRUE(core::run_workload(cfg, w).verified);
+}
+
+TEST(Lu, PrefetcherExecutesComparableInstructionCount) {
+  LuParams p;
+  p.n = 32;
+  p.tile = 8;
+  p.mode = LuMode::kTlpPfetch;
+  LuWorkload w(p);
+  const RunStats stats = core::run_workload(MachineConfig{}, w);
+  ASSERT_TRUE(stats.verified);
+  const double worker =
+      static_cast<double>(stats.cpu(CpuId::kCpu0, Event::kInstrRetired));
+  const double pfetch =
+      static_cast<double>(stats.cpu(CpuId::kCpu1, Event::kInstrRetired));
+  // Paper Table 1: LU's prefetcher retires about as many instructions as
+  // the worker (3.26e9 vs 3.21e9). Accept a broad band around parity.
+  EXPECT_GT(pfetch, 0.25 * worker);
+  EXPECT_LT(pfetch, 2.5 * worker);
+}
+
+}  // namespace
+}  // namespace smt::kernels

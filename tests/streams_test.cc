@@ -1,0 +1,186 @@
+// Tests for the synthetic-stream generators and runners (paper §4): the
+// ILP construction, single-stream CPI behaviour, and co-execution
+// interactions that Figures 1 and 2 are built from.
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "streams/stream_gen.h"
+#include "streams/stream_runner.h"
+
+namespace smt::streams {
+namespace {
+
+StreamSpec spec(StreamKind k, IlpLevel ilp, uint64_t ops = 60'000) {
+  StreamSpec s;
+  s.kind = k;
+  s.ilp = ilp;
+  s.ops = ops;
+  return s;
+}
+
+double fadd_lat() {
+  return static_cast<double>(core::MachineConfig{}.core.lat_fadd);
+}
+
+TEST(StreamGen, ProgramsAreWellFormed) {
+  mem::MemoryLayout lay;
+  for (StreamKind k :
+       {StreamKind::kFAdd, StreamKind::kFSub, StreamKind::kFMul,
+        StreamKind::kFDiv, StreamKind::kFAddMul, StreamKind::kFLoad,
+        StreamKind::kFStore, StreamKind::kIAdd, StreamKind::kISub,
+        StreamKind::kIMul, StreamKind::kIDiv, StreamKind::kILoad,
+        StreamKind::kIStore}) {
+    for (IlpLevel l : {IlpLevel::kMin, IlpLevel::kMed, IlpLevel::kMax}) {
+      isa::Program p = build_stream(spec(k, l, 1000), lay, 0);
+      EXPECT_GT(p.size(), 10u) << p.name();
+      EXPECT_EQ(p.at(p.size() - 1).op, isa::Opcode::kExit);
+    }
+  }
+}
+
+TEST(StreamGen, LabelsNameKindAndIlp) {
+  EXPECT_EQ(spec(StreamKind::kFAdd, IlpLevel::kMin).label(), "fadd.minILP");
+  EXPECT_EQ(spec(StreamKind::kIStore, IlpLevel::kMax).label(),
+            "istore.maxILP");
+  EXPECT_EQ(spec(StreamKind::kFAddMul, IlpLevel::kMed).label(),
+            "fadd-mul.medILP");
+}
+
+TEST(StreamGen, Predicates) {
+  EXPECT_TRUE(is_fp_stream(StreamKind::kFAddMul));
+  EXPECT_TRUE(is_fp_stream(StreamKind::kFLoad));
+  EXPECT_FALSE(is_fp_stream(StreamKind::kILoad));
+  EXPECT_TRUE(is_memory_stream(StreamKind::kIStore));
+  EXPECT_FALSE(is_memory_stream(StreamKind::kIAdd));
+}
+
+// --- Figure 1 shapes -------------------------------------------------------
+
+TEST(SingleStream, FaddMinIlpRunsAtUnitLatency) {
+  const StreamMeasurement r = run_single(spec(StreamKind::kFAdd, IlpLevel::kMin));
+  EXPECT_NEAR(r.cpi[0], fadd_lat(), 0.8);
+}
+
+TEST(SingleStream, FaddMaxIlpSaturatesTheAdder) {
+  const StreamMeasurement r = run_single(spec(StreamKind::kFAdd, IlpLevel::kMax));
+  EXPECT_LT(r.cpi[0], 1.4);
+}
+
+TEST(SingleStream, FaddIlpOrderingIsMonotone) {
+  const double cmin = run_single(spec(StreamKind::kFAdd, IlpLevel::kMin)).cpi[0];
+  const double cmed = run_single(spec(StreamKind::kFAdd, IlpLevel::kMed)).cpi[0];
+  const double cmax = run_single(spec(StreamKind::kFAdd, IlpLevel::kMax)).cpi[0];
+  EXPECT_GT(cmin, cmed);
+  EXPECT_GT(cmed, cmax);
+}
+
+TEST(SingleStream, FdivIsIlpInsensitive) {
+  const double cmin = run_single(spec(StreamKind::kFDiv, IlpLevel::kMin, 6000)).cpi[0];
+  const double cmax = run_single(spec(StreamKind::kFDiv, IlpLevel::kMax, 6000)).cpi[0];
+  // The unpipelined divider serializes regardless of chain count.
+  EXPECT_NEAR(cmin, cmax, 0.15 * cmin);
+}
+
+TEST(SingleStream, IaddThroughputIsFlatAcrossIlp) {
+  const double cmin = run_single(spec(StreamKind::kIAdd, IlpLevel::kMin)).cpi[0];
+  const double cmax = run_single(spec(StreamKind::kIAdd, IlpLevel::kMax)).cpi[0];
+  // Paper Fig. 1: "the throughput remains the same in all cases".
+  EXPECT_LT(cmin / cmax, 1.8);
+  EXPECT_LT(cmax, 1.0);
+}
+
+TEST(PairedStreams, FaddMaxIlpGainsNothingFromTlp) {
+  // 2thr-maxILP: both threads fight over the FP_ADD port; cumulative
+  // throughput equals single-threaded (Fig. 1).
+  const double alone = run_single(spec(StreamKind::kFAdd, IlpLevel::kMax)).cpi[0];
+  const StreamMeasurement pair = run_pair(spec(StreamKind::kFAdd, IlpLevel::kMax),
+                                          spec(StreamKind::kFAdd, IlpLevel::kMax));
+  EXPECT_NEAR(pair.cpi[0], 2.0 * alone, 0.5 * alone);
+}
+
+TEST(PairedStreams, FaddMinIlpCoexistsFreely) {
+  // 2thr-minILP: latency-bound chains interleave with no slowdown — the
+  // pure-win case of Fig. 1.
+  const double alone = run_single(spec(StreamKind::kFAdd, IlpLevel::kMin)).cpi[0];
+  const StreamMeasurement pair = run_pair(spec(StreamKind::kFAdd, IlpLevel::kMin),
+                                          spec(StreamKind::kFAdd, IlpLevel::kMin));
+  EXPECT_NEAR(pair.cpi[0], alone, 0.35 * alone);
+}
+
+// --- Figure 2 shapes -------------------------------------------------------
+
+TEST(Slowdown, FdivVersusFdivIsAboveOne) {
+  const double s = slowdown_factor(spec(StreamKind::kFDiv, IlpLevel::kMed, 4000),
+                                   spec(StreamKind::kFDiv, IlpLevel::kMed, 40000));
+  // Paper: 120%-140% slowdown; the shared unpipelined divider roughly
+  // serializes the two streams.
+  EXPECT_GT(s, 0.7);
+  EXPECT_LT(s, 1.6);
+}
+
+TEST(Slowdown, IaddVersusIaddSerializes) {
+  const double s = slowdown_factor(spec(StreamKind::kIAdd, IlpLevel::kMax),
+                                   spec(StreamKind::kIAdd, IlpLevel::kMax, 600000));
+  // Paper: ~100% slowdown, "equivalent to serial execution".
+  EXPECT_NEAR(s, 1.0, 0.45);
+}
+
+TEST(Slowdown, FaddAndFmulCoexistAtMinIlp) {
+  const double s = slowdown_factor(spec(StreamKind::kFAdd, IlpLevel::kMin),
+                                   spec(StreamKind::kFMul, IlpLevel::kMin, 600000));
+  // Paper: "in lowest ILP mode, all different pairs of fadd, fmul and fdiv
+  // streams can co-exist perfectly".
+  EXPECT_LT(s, 0.25);
+}
+
+TEST(Slowdown, ImulIsBarelyAffectedByCompany) {
+  const double s = slowdown_factor(spec(StreamKind::kIMul, IlpLevel::kMed, 20000),
+                                   spec(StreamKind::kIAdd, IlpLevel::kMed, 2000000));
+  EXPECT_LT(s, 0.35);  // paper: "imul and idiv almost unaffected"
+}
+
+TEST(Slowdown, VictimMeasurementUsesOverlappedWindowOnly) {
+  // The aggressor is much longer than the victim, so the victim's whole
+  // run is overlapped; the measurement must not depend on aggressor
+  // length beyond that.
+  const double s1 = slowdown_factor(spec(StreamKind::kFAdd, IlpLevel::kMax, 30000),
+                                    spec(StreamKind::kFAdd, IlpLevel::kMax, 300000));
+  const double s2 = slowdown_factor(spec(StreamKind::kFAdd, IlpLevel::kMax, 30000),
+                                    spec(StreamKind::kFAdd, IlpLevel::kMax, 3000000));
+  EXPECT_NEAR(s1, s2, 0.15);
+}
+
+// --- Memory streams --------------------------------------------------------
+
+TEST(MemoryStreams, LoadStreamTouchesItsVector) {
+  StreamSpec s = spec(StreamKind::kILoad, IlpLevel::kMax, 32 * 1024);
+  s.vector_words = 8 * 1024;  // 64 KiB, L2-resident
+  const StreamMeasurement r = run_single(s);
+  EXPECT_GT(r.instrs[0], s.ops);
+}
+
+TEST(MemoryStreams, TlpPreservesLoadStreamThroughput) {
+  // Paper Fig. 1 reports a slight cumulative TLP gain for iload. In this
+  // model the limiting resource (load-queue residence behind in-order
+  // retirement) is statically partitioned, so cumulative throughput is
+  // preserved rather than improved — a documented deviation; the key
+  // contrast with the serializing iadd/iadd pair still holds.
+  StreamSpec s = spec(StreamKind::kILoad, IlpLevel::kMin, 48 * 1024);
+  s.vector_words = 16 * 1024;
+  const double alone = run_single(s).cpi[0];
+  const StreamMeasurement pair = run_pair(s, s);
+  const double cumulative_single = 1.0 / alone;
+  const double cumulative_pair = 1.0 / pair.cpi[0] + 1.0 / pair.cpi[1];
+  EXPECT_GT(cumulative_pair, 0.85 * cumulative_single);
+}
+
+TEST(MemoryStreams, StoreStreamsRetireStores) {
+  StreamSpec s = spec(StreamKind::kFStore, IlpLevel::kMed, 16 * 1024);
+  s.vector_words = 4 * 1024;
+  const StreamMeasurement r = run_single(s);
+  EXPECT_GT(r.instrs[0], s.ops);
+  EXPECT_GT(r.cpi[0], 0.0);
+}
+
+}  // namespace
+}  // namespace smt::streams
