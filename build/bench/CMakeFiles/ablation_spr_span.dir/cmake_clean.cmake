@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spr_span.dir/ablation_spr_span.cc.o"
+  "CMakeFiles/ablation_spr_span.dir/ablation_spr_span.cc.o.d"
+  "ablation_spr_span"
+  "ablation_spr_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spr_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

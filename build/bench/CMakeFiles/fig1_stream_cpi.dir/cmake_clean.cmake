@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_stream_cpi.dir/fig1_stream_cpi.cc.o"
+  "CMakeFiles/fig1_stream_cpi.dir/fig1_stream_cpi.cc.o.d"
+  "fig1_stream_cpi"
+  "fig1_stream_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_stream_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_coexec.cc" "bench/CMakeFiles/fig2_coexec.dir/fig2_coexec.cc.o" "gcc" "bench/CMakeFiles/fig2_coexec.dir/fig2_coexec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/streams/CMakeFiles/smt_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/smt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmon/CMakeFiles/smt_perfmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_coexec.dir/fig2_coexec.cc.o"
+  "CMakeFiles/fig2_coexec.dir/fig2_coexec.cc.o.d"
+  "fig2_coexec"
+  "fig2_coexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_coexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_lu.dir/fig4_lu.cc.o"
+  "CMakeFiles/fig4_lu.dir/fig4_lu.cc.o.d"
+  "fig4_lu"
+  "fig4_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

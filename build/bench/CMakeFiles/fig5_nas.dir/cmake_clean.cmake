@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_nas.dir/fig5_nas.cc.o"
+  "CMakeFiles/fig5_nas.dir/fig5_nas.cc.o.d"
+  "fig5_nas"
+  "fig5_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

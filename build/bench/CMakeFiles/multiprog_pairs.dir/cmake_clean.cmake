@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprog_pairs.dir/multiprog_pairs.cc.o"
+  "CMakeFiles/multiprog_pairs.dir/multiprog_pairs.cc.o.d"
+  "multiprog_pairs"
+  "multiprog_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprog_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

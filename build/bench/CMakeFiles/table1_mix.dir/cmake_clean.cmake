@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mix.dir/table1_mix.cc.o"
+  "CMakeFiles/table1_mix.dir/table1_mix.cc.o.d"
+  "table1_mix"
+  "table1_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

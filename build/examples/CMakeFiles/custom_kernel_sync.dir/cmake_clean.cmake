@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_kernel_sync.dir/custom_kernel_sync.cpp.o"
+  "CMakeFiles/custom_kernel_sync.dir/custom_kernel_sync.cpp.o.d"
+  "custom_kernel_sync"
+  "custom_kernel_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_kernel_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

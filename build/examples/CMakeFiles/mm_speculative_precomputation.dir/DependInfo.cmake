@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mm_speculative_precomputation.cpp" "examples/CMakeFiles/mm_speculative_precomputation.dir/mm_speculative_precomputation.cpp.o" "gcc" "examples/CMakeFiles/mm_speculative_precomputation.dir/mm_speculative_precomputation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/smt_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/smt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/smt_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/smt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/smt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmon/CMakeFiles/smt_perfmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_speculative_precomputation.dir/mm_speculative_precomputation.cpp.o"
+  "CMakeFiles/mm_speculative_precomputation.dir/mm_speculative_precomputation.cpp.o.d"
+  "mm_speculative_precomputation"
+  "mm_speculative_precomputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_speculative_precomputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_interaction.dir/stream_interaction.cpp.o"
+  "CMakeFiles/stream_interaction.dir/stream_interaction.cpp.o.d"
+  "stream_interaction"
+  "stream_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_common.dir/table.cc.o"
+  "CMakeFiles/smt_common.dir/table.cc.o.d"
+  "libsmt_common.a"
+  "libsmt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_core.dir/machine.cc.o"
+  "CMakeFiles/smt_core.dir/machine.cc.o.d"
+  "CMakeFiles/smt_core.dir/runner.cc.o"
+  "CMakeFiles/smt_core.dir/runner.cc.o.d"
+  "libsmt_core.a"
+  "libsmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_cpu.dir/core.cc.o"
+  "CMakeFiles/smt_cpu.dir/core.cc.o.d"
+  "CMakeFiles/smt_cpu.dir/interp.cc.o"
+  "CMakeFiles/smt_cpu.dir/interp.cc.o.d"
+  "libsmt_cpu.a"
+  "libsmt_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

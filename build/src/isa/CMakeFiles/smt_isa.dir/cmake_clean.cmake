@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_isa.dir/asm_builder.cc.o"
+  "CMakeFiles/smt_isa.dir/asm_builder.cc.o.d"
+  "CMakeFiles/smt_isa.dir/disasm.cc.o"
+  "CMakeFiles/smt_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/smt_isa.dir/opcode.cc.o"
+  "CMakeFiles/smt_isa.dir/opcode.cc.o.d"
+  "libsmt_isa.a"
+  "libsmt_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_kernels.dir/bt.cc.o"
+  "CMakeFiles/smt_kernels.dir/bt.cc.o.d"
+  "CMakeFiles/smt_kernels.dir/cg.cc.o"
+  "CMakeFiles/smt_kernels.dir/cg.cc.o.d"
+  "CMakeFiles/smt_kernels.dir/layouts.cc.o"
+  "CMakeFiles/smt_kernels.dir/layouts.cc.o.d"
+  "CMakeFiles/smt_kernels.dir/lu.cc.o"
+  "CMakeFiles/smt_kernels.dir/lu.cc.o.d"
+  "CMakeFiles/smt_kernels.dir/matmul.cc.o"
+  "CMakeFiles/smt_kernels.dir/matmul.cc.o.d"
+  "CMakeFiles/smt_kernels.dir/reference.cc.o"
+  "CMakeFiles/smt_kernels.dir/reference.cc.o.d"
+  "libsmt_kernels.a"
+  "libsmt_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmt_kernels.a"
+)

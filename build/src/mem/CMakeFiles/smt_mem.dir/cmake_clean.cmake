@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_mem.dir/cache.cc.o"
+  "CMakeFiles/smt_mem.dir/cache.cc.o.d"
+  "CMakeFiles/smt_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/smt_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/smt_mem.dir/sim_memory.cc.o"
+  "CMakeFiles/smt_mem.dir/sim_memory.cc.o.d"
+  "libsmt_mem.a"
+  "libsmt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_perfmon.dir/counters.cc.o"
+  "CMakeFiles/smt_perfmon.dir/counters.cc.o.d"
+  "libsmt_perfmon.a"
+  "libsmt_perfmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_perfmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

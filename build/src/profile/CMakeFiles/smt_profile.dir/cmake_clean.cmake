@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_profile.dir/delinquent.cc.o"
+  "CMakeFiles/smt_profile.dir/delinquent.cc.o.d"
+  "CMakeFiles/smt_profile.dir/mix_profiler.cc.o"
+  "CMakeFiles/smt_profile.dir/mix_profiler.cc.o.d"
+  "libsmt_profile.a"
+  "libsmt_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_streams.dir/stream_gen.cc.o"
+  "CMakeFiles/smt_streams.dir/stream_gen.cc.o.d"
+  "CMakeFiles/smt_streams.dir/stream_runner.cc.o"
+  "CMakeFiles/smt_streams.dir/stream_runner.cc.o.d"
+  "libsmt_streams.a"
+  "libsmt_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_sync.dir/primitives.cc.o"
+  "CMakeFiles/smt_sync.dir/primitives.cc.o.d"
+  "libsmt_sync.a"
+  "libsmt_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
