@@ -89,6 +89,9 @@ Outcome run_experiment(WaitKind kind) {
   }
 
   m.run();
+  Results::instance().put(std::string("sync.") + name(kind),
+                          stats_from(m, std::string("sync.") + name(kind),
+                                     /*verified=*/true));
   Outcome o;
   o.worker_cycles = m.counters().get(CpuId::kCpu0, Event::kCyclesActive);
   o.waiter_uops = m.counters().get(CpuId::kCpu1, Event::kUopsRetired);

@@ -7,8 +7,10 @@
 // the google-benchmark run completes.
 //
 // Environment knobs:
-//   SMT_BENCH_FULL=1   also run the largest (paper-scale-ratio) sizes
-//   SMT_BENCH_CSV=1    additionally dump each table as CSV
+//   SMT_BENCH_FULL=1          also run the largest (paper-scale-ratio) sizes
+//   SMT_BENCH_CSV=1           additionally dump each table as CSV
+//   SMT_BENCH_REPORT_DIR=dir  write a RunReport JSON artifact per recorded
+//                             run into `dir` (see core/run_report.h)
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -21,6 +23,8 @@
 #include <vector>
 
 #include "common/table.h"
+#include "core/machine.h"
+#include "core/run_report.h"
 #include "core/runner.h"
 #include "perfmon/counters.h"
 
@@ -36,6 +40,47 @@ inline bool csv_mode() {
   return v != nullptr && v[0] == '1';
 }
 
+/// Directory for RunReport JSON artifacts, or "" when reporting is off.
+inline const std::string& report_dir() {
+  static const std::string dir = [] {
+    const char* v = std::getenv("SMT_BENCH_REPORT_DIR");
+    return std::string(v != nullptr ? v : "");
+  }();
+  return dir;
+}
+
+/// Per-binary filename prefix for report artifacts (the basename of
+/// argv[0], set by bench_main).
+inline std::string& report_prefix() {
+  static std::string prefix = "bench";
+  return prefix;
+}
+
+/// Turns a registry key into a safe filename fragment.
+inline std::string sanitize_key(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Builds RunStats directly from a machine a bench drove by hand (the
+/// run_workload path fills these automatically).
+inline core::RunStats stats_from(const core::Machine& m, std::string name,
+                                 bool verified) {
+  core::RunStats s;
+  s.workload = std::move(name);
+  s.cycles = m.cycles();
+  s.events = m.counters().snapshot();
+  s.verified = verified;
+  s.config = m.config();
+  return s;
+}
+
 /// Registry of named measurements filled during the benchmark run and
 /// consumed by the table printers afterwards.
 class Results {
@@ -46,6 +91,14 @@ class Results {
   }
 
   void put(const std::string& key, core::RunStats stats) {
+    if (!report_dir().empty()) {
+      const std::string path = report_dir() + "/" + report_prefix() + "." +
+                               sanitize_key(key) + ".json";
+      if (!core::RunReport::from(stats).write_json_file(path)) {
+        std::fprintf(stderr, "warning: could not write report %s\n",
+                     path.c_str());
+      }
+    }
     stats_[key] = std::move(stats);
   }
 
@@ -94,6 +147,12 @@ inline void print_table(const std::string& title, const TextTable& t) {
 /// the binary's printer.
 inline int bench_main(int argc, char** argv, std::function<void()> register_all,
                       std::function<void()> print_all) {
+  if (argc > 0 && argv[0] != nullptr) {
+    std::string base = argv[0];
+    const size_t slash = base.find_last_of('/');
+    if (slash != std::string::npos) base = base.substr(slash + 1);
+    if (!base.empty()) report_prefix() = base;
+  }
   benchmark::Initialize(&argc, argv);
   register_all();
   benchmark::RunSpecifiedBenchmarks();

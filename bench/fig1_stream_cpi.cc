@@ -42,10 +42,12 @@ void register_all() {
       register_run(key(k, l, 1), [k, l] {
         const auto m = streams::run_single(spec_for(k, l));
         Results::instance().put_value(key(k, l, 1), m.cpi[0]);
+        Results::instance().put(key(k, l, 1), m.stats);
       });
       register_run(key(k, l, 2), [k, l] {
         const auto m = streams::run_pair(spec_for(k, l), spec_for(k, l));
         Results::instance().put_value(key(k, l, 2), m.cpi[0]);
+        Results::instance().put(key(k, l, 2), m.stats);
       });
     }
   }

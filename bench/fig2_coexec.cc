@@ -68,8 +68,9 @@ void register_panel(const StreamKind (&victims)[NV],
       if (!res.has_value(skey(v, l))) {
         res.put_value(skey(v, l), -1.0);  // reserve; filled by the run
         register_run(skey(v, l), [v, l] {
-          Results::instance().put_value(skey(v, l),
-                                        streams::run_single(make(v, l)).cpi[0]);
+          const auto m = streams::run_single(make(v, l));
+          Results::instance().put_value(skey(v, l), m.cpi[0]);
+          Results::instance().put(skey(v, l), m.stats);
         });
       }
       for (StreamKind a : aggressors) {
@@ -81,6 +82,7 @@ void register_panel(const StreamKind (&victims)[NV],
           // overlapped (mirrors the paper's continuous co-execution).
           const auto m = streams::run_pair(make(v, l), make(a, l, 4));
           Results::instance().put_value(k, m.cpi[0]);
+          Results::instance().put(k, m.stats);
         });
       }
     }

@@ -91,7 +91,9 @@ void register_all() {
       App app = make_app(a, m, 0);
       m.load_program(CpuId::kCpu0, app.program);
       m.run();
-      SMT_CHECK(app.workload->verify(m));
+      const bool ok = app.workload->verify(m);
+      SMT_CHECK(ok);
+      Results::instance().put(solo_key(a), stats_from(m, solo_key(a), ok));
       Results::instance().put_value(
           solo_key(a),
           static_cast<double>(
@@ -113,6 +115,7 @@ void register_all() {
         // Measure over the fully-overlapped window (first finisher), like
         // the stream pair experiments; CPI of app A is the victim metric.
         m.run_until_any_done();
+        Results::instance().put(k, stats_from(m, k, /*verified=*/true));
         Results::instance().put_value(
             k, static_cast<double>(
                    m.counters().get(CpuId::kCpu0, Event::kCyclesActive)) /

@@ -27,9 +27,10 @@ struct Column {
 };
 
 /// Runs a workload with the profiler attached and extracts the column for
-/// `view` (the instrumented thread).
+/// `view` (the instrumented thread). `key` names the run in the results
+/// registry (and its report artifact).
 template <typename W>
-Column profile_workload(W& w, CpuId view) {
+Column profile_workload(W& w, CpuId view, const std::string& key) {
   core::Machine m{core::MachineConfig{}};
   MixProfiler prof;
   m.core().set_retire_observer(&prof);
@@ -39,7 +40,9 @@ Column profile_workload(W& w, CpuId view) {
     m.load_program(static_cast<CpuId>(i), std::move(progs[i]));
   }
   m.run();
-  SMT_CHECK_MSG(w.verify(m), "workload verification failed");
+  const bool ok = w.verify(m);
+  SMT_CHECK_MSG(ok, "workload verification failed");
+  Results::instance().put(key, stats_from(m, key, ok));
   Column c;
   for (int s = 0; s < static_cast<int>(Subunit::kNumSubunits); ++s) {
     c.pct[s] = prof.pct(view, static_cast<Subunit>(s));
@@ -65,18 +68,18 @@ void register_all() {
     p.tile = 16;
     {
       kernels::MatMulWorkload w(p);
-      c.serial = profile_workload(w, CpuId::kCpu0);
+      c.serial = profile_workload(w, CpuId::kCpu0, "table1.mm.serial");
     }
     p.mode = kernels::MmMode::kTlpCoarse;
     {
       kernels::MatMulWorkload w(p);
-      c.tlp = profile_workload(w, CpuId::kCpu0);
+      c.tlp = profile_workload(w, CpuId::kCpu0, "table1.mm.tlp");
     }
     p.mode = kernels::MmMode::kTlpPfetch;
     p.halt_barriers = true;
     {
       kernels::MatMulWorkload w(p);
-      c.spr = profile_workload(w, CpuId::kCpu1);
+      c.spr = profile_workload(w, CpuId::kCpu1, "table1.mm.spr");
     }
     apps()["MM"] = c;
   });
@@ -88,17 +91,17 @@ void register_all() {
     p.tile = 16;
     {
       kernels::LuWorkload w(p);
-      c.serial = profile_workload(w, CpuId::kCpu0);
+      c.serial = profile_workload(w, CpuId::kCpu0, "table1.lu.serial");
     }
     p.mode = kernels::LuMode::kTlpCoarse;
     {
       kernels::LuWorkload w(p);
-      c.tlp = profile_workload(w, CpuId::kCpu0);
+      c.tlp = profile_workload(w, CpuId::kCpu0, "table1.lu.tlp");
     }
     p.mode = kernels::LuMode::kTlpPfetch;
     {
       kernels::LuWorkload w(p);
-      c.spr = profile_workload(w, CpuId::kCpu1);
+      c.spr = profile_workload(w, CpuId::kCpu1, "table1.lu.spr");
     }
     apps()["LU"] = c;
   });
@@ -111,17 +114,17 @@ void register_all() {
     p.iters = 4;
     {
       kernels::CgWorkload w(p);
-      c.serial = profile_workload(w, CpuId::kCpu0);
+      c.serial = profile_workload(w, CpuId::kCpu0, "table1.cg.serial");
     }
     p.mode = kernels::CgMode::kTlpCoarse;
     {
       kernels::CgWorkload w(p);
-      c.tlp = profile_workload(w, CpuId::kCpu0);
+      c.tlp = profile_workload(w, CpuId::kCpu0, "table1.cg.tlp");
     }
     p.mode = kernels::CgMode::kTlpPfetch;
     {
       kernels::CgWorkload w(p);
-      c.spr = profile_workload(w, CpuId::kCpu1);
+      c.spr = profile_workload(w, CpuId::kCpu1, "table1.cg.spr");
     }
     apps()["CG"] = c;
   });
@@ -133,17 +136,17 @@ void register_all() {
     p.cells = 16;
     {
       kernels::BtWorkload w(p);
-      c.serial = profile_workload(w, CpuId::kCpu0);
+      c.serial = profile_workload(w, CpuId::kCpu0, "table1.bt.serial");
     }
     p.mode = kernels::BtMode::kTlpCoarse;
     {
       kernels::BtWorkload w(p);
-      c.tlp = profile_workload(w, CpuId::kCpu0);
+      c.tlp = profile_workload(w, CpuId::kCpu0, "table1.bt.tlp");
     }
     p.mode = kernels::BtMode::kTlpPfetch;
     {
       kernels::BtWorkload w(p);
-      c.spr = profile_workload(w, CpuId::kCpu1);
+      c.spr = profile_workload(w, CpuId::kCpu1, "table1.bt.spr");
     }
     apps()["BT"] = c;
   });

@@ -1,0 +1,17 @@
+# Smoke test driver: run a bench binary with report emission enabled, then
+# validate the artifacts with check_reports. Invoked by ctest (see
+# tools/CMakeLists.txt) as:
+#   cmake -DBENCH=... -DCHECKER=... -DREPORT_DIR=... -P report_smoke.cmake
+file(REMOVE_RECURSE "${REPORT_DIR}")
+file(MAKE_DIRECTORY "${REPORT_DIR}")
+
+set(ENV{SMT_BENCH_REPORT_DIR} "${REPORT_DIR}")
+execute_process(COMMAND "${BENCH}" RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench binary failed: ${bench_rc}")
+endif()
+
+execute_process(COMMAND "${CHECKER}" "${REPORT_DIR}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "report artifacts failed validation: ${rc}")
+endif()

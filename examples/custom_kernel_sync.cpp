@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/machine.h"
+#include "core/run_report.h"
 #include "isa/asm_builder.h"
 #include "perfmon/events.h"
 #include "sync/primitives.h"
@@ -104,5 +105,11 @@ int main() {
   std::printf("machine clears (spin-exit memory-order violations): %llu\n",
               static_cast<unsigned long long>(
                   m.counters().total(Event::kMachineClears)));
+  std::printf("\n%s",
+              core::report_from_machine(
+                  m, "producer-consumer",
+                  m.memory().read_i64(sum_out) == expected)
+                  .to_table()
+                  .c_str());
   return 0;
 }

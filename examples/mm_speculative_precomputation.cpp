@@ -13,6 +13,7 @@
 #include <cstdlib>
 
 #include "core/machine.h"
+#include "core/run_report.h"
 #include "kernels/matmul.h"
 #include "perfmon/events.h"
 #include "profile/delinquent.h"
@@ -29,6 +30,7 @@ struct Run {
   Cycle cycles;
   uint64_t worker_l2;
   uint64_t uops;
+  core::RunReport report;
 };
 
 Run run_mode(const MatMulParams& p, bool profile_misses) {
@@ -55,7 +57,8 @@ Run run_mode(const MatMulParams& p, bool profile_misses) {
                 profile::report(loads).c_str());
   }
   return {m.cycles(), m.counters().get(CpuId::kCpu0, Event::kL2ReadMisses),
-          m.counters().total(Event::kUopsRetired)};
+          m.counters().total(Event::kUopsRetired),
+          core::report_from_machine(m, w.name(), true)};
 }
 
 }  // namespace
@@ -89,5 +92,8 @@ int main(int argc, char** argv) {
       (double)serial.cycles / spr.cycles,
       100.0 * (1.0 - (double)spr.worker_l2 /
                          (serial.worker_l2 ? serial.worker_l2 : 1)));
+  std::printf("\nWhere the SPR run's cycles went (cpu0 = worker, cpu1 = "
+              "prefetcher):\n%s",
+              spr.report.to_table().c_str());
   return 0;
 }

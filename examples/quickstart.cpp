@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "core/machine.h"
+#include "core/run_report.h"
 #include "isa/asm_builder.h"
 #include "isa/disasm.h"
 #include "perfmon/events.h"
@@ -62,5 +63,17 @@ int main() {
               static_cast<unsigned long long>(
                   c.get(CpuId::kCpu0, Event::kL2ReadMisses)));
   std::printf("\nAll counters:\n%s", c.to_string().c_str());
+
+  // 6. A structured run report: top-down cycle accounting per logical CPU,
+  //    plus a JSON artifact with every counter and the machine config —
+  //    the same format all bench binaries emit under SMT_BENCH_REPORT_DIR.
+  const core::RunReport report = core::report_from_machine(
+      m, "quickstart.sum",
+      /*verified=*/m.memory().read_f64(out) == 0.5 * 63 * 64 / 2);
+  std::printf("\n%s", report.to_table().c_str());
+  const char* json_path = "quickstart.report.json";
+  if (report.write_json_file(json_path)) {
+    std::printf("\nwrote %s\n", json_path);
+  }
   return 0;
 }

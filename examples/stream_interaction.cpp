@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "core/run_report.h"
 #include "streams/stream_gen.h"
 #include "streams/stream_runner.h"
 
@@ -100,5 +101,8 @@ int main(int argc, char** argv) {
   const double cum_pair = 1.0 / pair.cpi[0] + 1.0 / pair.cpi[1];
   std::printf("cumulative throughput: %.2f instr/cycle co-run vs %.2f for A alone\n",
               cum_pair, cum_alone);
+
+  // Where the co-run cycles went, per logical CPU (top-down accounting).
+  std::printf("\n%s", core::RunReport::from(pair.stats).to_table().c_str());
   return 0;
 }

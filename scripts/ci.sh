@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 CI: configure, build, run the full test suite (which includes the
+# bench-report smoke test), then double-check that a bench binary emits
+# parseable RunReport JSON artifacts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+# Belt-and-braces: drive the cheapest bench with reporting on and validate.
+report_dir=$(mktemp -d)
+trap 'rm -rf "$report_dir"' EXIT
+SMT_BENCH_REPORT_DIR="$report_dir" ./build/bench/ablation_sync > /dev/null
+./build/tools/check_reports "$report_dir"

@@ -1,0 +1,50 @@
+// RunReport: a structured, machine-readable artifact describing one
+// simulated run — the RunStats, a top-down per-CPU cycle-accounting
+// breakdown derived from them, and the machine configuration the run
+// executed on. Every figure-reproduction bench emits one of these as JSON
+// (see bench/bench_util.h) so results are comparable across configs and
+// revisions without scraping stdout tables.
+//
+// JSON schema (versioned by the "schema" member, currently
+// "smt-run-report/1"):
+//   {
+//     "schema": "smt-run-report/1",
+//     "workload": "...", "cycles": N, "verified": true,
+//     "config": { "core": {...}, "mem": {...} },
+//     "cpus": [ { "cpu": 0,
+//                 "events": { "<event name>": N, ... },   // all counters
+//                 "breakdown": { "total": N, "active": N, ... } }, ... ],
+//     "totals": { "instr_retired": N, "uops_retired": N, "ipc": X }
+//   }
+#pragma once
+
+#include <string>
+
+#include "core/runner.h"
+#include "perfmon/cycle_accounting.h"
+
+namespace smt::core {
+
+struct RunReport {
+  RunStats stats;
+  perfmon::CycleAccounting accounting;
+
+  /// Builds the report (derives the cycle accounting) from finished stats.
+  static RunReport from(const RunStats& stats);
+
+  /// Serializes the full report as a single JSON object.
+  std::string to_json() const;
+
+  /// Human-readable summary: header line plus the cycle-accounting table.
+  std::string to_table() const;
+
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write_json_file(const std::string& path) const;
+};
+
+/// Convenience for callers that drove a Machine by hand (examples, ad-hoc
+/// experiments): snapshots its counters and config into a report.
+RunReport report_from_machine(const Machine& m, std::string workload,
+                              bool verified);
+
+}  // namespace smt::core

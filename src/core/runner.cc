@@ -21,6 +21,7 @@ RunStats run_workload(const MachineConfig& cfg, Workload& w,
   stats.cycles = m.cycles();
   stats.events = m.counters().snapshot();
   stats.verified = w.verify(m);
+  stats.config = cfg;
   return stats;
 }
 

@@ -15,6 +15,7 @@ struct RunStats {
   Cycle cycles = 0;            ///< wall-clock execution time in core cycles
   perfmon::Snapshot events;    ///< all per-logical-CPU counters
   bool verified = false;
+  MachineConfig config;        ///< the machine the run executed on
 
   uint64_t total(perfmon::Event e) const { return events.total(e); }
   uint64_t cpu(CpuId c, perfmon::Event e) const { return events.get(c, e); }

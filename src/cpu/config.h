@@ -84,6 +84,14 @@ struct CoreConfig {
   Cycle machine_clear_penalty = 60;
   Cycle machine_clear_window = 60;
 
+  // Event-skip fast-forward: when a whole cycle passes with no activity,
+  // jump straight to the next scheduled event, bulk-accumulating the
+  // per-cycle counters. Turning this off forces single-cycle stepping;
+  // all performance counters must be bit-identical either way (the
+  // equivalence is regression-tested), so this exists for those tests and
+  // for debugging, not as a tuning knob.
+  bool event_skip = true;
+
   // Abort the simulation if no context retires anything for this long
   // (deadlocked simulated synchronization).
   Cycle watchdog_cycles = 20'000'000;

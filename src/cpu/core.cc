@@ -294,7 +294,12 @@ bool Core::try_issue_one(Thread& t, CpuId cpu, int& budget) {
         done = now_ + cfg_.latency(u.op);
         break;
       case UnitClass::kIntDiv:
+        // Integer divides execute in the FP complex unit (paper Table 1's
+        // subunit mapping), through the same single FP issue port as
+        // INT_MUL and the FP arithmetic units.
+        if (cap_fp_port_ <= 0) continue;
         if (cfg_.idiv_unpipelined && idiv_busy_until_ > now_) continue;
+        --cap_fp_port_;
         done = now_ + cfg_.latency(u.op);
         if (cfg_.idiv_unpipelined) idiv_busy_until_ = done;
         break;
@@ -595,13 +600,17 @@ bool Core::step_cycle() {
   // Fetch: one context per cycle (alternating), donated when blocked.
   {
     const int pref = static_cast<int>(now_ % 2);
+    for (int i = 0; i < kNumLogicalCpus; ++i) threads_[i].uq_full = false;
     for (int k = 0; k < 2; ++k) {
       const int ti = (pref + k) % 2;
       Thread& t = threads_[ti];
       if (t.mode != TMode::kRunning) continue;
       if (t.fetch_stall_until > now_) continue;
       if (t.uq.size() >= static_cast<size_t>(uq_limit(static_cast<CpuId>(ti)))) {
-        ctr_.add(static_cast<CpuId>(ti), Event::kUopQueueFullCycles);
+        // The slot is donated; the cycle is attributed to
+        // kUopQueueFullCycles in record_cycle_counters so the count
+        // replays exactly across event-skip windows.
+        t.uq_full = true;
         continue;
       }
       const TMode mode_before = t.mode;
@@ -613,11 +622,11 @@ bool Core::step_cycle() {
     }
   }
 
-  record_cycle_counters(1);
+  record_cycle_counters(now_, 1);
   return any;
 }
 
-void Core::record_cycle_counters(Cycle n) {
+void Core::record_cycle_counters(Cycle first, Cycle n) {
   for (int i = 0; i < kNumLogicalCpus; ++i) {
     const Thread& t = threads_[i];
     const CpuId cpu = static_cast<CpuId>(i);
@@ -635,8 +644,16 @@ void Core::record_cycle_counters(Cycle n) {
       default:
         break;
     }
-    if (t.mode == TMode::kRunning && t.fetch_stall_until > now_) {
-      ctr_.add(cpu, Event::kFetchStallCycles, n);
+    if (t.mode == TMode::kRunning && t.fetch_stall_until > first) {
+      // Count only the cycles of [first, first+n) the stall covers. (For a
+      // skipped window the stall in fact covers all of it — fetch_stall_until
+      // is a next-event candidate — but clamping keeps the math exact by
+      // construction rather than by that invariant.)
+      ctr_.add(cpu, Event::kFetchStallCycles,
+               std::min(t.fetch_stall_until, first + n) - first);
+    }
+    if (t.mode == TMode::kRunning && t.uq_full) {
+      ctr_.add(cpu, Event::kUopQueueFullCycles, n);
     }
     switch (t.stall) {
       case StallReason::kRob:
@@ -692,10 +709,10 @@ void Core::run(Cycle max_cycles) {
   last_retire_cycle_ = now_;
   while (!all_done()) {
     const bool any = step_cycle();
-    if (!any) {
+    if (!any && cfg_.event_skip) {
       const Cycle next = next_event_cycle();
       if (next > now_ + 1) {
-        record_cycle_counters(next - now_ - 1);
+        record_cycle_counters(now_ + 1, next - now_ - 1);
         now_ = next;
         continue;
       }
@@ -717,10 +734,10 @@ CpuId Core::run_until_any_done(Cycle max_cycles) {
       }
     }
     const bool any = step_cycle();
-    if (!any) {
+    if (!any && cfg_.event_skip) {
       const Cycle next = next_event_cycle();
       if (next > now_ + 1) {
-        record_cycle_counters(next - now_ - 1);
+        record_cycle_counters(now_ + 1, next - now_ - 1);
         now_ = next;
         continue;
       }

@@ -140,6 +140,10 @@ class Core {
     std::vector<Cycle> sb_drain_free_at;
     bool ipi_pending = false;
     StallReason stall = StallReason::kNone;
+    // Set by the fetch stage when this context donated its slot because
+    // the uop queue was full; consumed by record_cycle_counters so the
+    // attribution replays exactly across event-skip windows.
+    bool uq_full = false;
     // Recent-load/-store rings for memory-order-violation detection.
     static constexpr int kRlSize = 8;
     static constexpr int kRsSize = 16;
@@ -177,7 +181,12 @@ class Core {
   bool dep_ready(const Thread& t, uint64_t seq) const;
   void reclaim_store_buffer(Thread& t);
   void deliver_ipi(CpuId target);
-  void record_cycle_counters(Cycle n);
+  /// Accumulates the per-cycle counters for the `n` cycles [first, first+n).
+  /// Called with (now_, 1) at the end of every stepped cycle and with the
+  /// skipped window during event-skip fast-forward; the attribution is
+  /// bit-identical either way (regression-tested), because within a
+  /// no-activity window every per-cycle predicate is provably constant.
+  void record_cycle_counters(Cycle first, Cycle n);
   Cycle next_event_cycle() const;
   void mirror_access_stats(CpuId cpu, const mem::AccessOutcome& out,
                            bool is_load);

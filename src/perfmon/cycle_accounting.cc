@@ -1,0 +1,88 @@
+#include "perfmon/cycle_accounting.h"
+
+#include <cstdio>
+
+#include "common/table.h"
+
+namespace smt::perfmon {
+
+namespace {
+
+CpuCycleBreakdown account_cpu(const Snapshot& s, CpuId cpu,
+                              Cycle total_cycles) {
+  CpuCycleBreakdown b;
+  b.total = total_cycles;
+  b.active = s.get(cpu, Event::kCyclesActive);
+  b.halted = s.get(cpu, Event::kCyclesHalted);
+  const uint64_t accounted = b.active + b.halted;
+  b.idle = total_cycles > accounted ? total_cycles - accounted : 0;
+
+  b.fetch_stalled = s.get(cpu, Event::kFetchStallCycles);
+  b.resource_stalled = s.get(cpu, Event::kResourceStallCycles);
+  b.stall_rob = s.get(cpu, Event::kRobStallCycles);
+  b.stall_load_queue = s.get(cpu, Event::kLoadQueueStallCycles);
+  b.stall_store_buffer = s.get(cpu, Event::kStoreBufferStallCycles);
+  b.uop_queue_full = s.get(cpu, Event::kUopQueueFullCycles);
+
+  b.memory_bound = b.stall_load_queue + b.stall_store_buffer;
+  b.issue_bound = b.stall_rob;
+  const uint64_t stalled = b.fetch_stalled + b.resource_stalled;
+  b.flowing = b.active > stalled ? b.active - stalled : 0;
+
+  b.instr_retired = s.get(cpu, Event::kInstrRetired);
+  b.uops_retired = s.get(cpu, Event::kUopsRetired);
+  if (b.active > 0) {
+    b.ipc = static_cast<double>(b.instr_retired) / static_cast<double>(b.active);
+    b.uops_per_cycle =
+        static_cast<double>(b.uops_retired) / static_cast<double>(b.active);
+  }
+  if (b.instr_retired > 0) {
+    b.cpi = static_cast<double>(b.active) / static_cast<double>(b.instr_retired);
+  }
+  return b;
+}
+
+}  // namespace
+
+CycleAccounting account_cycles(const Snapshot& events, Cycle total_cycles) {
+  CycleAccounting acc;
+  for (int i = 0; i < kNumLogicalCpus; ++i) {
+    acc.cpu[i] = account_cpu(events, static_cast<CpuId>(i), total_cycles);
+  }
+  return acc;
+}
+
+std::string to_table(const CycleAccounting& acc) {
+  TextTable t({"cycle accounting", "cpu0", "%", "cpu1", "%"});
+  const double wall =
+      acc.cpu[0].total > 0 ? static_cast<double>(acc.cpu[0].total) : 1.0;
+  auto row = [&](const char* label, uint64_t a, uint64_t b) {
+    t.add_row({label, fmt_count(a), fmt(100.0 * a / wall, 1),
+               fmt_count(b), fmt(100.0 * b / wall, 1)});
+  };
+  const CpuCycleBreakdown& c0 = acc.cpu[0];
+  const CpuCycleBreakdown& c1 = acc.cpu[1];
+  row("total (wall)", c0.total, c1.total);
+  row("active", c0.active, c1.active);
+  row("halted", c0.halted, c1.halted);
+  row("idle", c0.idle, c1.idle);
+  row("fetch stalled", c0.fetch_stalled, c1.fetch_stalled);
+  row("resource stalled", c0.resource_stalled, c1.resource_stalled);
+  row(".. rob", c0.stall_rob, c1.stall_rob);
+  row(".. load queue", c0.stall_load_queue, c1.stall_load_queue);
+  row(".. store buffer", c0.stall_store_buffer, c1.stall_store_buffer);
+  row("uop queue full", c0.uop_queue_full, c1.uop_queue_full);
+  row("memory bound", c0.memory_bound, c1.memory_bound);
+  row("issue bound", c0.issue_bound, c1.issue_bound);
+  row("flowing", c0.flowing, c1.flowing);
+  std::string out = t.to_string();
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "cpi %.3f / %.3f   ipc %.3f / %.3f   uops/cyc %.3f / %.3f\n",
+                c0.cpi, c1.cpi, c0.ipc, c1.ipc, c0.uops_per_cycle,
+                c1.uops_per_cycle);
+  out += buf;
+  return out;
+}
+
+}  // namespace smt::perfmon

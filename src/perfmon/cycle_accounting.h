@@ -1,0 +1,76 @@
+// Top-down cycle accounting per logical CPU, in the style of analytic
+// ECM-like models: every wall cycle of a run is attributed to a state
+// (halted / idle / active) and active cycles are further split by what
+// limited progress (frontend fetch stalls vs. allocator resource stalls by
+// blocking structure), with a memory-bound vs. issue-bound classification
+// of the resource stalls.
+//
+// The breakdown is purely derived from a perfmon::Snapshot plus the run's
+// wall-cycle count, so it can be computed over any counter interval
+// (snapshot deltas bracket a kernel phase exactly like the paper's
+// counter methodology). The producing core guarantees these counters are
+// exact under event-skip fast-forward (see cpu::Core::record_cycle_counters),
+// which is what makes this attribution trustworthy.
+//
+// Taxonomy (documented in DESIGN.md §7):
+//   total            wall cycles of the interval
+//   halted           cycles asleep in the halt state (incl. waking)
+//   active           cycles the context was not halted and had a program
+//   idle             total - active - halted (before binding / after exit)
+//   fetch_stalled    frontend stalled: pause de-pipelining / machine clear
+//   resource_stalled allocator blocked on a full buffering structure,
+//                    split into rob / load_queue / store_buffer
+//   uop_queue_full   frontend had uops but the uop queue was full
+//   memory_bound     load_queue + store_buffer stalls (waiting on the
+//                    memory system to drain/complete)
+//   issue_bound      rob stalls (retirement/issue could not keep up)
+//   flowing          active - fetch_stalled - resource_stalled, clamped at
+//                    zero; the categories are counted independently per
+//                    cycle and can overlap, so `flowing` is a lower bound
+//                    on unobstructed cycles.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.h"
+#include "perfmon/counters.h"
+
+namespace smt::perfmon {
+
+struct CpuCycleBreakdown {
+  uint64_t total = 0;
+  uint64_t active = 0;
+  uint64_t halted = 0;
+  uint64_t idle = 0;
+  uint64_t fetch_stalled = 0;
+  uint64_t resource_stalled = 0;
+  uint64_t stall_rob = 0;
+  uint64_t stall_load_queue = 0;
+  uint64_t stall_store_buffer = 0;
+  uint64_t uop_queue_full = 0;
+  uint64_t memory_bound = 0;
+  uint64_t issue_bound = 0;
+  uint64_t flowing = 0;
+
+  // Derived rates over the same interval.
+  uint64_t instr_retired = 0;
+  uint64_t uops_retired = 0;
+  double cpi = 0.0;             ///< active cycles per retired instruction
+  double ipc = 0.0;             ///< retired instructions per active cycle
+  double uops_per_cycle = 0.0;  ///< retired uops per active cycle
+};
+
+struct CycleAccounting {
+  std::array<CpuCycleBreakdown, kNumLogicalCpus> cpu;
+};
+
+/// Derives the per-CPU breakdown from `events` over an interval of
+/// `total_cycles` wall cycles.
+CycleAccounting account_cycles(const Snapshot& events, Cycle total_cycles);
+
+/// Aligned two-column (cpu0/cpu1) text rendering with percentages of the
+/// wall interval.
+std::string to_table(const CycleAccounting& acc);
+
+}  // namespace smt::perfmon

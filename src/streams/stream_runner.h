@@ -3,6 +3,7 @@
 #pragma once
 
 #include "core/machine.h"
+#include "core/runner.h"
 #include "streams/stream_gen.h"
 
 namespace smt::streams {
@@ -11,6 +12,9 @@ struct StreamMeasurement {
   double cpi[kNumLogicalCpus] = {0.0, 0.0};
   uint64_t instrs[kNumLogicalCpus] = {0, 0};
   Cycle cycles = 0;
+  /// Full counter snapshot + config of the measuring run, report-ready
+  /// (workload is the stream label, or "label+label" for pairs).
+  core::RunStats stats;
 };
 
 /// Runs one stream alone on logical CPU 0 (the sibling sits idle, so the

@@ -610,5 +610,280 @@ TEST(Runner, RunUntilAnyDoneReturnsTheFasterThread) {
   EXPECT_FALSE(m.core().done(kC1));
 }
 
+// ---------------------------------------------------------------------------
+// Integer divide issue port (Netburst port 1, shared with the FP units)
+// ---------------------------------------------------------------------------
+
+isa::Program idiv_chain(int chains, int count) {
+  AsmBuilder a("idiv");
+  for (int c = 0; c < chains; ++c) a.imovi(isa::ireg_n(c), 1 << 20);
+  a.imovi(IReg::R8, 1);
+  for (int i = 0; i < count; ++i) {
+    const IReg t = isa::ireg_n(i % chains);
+    a.idiv(t, t, IReg::R8);  // t /= 1: value-preserving, dependence-carrying
+  }
+  a.exit();
+  return a.take();
+}
+
+isa::Program fdiv_chain(int chains, int count) {
+  AsmBuilder a("fdiv");
+  for (int c = 0; c < chains; ++c) a.fmovi(isa::freg_n(c), 1.0);
+  a.fmovi(FReg::F8, 1.0);
+  for (int i = 0; i < count; ++i) {
+    const FReg t = isa::freg_n(i % chains);
+    a.fdiv(t, t, FReg::F8);
+  }
+  a.exit();
+  return a.take();
+}
+
+// Fully independent divides (constant sources, rotating dead targets): with
+// a pipelined divider, throughput is limited only by the issue port.
+isa::Program idiv_independent(int count) {
+  AsmBuilder a("idiv-ind");
+  a.imovi(IReg::R8, 3);
+  a.imovi(IReg::R9, 1 << 20);
+  for (int i = 0; i < count; ++i) {
+    a.idiv(isa::ireg_n(i % 6), IReg::R9, IReg::R8);
+  }
+  a.exit();
+  return a.take();
+}
+
+isa::Program fdiv_independent(int count) {
+  AsmBuilder a("fdiv-ind");
+  a.fmovi(FReg::F8, 3.0);
+  a.fmovi(FReg::F9, 1.0);
+  for (int i = 0; i < count; ++i) {
+    a.fdiv(isa::freg_n(i % 6), FReg::F9, FReg::F8);
+  }
+  a.exit();
+  return a.take();
+}
+
+TEST(IdivPort, PipelinedIdivStreamIsIssuePortBound) {
+  // With the (hypothetical) pipelined divider, six independent idiv chains
+  // are limited by the single FP issue port: one divide per cycle, CPI ~1.
+  // A divider that issued without consuming port capacity would run at the
+  // 3-wide retire bound instead (CPI ~0.33) — the regression this guards.
+  MachineConfig cfg;
+  cfg.core.idiv_unpipelined = false;
+  Machine m{cfg};
+  m.load_program(kC0, idiv_independent(1200));
+  m.run();
+  EXPECT_GT(cpi(m, kC0), 0.85);
+  EXPECT_LT(cpi(m, kC0), 1.3);
+}
+
+TEST(IdivPort, UnpipelinedIdivStreamSerializesAtDivideLatency) {
+  Machine m;
+  m.load_program(kC0, idiv_chain(6, 400));
+  m.run();
+  EXPECT_NEAR(cpi(m, kC0), static_cast<double>(m.config().core.lat_idiv),
+              2.0);
+}
+
+TEST(IdivPort, CoScheduledPipelinedDivideStreamsShareTheFpPort) {
+  // Pipelined idiv beside pipelined fdiv: both feed through the one FP
+  // issue port, so each gets every other cycle (CPI ~2 apiece). Before the
+  // port fix the idiv stream issued for free and both ran at CPI ~1.
+  MachineConfig cfg;
+  cfg.core.idiv_unpipelined = false;
+  cfg.core.fdiv_unpipelined = false;
+  Machine m{cfg};
+  m.load_program(kC0, idiv_independent(1200));
+  m.load_program(kC1, fdiv_independent(1200));
+  m.run_until_any_done();
+  EXPECT_GT(cpi(m, kC0), 1.6);
+  EXPECT_GT(cpi(m, kC1), 1.6);
+}
+
+TEST(IdivPort, CoScheduledUnpipelinedDividersBarelyInterfere) {
+  // Default (unpipelined) dividers: each stream is bound by its own divide
+  // unit, and one divide every ~40-56 cycles leaves the shared port nearly
+  // idle — co-execution stays near the stand-alone latencies (the paper's
+  // Figure 2 shows idiv/fdiv pairs nearly unaffected).
+  Machine m;
+  m.load_program(kC0, idiv_chain(6, 200));
+  m.load_program(kC1, fdiv_chain(6, 200));
+  m.run_until_any_done();
+  EXPECT_NEAR(cpi(m, kC0), static_cast<double>(m.config().core.lat_idiv),
+              4.0);
+  EXPECT_NEAR(cpi(m, kC1), static_cast<double>(m.config().core.lat_fdiv),
+              4.0);
+}
+
+// ---------------------------------------------------------------------------
+// IPI delivery windows (sticky wake-up protocol)
+// ---------------------------------------------------------------------------
+
+// The sleeper publishes "about to halt" and halts; the waker spins for the
+// flag, then burns `delay` loop iterations before storing the payload and
+// sending the IPI. Sweeping the delay lands the IPI in every sleeper phase:
+// still running (IPI must latch and make the upcoming halt fall through),
+// draining (kHalting), paying the transition cost (kEnterHalt), and fully
+// asleep (kHalted). In every case the run must complete and the sleeper
+// must observe the payload written before the IPI.
+void run_ipi_window(int delay) {
+  SCOPED_TRACE(testing::Message() << "waker delay " << delay);
+  const Addr flag = 0x40000, data = 0x40040;
+  AsmBuilder s("sleeper");
+  sync::emit_flag_set(s, flag, IReg::R0, 1);
+  s.halt();
+  s.load(IReg::R1, Mem::abs(data));
+  s.exit();
+
+  AsmBuilder w("waker");
+  sync::emit_spin_until_eq(w, flag, IReg::R0, 1, sync::SpinKind::kTight);
+  if (delay > 0) {
+    w.imovi(IReg::R2, 0);
+    Label loop = w.here();
+    w.iaddi(IReg::R2, IReg::R2, 1);
+    w.bri(BrCond::kLt, IReg::R2, delay, loop);
+  }
+  w.imovi(IReg::R3, 99);
+  w.store(IReg::R3, Mem::abs(data));
+  w.ipi();
+  w.exit();
+
+  Machine m;
+  m.load_program(kC0, w.take());
+  m.load_program(kC1, s.take());
+  m.run(40'000'000);
+  EXPECT_EQ(m.core().arch(kC1).ireg(IReg::R1), 99);
+  EXPECT_EQ(m.counters().get(kC0, Event::kIpisSent), 1u);
+  EXPECT_EQ(m.counters().get(kC1, Event::kIpisReceived), 1u);
+}
+
+TEST(IpiWindows, NoDelayLandsWhileEnteringHalt) { run_ipi_window(0); }
+
+TEST(IpiWindows, DelaySweepNeverStrandsTheSleeper) {
+  // halt_enter_cost is 1500 cycles and the delay loop runs at roughly one
+  // iteration per cycle, so this sweep brackets the kHalting / kEnterHalt /
+  // kHalted boundaries from both sides.
+  for (int delay : {50, 200, 700, 1300, 1500, 1700, 2500, 4000}) {
+    run_ipi_window(delay);
+  }
+}
+
+TEST(IpiWindows, IpiBeforeHaltMakesTheHaltFallThrough) {
+  // The waker fires the IPI while the sleeper is still computing: the
+  // pending-wakeup latch must turn the later halt into (at most) a paid
+  // transition, never a lost wake-up.
+  const Addr data = 0x40040;
+  AsmBuilder s("sleeper");
+  s.imovi(IReg::R2, 0);
+  Label loop = s.here();
+  s.iaddi(IReg::R2, IReg::R2, 1);
+  s.bri(BrCond::kLt, IReg::R2, 8000, loop);
+  s.halt();
+  s.load(IReg::R1, Mem::abs(data));
+  s.exit();
+
+  AsmBuilder w("waker");
+  w.imovi(IReg::R3, 55);
+  w.store(IReg::R3, Mem::abs(data));
+  w.ipi();
+  w.exit();
+
+  Machine m;
+  m.load_program(kC0, w.take());
+  m.load_program(kC1, s.take());
+  m.run(40'000'000);
+  EXPECT_EQ(m.core().arch(kC1).ireg(IReg::R1), 55);
+  EXPECT_EQ(m.counters().get(kC1, Event::kIpisReceived), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Event-skip fast-forward: counters must be bit-identical to single-cycle
+// stepping (the attribution contract record_cycle_counters documents)
+// ---------------------------------------------------------------------------
+
+void expect_identical_counters(const Machine& skip, const Machine& step) {
+  EXPECT_EQ(skip.cycles(), step.cycles());
+  const perfmon::Snapshot a = skip.counters().snapshot();
+  const perfmon::Snapshot b = step.counters().snapshot();
+  for (int c = 0; c < kNumLogicalCpus; ++c) {
+    for (int e = 0; e < perfmon::kNumEventValues; ++e) {
+      const auto ev = static_cast<Event>(e);
+      EXPECT_EQ(a.get(static_cast<CpuId>(c), ev),
+                b.get(static_cast<CpuId>(c), ev))
+          << "cpu" << c << " " << perfmon::name(ev);
+    }
+  }
+}
+
+// Runs the two given programs (second may be empty) under event_skip on and
+// off and requires identical cycles and counters.
+void check_skip_equivalence(const isa::Program& p0, const isa::Program* p1) {
+  MachineConfig skip_cfg;
+  skip_cfg.core.event_skip = true;
+  Machine skip{skip_cfg};
+  MachineConfig step_cfg;
+  step_cfg.core.event_skip = false;
+  Machine step{step_cfg};
+  for (Machine* m : {&skip, &step}) {
+    m->load_program(kC0, p0);
+    if (p1 != nullptr) m->load_program(kC1, *p1);
+    m->run(40'000'000);
+  }
+  expect_identical_counters(skip, step);
+}
+
+TEST(EventSkip, PauseSpinHandoffCountsIdentically) {
+  // Pause spinning creates long fetch-stall windows — exactly what the
+  // fast-forward path skips over and must attribute identically.
+  const Addr flag = 0x40000, data = 0x40040;
+  const isa::Program p0 = work_then_signal(flag, data, 2000);
+  const isa::Program p1 = spin_then_read(flag, data, sync::SpinKind::kPause);
+  check_skip_equivalence(p0, &p1);
+}
+
+TEST(EventSkip, HaltAndWakeCountsIdentically) {
+  // Halt windows are thousands of cycles of kCyclesHalted accumulated in
+  // one skip; the waker's pause spin overlaps them with fetch stalls.
+  const Addr flag = 0x40000;
+  AsmBuilder s("sleeper");
+  sync::emit_flag_set(s, flag + 64, IReg::R0, 1);
+  s.halt();
+  s.load(IReg::R1, Mem::abs(flag));
+  s.exit();
+  AsmBuilder w("waker");
+  sync::emit_flag_set(w, flag, IReg::R0, 7);
+  sync::emit_spin_until_eq(w, flag + 64, IReg::R1, 1, sync::SpinKind::kPause);
+  w.ipi();
+  w.exit();
+  const isa::Program p0 = w.take();
+  const isa::Program p1 = s.take();
+  check_skip_equivalence(p0, &p1);
+}
+
+TEST(EventSkip, UnpipelinedDivideStreamsCountIdentically) {
+  // Divider-serialized streams stall dispatch on a full ROB while the
+  // in-flight divide finishes — resource-stall windows under skip.
+  const isa::Program p0 = idiv_chain(6, 150);
+  const isa::Program p1 = fdiv_chain(6, 150);
+  check_skip_equivalence(p0, &p1);
+  check_skip_equivalence(p0, nullptr);
+}
+
+TEST(EventSkip, StorePressureCountsIdentically) {
+  // Store bursts drain one per cycle after retirement; the store-buffer
+  // stall cycles and drain events must replay exactly.
+  AsmBuilder a("stores");
+  a.imovi(IReg::R0, 0x70000);
+  a.imovi(IReg::R1, 0);
+  Label loop = a.here();
+  for (int i = 0; i < 8; ++i) {
+    a.store(IReg::R1, Mem::bi(IReg::R0, IReg::R1, 3));
+  }
+  a.iaddi(IReg::R1, IReg::R1, 1);
+  a.bri(BrCond::kLt, IReg::R1, 400, loop);
+  a.exit();
+  const isa::Program p = a.take();
+  check_skip_equivalence(p, nullptr);
+}
+
 }  // namespace
 }  // namespace smt

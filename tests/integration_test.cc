@@ -107,6 +107,36 @@ TEST(CounterInvariants, L2MissesNeverExceedL2Accesses) {
   }
 }
 
+TEST(CounterInvariants, EventSkipCountersMatchSingleCycleSteppingOnSpr) {
+  // The strongest end-to-end check of the fast-forward attribution: the
+  // SPR matmul with halt-throttled barriers exercises every skip source
+  // (halt sleeps, pause fetch stalls, resource stalls, store drains,
+  // outstanding misses) and every counter must come out bit-identical to
+  // cycle-by-cycle stepping.
+  kernels::MatMulParams p;
+  p.n = 16;
+  p.tile = 4;
+  p.mode = kernels::MmMode::kTlpPfetch;
+  p.halt_barriers = true;
+  core::RunStats st[2];
+  for (int skip = 0; skip < 2; ++skip) {
+    MachineConfig cfg;
+    cfg.core.event_skip = skip == 1;
+    kernels::MatMulWorkload w(p);
+    st[skip] = core::run_workload(cfg, w);
+    ASSERT_TRUE(st[skip].verified);
+  }
+  EXPECT_EQ(st[0].cycles, st[1].cycles);
+  for (int i = 0; i < kNumLogicalCpus; ++i) {
+    const CpuId c = static_cast<CpuId>(i);
+    for (int e = 0; e < perfmon::kNumEventValues; ++e) {
+      const auto ev = static_cast<Event>(e);
+      EXPECT_EQ(st[0].cpu(c, ev), st[1].cpu(c, ev))
+          << "cpu" << i << " " << perfmon::name(ev);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Stream properties, swept over every kind x ILP level.
 // ---------------------------------------------------------------------------

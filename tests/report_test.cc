@@ -1,0 +1,223 @@
+// Tests for the structured run-report layer: the minimal JSON
+// writer/parser, the top-down cycle-accounting derivation, and the
+// RunReport JSON artifact every bench binary emits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/json.h"
+#include "core/machine.h"
+#include "core/run_report.h"
+#include "isa/asm_builder.h"
+#include "perfmon/cycle_accounting.h"
+#include "perfmon/events.h"
+
+namespace smt {
+namespace {
+
+using core::Machine;
+using isa::AsmBuilder;
+using isa::FReg;
+using perfmon::Event;
+
+// ---------------------------------------------------------------------------
+// JSON writer + parser round trips
+// ---------------------------------------------------------------------------
+
+TEST(Json, WriterProducesCanonicalScalars) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("s", "hi");
+  w.kv("i", 42);
+  w.kv("u", static_cast<uint64_t>(1) << 40);
+  w.kv("d", 1.5);
+  w.kv("b", true);
+  w.key("n");
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"hi\",\"i\":42,\"u\":1099511627776,\"d\":1.5,"
+            "\"b\":true,\"n\":[1,2]}");
+}
+
+TEST(Json, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(json_quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+}
+
+TEST(Json, ParserRoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "x\t\"y\"");
+  w.kv("count", static_cast<uint64_t>(123456789));
+  w.key("list");
+  w.begin_array();
+  w.value(-1);
+  w.value(2.25);
+  w.value(false);
+  w.end_array();
+  w.end_object();
+
+  const auto v = parse_json(w.str());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->find("name")->string, "x\t\"y\"");
+  EXPECT_EQ(v->find("count")->number, 123456789.0);
+  const JsonValue* list = v->find("list");
+  ASSERT_TRUE(list != nullptr && list->is_array());
+  ASSERT_EQ(list->array.size(), 3u);
+  EXPECT_EQ(list->array[0].number, -1.0);
+  EXPECT_EQ(list->array[1].number, 2.25);
+  EXPECT_EQ(list->array[2].type, JsonValue::Type::kBool);
+}
+
+TEST(Json, ParserRejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_json("").has_value());
+  EXPECT_FALSE(parse_json("{").has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1,}").has_value());
+  EXPECT_FALSE(parse_json("[1 2]").has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(parse_json("\"unterminated").has_value());
+  EXPECT_TRUE(parse_json("{\"a\": [1, {\"b\": null}]}").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Cycle-accounting derivation
+// ---------------------------------------------------------------------------
+
+TEST(CycleAccounting, DerivesTheDocumentedIdentities) {
+  perfmon::Snapshot s;
+  const int c0 = 0;
+  s.v[c0][static_cast<int>(Event::kCyclesActive)] = 800;
+  s.v[c0][static_cast<int>(Event::kCyclesHalted)] = 150;
+  s.v[c0][static_cast<int>(Event::kFetchStallCycles)] = 100;
+  s.v[c0][static_cast<int>(Event::kResourceStallCycles)] = 300;
+  s.v[c0][static_cast<int>(Event::kRobStallCycles)] = 120;
+  s.v[c0][static_cast<int>(Event::kLoadQueueStallCycles)] = 80;
+  s.v[c0][static_cast<int>(Event::kStoreBufferStallCycles)] = 100;
+  s.v[c0][static_cast<int>(Event::kInstrRetired)] = 400;
+  s.v[c0][static_cast<int>(Event::kUopsRetired)] = 500;
+
+  const auto acc = perfmon::account_cycles(s, /*total_cycles=*/1000);
+  const auto& b = acc.cpu[0];
+  EXPECT_EQ(b.total, 1000u);
+  EXPECT_EQ(b.active, 800u);
+  EXPECT_EQ(b.halted, 150u);
+  EXPECT_EQ(b.idle, 50u);  // total - active - halted
+  EXPECT_EQ(b.memory_bound, 180u);  // lq + sb stalls
+  EXPECT_EQ(b.issue_bound, 120u);   // rob stalls
+  EXPECT_EQ(b.flowing, 400u);       // active - (fetch + resource)
+  EXPECT_DOUBLE_EQ(b.cpi, 2.0);
+  EXPECT_DOUBLE_EQ(b.ipc, 0.5);
+  EXPECT_DOUBLE_EQ(b.uops_per_cycle, 0.625);
+
+  // The idle thread derives all zeros without dividing by zero.
+  EXPECT_EQ(acc.cpu[1].active, 0u);
+  EXPECT_EQ(acc.cpu[1].cpi, 0.0);
+}
+
+TEST(CycleAccounting, ClampsWhenCategoriesOverlap) {
+  perfmon::Snapshot s;
+  s.v[0][static_cast<int>(Event::kCyclesActive)] = 100;
+  s.v[0][static_cast<int>(Event::kFetchStallCycles)] = 90;
+  s.v[0][static_cast<int>(Event::kResourceStallCycles)] = 90;
+  const auto acc = perfmon::account_cycles(s, 100);
+  EXPECT_EQ(acc.cpu[0].flowing, 0u);  // clamped, not underflowed
+  EXPECT_EQ(acc.cpu[0].idle, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RunReport artifact
+// ---------------------------------------------------------------------------
+
+core::RunReport sample_report() {
+  AsmBuilder a("sample");
+  a.fmovi(FReg::F0, 0.0);
+  a.fmovi(FReg::F1, 1.0);
+  for (int i = 0; i < 500; ++i) a.fadd(FReg::F0, FReg::F0, FReg::F1);
+  a.exit();
+  Machine m;
+  m.load_program(CpuId::kCpu0, a.take());
+  m.run();
+  return core::report_from_machine(m, "sample.fadd", /*verified=*/true);
+}
+
+TEST(RunReport, JsonArtifactParsesAndCarriesTheBreakdown) {
+  const core::RunReport r = sample_report();
+  const auto v = parse_json(r.to_json());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+
+  EXPECT_EQ(v->find("schema")->string, "smt-run-report/1");
+  EXPECT_EQ(v->find("workload")->string, "sample.fadd");
+  EXPECT_TRUE(v->find("verified")->boolean);
+  EXPECT_EQ(v->find("cycles")->number,
+            static_cast<double>(r.stats.cycles));
+
+  // Config is embedded with both halves.
+  const JsonValue* cfg = v->find("config");
+  ASSERT_TRUE(cfg != nullptr && cfg->is_object());
+  EXPECT_EQ(cfg->find("core")->find("rob_size")->number, 126.0);
+  EXPECT_EQ(cfg->find("mem")->find("l1")->find("size_bytes")->number,
+            8.0 * 1024);
+
+  // One entry per logical CPU, each with every named counter and the
+  // derived breakdown.
+  const JsonValue* cpus = v->find("cpus");
+  ASSERT_TRUE(cpus != nullptr && cpus->is_array());
+  ASSERT_EQ(cpus->array.size(), static_cast<size_t>(kNumLogicalCpus));
+  const JsonValue& cpu0 = cpus->array[0];
+  const JsonValue* events = cpu0.find("events");
+  ASSERT_TRUE(events != nullptr);
+  for (int e = 0; e < perfmon::kNumEventValues; ++e) {
+    const auto ev = static_cast<Event>(e);
+    const JsonValue* entry = events->find(perfmon::name(ev));
+    ASSERT_TRUE(entry != nullptr) << perfmon::name(ev);
+    EXPECT_EQ(entry->number,
+              static_cast<double>(r.stats.cpu(CpuId::kCpu0, ev)))
+        << perfmon::name(ev);
+  }
+  const JsonValue* bd = cpu0.find("breakdown");
+  ASSERT_TRUE(bd != nullptr);
+  EXPECT_EQ(bd->find("active")->number,
+            static_cast<double>(r.accounting.cpu[0].active));
+  EXPECT_EQ(bd->find("flowing")->number,
+            static_cast<double>(r.accounting.cpu[0].flowing));
+  EXPECT_NEAR(bd->find("cpi")->number, r.accounting.cpu[0].cpi, 1e-9);
+
+  const JsonValue* totals = v->find("totals");
+  ASSERT_TRUE(totals != nullptr);
+  EXPECT_EQ(totals->find("instr_retired")->number,
+            static_cast<double>(r.stats.total(Event::kInstrRetired)));
+}
+
+TEST(RunReport, TableRendersEveryAccountingRow) {
+  const std::string t = sample_report().to_table();
+  for (const char* needle :
+       {"run report: sample.fadd", "active", "halted", "fetch stalled",
+        ".. rob", ".. load queue", ".. store buffer", "memory bound",
+        "issue bound", "flowing", "cpi"}) {
+    EXPECT_NE(t.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(RunReport, WriteJsonFileRoundTrips) {
+  const core::RunReport r = sample_report();
+  const std::string path = testing::TempDir() + "/report_test.json";
+  ASSERT_TRUE(r.write_json_file(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_TRUE(f != nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const auto v = parse_json(text);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("workload")->string, "sample.fadd");
+}
+
+}  // namespace
+}  // namespace smt

@@ -1,0 +1,112 @@
+// Validates the RunReport JSON artifacts a bench binary wrote under
+// SMT_BENCH_REPORT_DIR: every *.json in the directory must parse and carry
+// the required schema fields (per-CPU events + cycle breakdown). Exits
+// nonzero on any malformed file or if the directory holds no reports at
+// all — the ctest smoke test (cmake/report_smoke.cmake) runs this after
+// driving a bench binary.
+//
+//   $ check_reports <dir>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "common/types.h"
+#include "perfmon/events.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_number(const smt::JsonValue& obj, const char* key) {
+  const smt::JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number();
+}
+
+bool check_report(const fs::path& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto v = smt::parse_json(ss.str());
+  if (!v.has_value() || !v->is_object()) {
+    std::fprintf(stderr, "%s: does not parse as a JSON object\n",
+                 path.c_str());
+    return false;
+  }
+  const smt::JsonValue* schema = v->find("schema");
+  if (schema == nullptr || schema->string != "smt-run-report/1") {
+    std::fprintf(stderr, "%s: missing/unknown schema\n", path.c_str());
+    return false;
+  }
+  for (const char* key : {"workload", "cycles", "verified", "config",
+                          "cpus", "totals"}) {
+    if (v->find(key) == nullptr) {
+      std::fprintf(stderr, "%s: missing \"%s\"\n", path.c_str(), key);
+      return false;
+    }
+  }
+  const smt::JsonValue* cpus = v->find("cpus");
+  if (!cpus->is_array() ||
+      cpus->array.size() != static_cast<size_t>(smt::kNumLogicalCpus)) {
+    std::fprintf(stderr, "%s: \"cpus\" is not a %d-entry array\n",
+                 path.c_str(), smt::kNumLogicalCpus);
+    return false;
+  }
+  for (const smt::JsonValue& cpu : cpus->array) {
+    const smt::JsonValue* events = cpu.find("events");
+    const smt::JsonValue* bd = cpu.find("breakdown");
+    if (events == nullptr || bd == nullptr) {
+      std::fprintf(stderr, "%s: cpu entry missing events/breakdown\n",
+                   path.c_str());
+      return false;
+    }
+    for (int e = 0; e < smt::perfmon::kNumEventValues; ++e) {
+      const char* name =
+          smt::perfmon::name(static_cast<smt::perfmon::Event>(e));
+      if (!has_number(*events, name)) {
+        std::fprintf(stderr, "%s: events missing \"%s\"\n", path.c_str(),
+                     name);
+        return false;
+      }
+    }
+    for (const char* key :
+         {"total", "active", "halted", "fetch_stalled", "resource_stalled",
+          "stall_rob", "stall_load_queue", "stall_store_buffer",
+          "memory_bound", "issue_bound", "flowing", "cpi", "ipc"}) {
+      if (!has_number(*bd, key)) {
+        std::fprintf(stderr, "%s: breakdown missing \"%s\"\n", path.c_str(),
+                     key);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <report-dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path dir = argv[1];
+  if (!fs::is_directory(dir)) {
+    std::fprintf(stderr, "%s: not a directory\n", dir.c_str());
+    return 2;
+  }
+  int checked = 0, bad = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    ++checked;
+    if (!check_report(entry.path())) ++bad;
+  }
+  if (checked == 0) {
+    std::fprintf(stderr, "%s: no report artifacts found\n", dir.c_str());
+    return 1;
+  }
+  std::printf("%d report(s) checked, %d bad\n", checked, bad);
+  return bad == 0 ? 0 : 1;
+}
