@@ -11,6 +11,11 @@
 //   SMT_BENCH_CSV=1           additionally dump each table as CSV
 //   SMT_BENCH_REPORT_DIR=dir  write a RunReport JSON artifact per recorded
 //                             run into `dir` (see core/run_report.h)
+//   SMT_BENCH_TRACE_DIR=dir   enable time-resolved telemetry on every run:
+//                             reports gain a `timeseries` section (schema
+//                             smt-run-report/2) and a Chrome trace-event
+//                             file *.trace.json — loadable in Perfetto —
+//                             lands in `dir` per recorded run
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -27,6 +32,7 @@
 #include "core/run_report.h"
 #include "core/runner.h"
 #include "perfmon/counters.h"
+#include "trace/telemetry.h"
 
 namespace smt::bench {
 
@@ -44,6 +50,17 @@ inline bool csv_mode() {
 inline const std::string& report_dir() {
   static const std::string dir = [] {
     const char* v = std::getenv("SMT_BENCH_REPORT_DIR");
+    return std::string(v != nullptr ? v : "");
+  }();
+  return dir;
+}
+
+/// Directory for Chrome trace-event artifacts, or "" when tracing is off.
+/// A nonempty value also enables process-global telemetry (see bench_main),
+/// which upgrades the RunReport artifacts to schema smt-run-report/2.
+inline const std::string& trace_dir() {
+  static const std::string dir = [] {
+    const char* v = std::getenv("SMT_BENCH_TRACE_DIR");
     return std::string(v != nullptr ? v : "");
   }();
   return dir;
@@ -78,6 +95,8 @@ inline core::RunStats stats_from(const core::Machine& m, std::string name,
   s.events = m.counters().snapshot();
   s.verified = verified;
   s.config = m.config();
+  s.telemetry = m.telemetry();
+  if (s.telemetry != nullptr) s.telemetry->finalize(m.cycles());
   return s;
 }
 
@@ -96,6 +115,14 @@ class Results {
                                sanitize_key(key) + ".json";
       if (!core::RunReport::from(stats).write_json_file(path)) {
         std::fprintf(stderr, "warning: could not write report %s\n",
+                     path.c_str());
+      }
+    }
+    if (!trace_dir().empty() && stats.telemetry != nullptr) {
+      const std::string path = trace_dir() + "/" + report_prefix() + "." +
+                               sanitize_key(key) + ".trace.json";
+      if (!trace::write_chrome_trace_file(*stats.telemetry, path)) {
+        std::fprintf(stderr, "warning: could not write trace %s\n",
                      path.c_str());
       }
     }
@@ -152,6 +179,11 @@ inline int bench_main(int argc, char** argv, std::function<void()> register_all,
     const size_t slash = base.find_last_of('/');
     if (slash != std::string::npos) base = base.substr(slash + 1);
     if (!base.empty()) report_prefix() = base;
+  }
+  if (!trace_dir().empty()) {
+    trace::TelemetryConfig cfg;
+    cfg.enabled = true;
+    trace::set_global_telemetry(cfg);
   }
   benchmark::Initialize(&argc, argv);
   register_all();

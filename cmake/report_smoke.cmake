@@ -1,17 +1,29 @@
-# Smoke test driver: run a bench binary with report emission enabled, then
-# validate the artifacts with check_reports. Invoked by ctest (see
+# Smoke test driver: run a bench binary with report emission enabled —
+# and, when TRACE_DIR is given, with telemetry enabled too — then validate
+# the artifacts with check_reports. Invoked by ctest (see
 # tools/CMakeLists.txt) as:
-#   cmake -DBENCH=... -DCHECKER=... -DREPORT_DIR=... -P report_smoke.cmake
+#   cmake -DBENCH=... -DCHECKER=... -DREPORT_DIR=... [-DTRACE_DIR=...]
+#     -P report_smoke.cmake
 file(REMOVE_RECURSE "${REPORT_DIR}")
 file(MAKE_DIRECTORY "${REPORT_DIR}")
 
 set(ENV{SMT_BENCH_REPORT_DIR} "${REPORT_DIR}")
+if(TRACE_DIR)
+  file(REMOVE_RECURSE "${TRACE_DIR}")
+  file(MAKE_DIRECTORY "${TRACE_DIR}")
+  set(ENV{SMT_BENCH_TRACE_DIR} "${TRACE_DIR}")
+endif()
 execute_process(COMMAND "${BENCH}" RESULT_VARIABLE bench_rc)
 if(NOT bench_rc EQUAL 0)
   message(FATAL_ERROR "bench binary failed: ${bench_rc}")
 endif()
 
-execute_process(COMMAND "${CHECKER}" "${REPORT_DIR}" RESULT_VARIABLE rc)
+if(TRACE_DIR)
+  execute_process(COMMAND "${CHECKER}" "${REPORT_DIR}" "${TRACE_DIR}"
+    RESULT_VARIABLE rc)
+else()
+  execute_process(COMMAND "${CHECKER}" "${REPORT_DIR}" RESULT_VARIABLE rc)
+endif()
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "report artifacts failed validation: ${rc}")
+  message(FATAL_ERROR "artifacts failed validation: ${rc}")
 endif()

@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 CI: configure, build, run the full test suite (which includes the
-# bench-report smoke test), then double-check that a bench binary emits
-# parseable RunReport JSON artifacts.
+# Tier-1 CI: configure (warnings as errors), build, run the full test
+# suite (which includes the bench-report and bench-trace smoke tests),
+# then double-check that a bench binary emits parseable RunReport JSON
+# artifacts — once plain, once with telemetry enabled so the reports carry
+# the timeseries section and a Perfetto-loadable trace lands next to them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
+cmake -B build -S . -DSMT_WERROR=ON
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 # Belt-and-braces: drive the cheapest bench with reporting on and validate.
 report_dir=$(mktemp -d)
-trap 'rm -rf "$report_dir"' EXIT
+trace_dir=$(mktemp -d)
+trap 'rm -rf "$report_dir" "$trace_dir"' EXIT
 SMT_BENCH_REPORT_DIR="$report_dir" ./build/bench/ablation_sync > /dev/null
 ./build/tools/check_reports "$report_dir"
+
+# Same bench with tracing on: schema /2 reports + Chrome trace-event files.
+rm -rf "$report_dir" && mkdir -p "$report_dir"
+SMT_BENCH_REPORT_DIR="$report_dir" SMT_BENCH_TRACE_DIR="$trace_dir" \
+  ./build/bench/ablation_sync > /dev/null
+./build/tools/check_reports "$report_dir" "$trace_dir"

@@ -1,0 +1,39 @@
+#include "common/io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace smt {
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      std::fprintf(stderr, "error: cannot create directory %s: %s\n",
+                   parent.c_str(), ec.message().c_str());
+      return false;
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace smt

@@ -1,0 +1,15 @@
+// Small file-output helper shared by the artifact writers (run reports,
+// Chrome traces).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace smt {
+
+/// Writes `content` to `path`, creating missing parent directories first.
+/// Returns false — after logging the reason to stderr — if the directory
+/// cannot be created or the file cannot be written.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace smt

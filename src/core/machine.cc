@@ -7,7 +7,18 @@ namespace smt::core {
 Machine::Machine(const MachineConfig& cfg)
     : cfg_(cfg),
       hierarchy_(cfg.mem),
-      core_(cfg.core, hierarchy_, memory_, counters_) {}
+      core_(cfg.core, hierarchy_, memory_, counters_) {
+  if (trace::global_telemetry().enabled) {
+    enable_telemetry(trace::global_telemetry());
+  }
+}
+
+void Machine::enable_telemetry(const trace::TelemetryConfig& cfg) {
+  SMT_CHECK_MSG(telemetry_ == nullptr, "telemetry already enabled");
+  telemetry_ =
+      std::make_shared<trace::Telemetry>(cfg, counters_, core_.now());
+  core_.set_telemetry(&telemetry_->recorder(), &telemetry_->sampler());
+}
 
 void Machine::load_program(CpuId cpu, isa::Program prog,
                            const cpu::ArchState& init) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <optional>
 
 #include "common/types.h"
@@ -17,6 +18,7 @@
 #include "mem/hierarchy.h"
 #include "mem/sim_memory.h"
 #include "perfmon/counters.h"
+#include "trace/telemetry.h"
 
 namespace smt::core {
 
@@ -41,6 +43,19 @@ class Machine {
   const cpu::Core& core() const { return core_; }
   const MachineConfig& config() const { return cfg_; }
 
+  /// Attaches time-resolved telemetry (counter time-series + event
+  /// timeline; see src/trace/telemetry.h). The constructor calls this
+  /// automatically when the process-global default is enabled (bench
+  /// binaries with SMT_BENCH_TRACE_DIR set). Call before running;
+  /// enabling never perturbs any counter.
+  void enable_telemetry(const trace::TelemetryConfig& cfg);
+
+  /// The attached telemetry (null when disabled). Shared so RunStats can
+  /// carry it past this machine's lifetime.
+  const std::shared_ptr<trace::Telemetry>& telemetry() const {
+    return telemetry_;
+  }
+
   /// Binds `prog` to `cpu` (the program is copied and kept alive by the
   /// machine). The sched_setaffinity analog: one software thread per
   /// logical processor.
@@ -59,6 +74,7 @@ class Machine {
   mem::SimMemory memory_;
   mem::CacheHierarchy hierarchy_;
   perfmon::PerfCounters counters_;
+  std::shared_ptr<trace::Telemetry> telemetry_;
   cpu::Core core_;
   std::array<std::optional<isa::Program>, kNumLogicalCpus> programs_;
 };

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/io.h"
 #include "common/json.h"
 
 namespace smt::core {
@@ -92,6 +93,40 @@ void write_breakdown(JsonWriter& w, const perfmon::CpuCycleBreakdown& b) {
   w.end_object();
 }
 
+void write_timeseries(JsonWriter& w, const trace::CounterSampler& s) {
+  w.begin_object();
+  w.kv("window_cycles", s.window_cycles());
+  w.key("windows");
+  w.begin_array();
+  for (const trace::CounterWindow& win : s.windows()) {
+    w.begin_object();
+    w.kv("begin", win.begin);
+    w.kv("end", win.end);
+    w.key("cpus");
+    w.begin_array();
+    for (int i = 0; i < kNumLogicalCpus; ++i) {
+      const CpuId cpu = static_cast<CpuId>(i);
+      w.begin_object();
+      w.kv("cpu", i);
+      w.key("events");
+      w.begin_object();
+      // Nonzero deltas only: most events are silent in most windows, and
+      // readers treat an absent key as zero.
+      for (int e = 0; e < perfmon::kNumEventValues; ++e) {
+        const perfmon::Event ev = static_cast<perfmon::Event>(e);
+        const uint64_t d = win.delta.get(cpu, ev);
+        if (d != 0) w.kv(perfmon::name(ev), d);
+      }
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
 
 RunReport RunReport::from(const RunStats& stats) {
@@ -102,9 +137,14 @@ RunReport RunReport::from(const RunStats& stats) {
 }
 
 std::string RunReport::to_json() const {
+  // Reports from telemetry-enabled runs carry the windowed counter
+  // time-series and advertise schema /2; plain runs stay on /1 so
+  // existing artifact consumers are unaffected.
+  const bool timeseries = stats.telemetry != nullptr &&
+                          !stats.telemetry->sampler().windows().empty();
   JsonWriter w;
   w.begin_object();
-  w.kv("schema", "smt-run-report/1");
+  w.kv("schema", timeseries ? "smt-run-report/2" : "smt-run-report/1");
   w.kv("workload", stats.workload);
   w.kv("cycles", static_cast<uint64_t>(stats.cycles));
   w.kv("verified", stats.verified);
@@ -146,6 +186,11 @@ std::string RunReport::to_json() const {
                   : 0.0);
   w.end_object();
 
+  if (timeseries) {
+    w.key("timeseries");
+    write_timeseries(w, stats.telemetry->sampler());
+  }
+
   w.end_object();
   return w.str();
 }
@@ -167,15 +212,16 @@ RunReport report_from_machine(const Machine& m, std::string workload,
   s.events = m.counters().snapshot();
   s.verified = verified;
   s.config = m.config();
+  s.telemetry = m.telemetry();
+  if (s.telemetry != nullptr) s.telemetry->finalize(m.cycles());
   return RunReport::from(s);
 }
 
 bool RunReport::write_json_file(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::string doc = to_json();
-  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
-  return (std::fclose(f) == 0) && ok;
+  // write_text_file creates missing parent directories (a report dir
+  // pointing at a not-yet-existing path is the common first-run case) and
+  // logs the precise reason for any failure.
+  return write_text_file(path, to_json());
 }
 
 }  // namespace smt::core

@@ -5,17 +5,23 @@
 // (see bench/bench_util.h) so results are comparable across configs and
 // revisions without scraping stdout tables.
 //
-// JSON schema (versioned by the "schema" member, currently
-// "smt-run-report/1"):
+// JSON schema (versioned by the "schema" member):
 //   {
-//     "schema": "smt-run-report/1",
+//     "schema": "smt-run-report/1",   // "/2" when "timeseries" is present
 //     "workload": "...", "cycles": N, "verified": true,
 //     "config": { "core": {...}, "mem": {...} },
 //     "cpus": [ { "cpu": 0,
 //                 "events": { "<event name>": N, ... },   // all counters
 //                 "breakdown": { "total": N, "active": N, ... } }, ... ],
-//     "totals": { "instr_retired": N, "uops_retired": N, "ipc": X }
-//   }
+//     "totals": { "instr_retired": N, "uops_retired": N, "ipc": X },
+//     "timeseries": {                 // schema /2 only: windowed counter
+//       "window_cycles": W,           // time-series from trace::Telemetry
+//       "windows": [ { "begin": B, "end": E,
+//                      "cpus": [ { "cpu": 0,
+//                                  "events": {  // nonzero deltas only
+//                                    "<event name>": N, ... } }, ... ] },
+//                    ... ] }          // windows tile [0, cycles) exactly;
+//   }                                 // per-event sums equal the totals
 #pragma once
 
 #include <string>
@@ -38,7 +44,8 @@ struct RunReport {
   /// Human-readable summary: header line plus the cycle-accounting table.
   std::string to_table() const;
 
-  /// Writes to_json() to `path`; returns false on I/O failure.
+  /// Writes to_json() to `path`, creating missing parent directories;
+  /// logs to stderr and returns false on I/O failure.
   bool write_json_file(const std::string& path) const;
 };
 

@@ -22,6 +22,8 @@ RunStats run_workload(const MachineConfig& cfg, Workload& w,
   stats.events = m.counters().snapshot();
   stats.verified = w.verify(m);
   stats.config = cfg;
+  stats.telemetry = m.telemetry();
+  if (stats.telemetry != nullptr) stats.telemetry->finalize(m.cycles());
   return stats;
 }
 

@@ -2,11 +2,13 @@
 // measurements the paper's figures are built from.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/machine.h"
 #include "core/workload.h"
 #include "perfmon/counters.h"
+#include "trace/telemetry.h"
 
 namespace smt::core {
 
@@ -16,6 +18,9 @@ struct RunStats {
   perfmon::Snapshot events;    ///< all per-logical-CPU counters
   bool verified = false;
   MachineConfig config;        ///< the machine the run executed on
+  /// Time-resolved telemetry of the run (finalized), when the machine had
+  /// it enabled; null otherwise. Shared: outlives the machine.
+  std::shared_ptr<trace::Telemetry> telemetry;
 
   uint64_t total(perfmon::Event e) const { return events.total(e); }
   uint64_t cpu(CpuId c, perfmon::Event e) const { return events.get(c, e); }

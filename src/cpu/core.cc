@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/check.h"
+#include "trace/recorder.h"
+#include "trace/sampler.h"
 
 namespace smt::cpu {
 
@@ -115,6 +117,7 @@ void Core::mirror_access_stats(CpuId cpu, const mem::AccessOutcome& out,
   if (out.l2_miss) {
     ctr_.add(cpu, Event::kL2Misses);
     if (is_load) ctr_.add(cpu, Event::kL2ReadMisses);
+    if (trace_ != nullptr) trace_->on_l2_miss(cpu, now_);
   }
 }
 
@@ -174,10 +177,14 @@ void Core::update_modes(Thread& t, CpuId cpu) {
         t.ipi_pending = false;
         t.mode = TMode::kWaking;
         t.mode_until = now_ + cfg_.halt_wake_cost;
+        if (trace_ != nullptr) trace_->on_ipi_wake(cpu, now_);
       }
       break;
     case TMode::kWaking:
-      if (now_ >= t.mode_until) t.mode = TMode::kRunning;
+      if (now_ >= t.mode_until) {
+        t.mode = TMode::kRunning;
+        if (trace_ != nullptr) trace_->on_halt_exit(cpu, now_);
+      }
       break;
     case TMode::kExiting:
       if (t.pipeline_empty()) t.mode = TMode::kDone;
@@ -457,6 +464,18 @@ int Core::fetch_thread(Thread& t, CpuId cpu) {
       add_dep_reg(in.mem.index);
     }
 
+    // Telemetry watchpoints on annotated sync words (barrier flags, lock
+    // words): observed at functional-execution time, when the stored /
+    // exchanged value is known. Pure observation — no simulation state or
+    // counter is touched.
+    if (trace_ != nullptr && u.is_store && trace_->watches(r.addr)) {
+      if (in.op == Opcode::kXchg) {
+        trace_->on_xchg(cpu, r.addr, r.loaded, now_);
+      } else {
+        trace_->on_store(cpu, r.addr, mem_.read_u64(r.addr), now_);
+      }
+    }
+
     // Memory-order-violation (spin-exit) modelling.
     if (u.is_load) check_memory_order(t, cpu, r.addr, r.loaded);
     if (u.is_store) {
@@ -477,9 +496,11 @@ int Core::fetch_thread(Thread& t, CpuId cpu) {
         return fetched;
       case ExecResult::Special::kHalt:
         t.mode = TMode::kHalting;
+        if (trace_ != nullptr) trace_->on_halt_enter(cpu, now_);
         return fetched;
       case ExecResult::Special::kIpi:
         ctr_.add(cpu, Event::kIpisSent);
+        if (trace_ != nullptr) trace_->on_ipi_send(cpu, now_);
         deliver_ipi(other(cpu));
         break;
       default:
@@ -674,6 +695,34 @@ void Core::record_cycle_counters(Cycle first, Cycle n) {
   }
 }
 
+void Core::sample_up_to(Cycle t) {
+  while (sampler_ != nullptr && sampler_->next_boundary() <= t) {
+    sampler_->on_boundary(sampler_->next_boundary());
+  }
+}
+
+void Core::record_skipped_window(Cycle first, Cycle n) {
+  if (sampler_ == nullptr) {
+    record_cycle_counters(first, n);
+    return;
+  }
+  // Chunk the bulk accumulation at sampling boundaries. Within a skipped
+  // window every per-cycle predicate is constant and record_cycle_counters
+  // is linear in n, so the split is exact: each sampling window sees
+  // precisely the cycles it covers, bit-identical to single-stepping.
+  const Cycle end = first + n;
+  Cycle cur = first;
+  while (cur < end) {
+    sample_up_to(cur);  // a boundary may fall exactly on the chunk start
+    Cycle stop = end;
+    const Cycle b = sampler_->next_boundary();
+    if (b < stop) stop = b;
+    record_cycle_counters(cur, stop - cur);
+    cur = stop;
+  }
+  sample_up_to(end);  // ... or on the very end of the skipped range
+}
+
 Cycle Core::next_event_cycle() const {
   Cycle cand = std::numeric_limits<Cycle>::max();
   auto consider = [&cand, this](Cycle c) {
@@ -712,12 +761,13 @@ void Core::run(Cycle max_cycles) {
     if (!any && cfg_.event_skip) {
       const Cycle next = next_event_cycle();
       if (next > now_ + 1) {
-        record_cycle_counters(now_ + 1, next - now_ - 1);
+        record_skipped_window(now_ + 1, next - now_ - 1);
         now_ = next;
         continue;
       }
     }
     ++now_;
+    sample_up_to(now_);
     SMT_CHECK_MSG(now_ - last_retire_cycle_ < cfg_.watchdog_cycles,
                   "watchdog: no retirement progress (deadlocked sync?)");
     SMT_CHECK_MSG(now_ < deadline, "max_cycles exceeded");
@@ -737,12 +787,13 @@ CpuId Core::run_until_any_done(Cycle max_cycles) {
     if (!any && cfg_.event_skip) {
       const Cycle next = next_event_cycle();
       if (next > now_ + 1) {
-        record_cycle_counters(now_ + 1, next - now_ - 1);
+        record_skipped_window(now_ + 1, next - now_ - 1);
         now_ = next;
         continue;
       }
     }
     ++now_;
+    sample_up_to(now_);
     SMT_CHECK_MSG(now_ - last_retire_cycle_ < cfg_.watchdog_cycles,
                   "watchdog: no retirement progress (deadlocked sync?)");
     SMT_CHECK_MSG(now_ < deadline, "max_cycles exceeded");

@@ -42,6 +42,11 @@
 #include "mem/sim_memory.h"
 #include "perfmon/counters.h"
 
+namespace smt::trace {
+class CounterSampler;
+class TraceRecorder;
+}  // namespace smt::trace
+
 namespace smt::cpu {
 
 /// One dynamic uop flowing through the backend.
@@ -94,6 +99,17 @@ class Core {
   Cycle now() const { return now_; }
 
   void set_retire_observer(RetireObserver* obs) { observer_ = obs; }
+
+  /// Attaches the optional telemetry instruments (either may be null).
+  /// Both are pure observers: with them attached, every perf counter stays
+  /// bit-identical to an un-instrumented run — the sampler only makes the
+  /// core split its bulk event-skip accumulation at window boundaries
+  /// (an exact transformation), and the recorder only reads state.
+  void set_telemetry(trace::TraceRecorder* recorder,
+                     trace::CounterSampler* sampler) {
+    trace_ = recorder;
+    sampler_ = sampler;
+  }
 
   /// Architectural state inspection (tests).
   const ArchState& arch(CpuId cpu) const { return threads_[idx(cpu)].arch; }
@@ -187,6 +203,13 @@ class Core {
   /// bit-identical either way (regression-tested), because within a
   /// no-activity window every per-cycle predicate is provably constant.
   void record_cycle_counters(Cycle first, Cycle n);
+  /// record_cycle_counters for a skipped window, split at counter-sampler
+  /// boundaries so each sampling window receives exactly the cycles it
+  /// covers (bit-identical to single-cycle stepping).
+  void record_skipped_window(Cycle first, Cycle n);
+  /// Closes every sampler window ending at or before cycle `t` (requires
+  /// all cycles < t to be accounted). No-op without a sampler.
+  void sample_up_to(Cycle t);
   Cycle next_event_cycle() const;
   void mirror_access_stats(CpuId cpu, const mem::AccessOutcome& out,
                            bool is_load);
@@ -197,6 +220,8 @@ class Core {
   mem::SimMemory& mem_;
   perfmon::PerfCounters& ctr_;
   RetireObserver* observer_ = nullptr;
+  trace::TraceRecorder* trace_ = nullptr;
+  trace::CounterSampler* sampler_ = nullptr;
 
   std::array<Thread, kNumLogicalCpus> threads_;
   Cycle now_ = 0;

@@ -236,6 +236,10 @@ void BtWorkload::setup(core::Machine& m) {
     sync_layout_ = std::make_unique<mem::MemoryLayout>(p_.sync_base);
     barrier_ = std::make_unique<sync::TwoThreadBarrier>(*sync_layout_,
                                                         name_ + ".bar");
+    if (m.telemetry() != nullptr) {
+      barrier_->annotate(m.telemetry()->recorder(), name_ + ".bar",
+                         /*spr=*/true);
+    }
   }
 
   programs_.clear();

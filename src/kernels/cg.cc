@@ -261,6 +261,10 @@ void CgWorkload::setup(core::Machine& m) {
     sync_layout_ = std::make_unique<mem::MemoryLayout>(p_.sync_base);
     barrier_ = std::make_unique<sync::TwoThreadBarrier>(*sync_layout_,
                                                         name_ + ".bar");
+    if (m.telemetry() != nullptr) {
+      barrier_->annotate(m.telemetry()->recorder(), name_ + ".bar",
+                         /*spr=*/pfetch || hybrid);
+    }
   }
   auto wait = [&](AsmBuilder& a, int tid, bool sleeper) {
     if (p_.halt_barriers && pfetch) {

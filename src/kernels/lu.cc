@@ -356,6 +356,10 @@ void LuWorkload::setup(core::Machine& m) {
     sync_layout_ = std::make_unique<mem::MemoryLayout>(p_.sync_base);
     barrier_ = std::make_unique<sync::TwoThreadBarrier>(*sync_layout_,
                                                         name_ + ".bar");
+    if (m.telemetry() != nullptr) {
+      barrier_->annotate(m.telemetry()->recorder(), name_ + ".bar",
+                         /*spr=*/pfetch);
+    }
   }
 
   auto emit_barrier = [&](AsmBuilder& a, int tid, bool sleeper) {

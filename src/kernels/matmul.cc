@@ -262,6 +262,10 @@ void MatMulWorkload::setup(core::Machine& m) {
       sync_layout_ = std::make_unique<mem::MemoryLayout>(p_.sync_base);
       barrier_ = std::make_unique<sync::TwoThreadBarrier>(*sync_layout_,
                                                           name_ + ".bar");
+      if (m.telemetry() != nullptr) {
+        barrier_->annotate(m.telemetry()->recorder(), name_ + ".bar",
+                           /*spr=*/true);
+      }
       // Thread 0: computation. Pure SPR: the whole workload; hybrid: the
       // even fine-grained share. One barrier per span (= one C tile).
       {

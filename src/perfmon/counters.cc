@@ -56,9 +56,11 @@ Snapshot Snapshot::operator-(const Snapshot& rhs) const {
 
 double PerfCounters::cpi(CpuId cpu) const {
   const uint64_t instr = get(cpu, Event::kInstrRetired);
-  if (instr == 0) return 0.0;
-  return static_cast<double>(get(cpu, Event::kCyclesActive)) /
-         static_cast<double>(instr);
+  const uint64_t active = get(cpu, Event::kCyclesActive);
+  // A context that retired nothing (or never ran) has no meaningful CPI;
+  // report an explicit 0.0 rather than dividing by zero.
+  if (instr == 0 || active == 0) return 0.0;
+  return static_cast<double>(active) / static_cast<double>(instr);
 }
 
 std::string PerfCounters::to_string() const {

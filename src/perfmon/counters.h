@@ -50,6 +50,8 @@ class PerfCounters {
   }
 
   /// Cycles-per-instruction of one context over its active cycles.
+  /// Explicitly 0.0 when the context retired no instructions or logged
+  /// no active cycles (never a division by zero).
   double cpi(CpuId cpu) const;
 
   /// Multi-line human-readable dump of all nonzero events.

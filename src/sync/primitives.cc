@@ -71,6 +71,11 @@ void emit_lock_release(AsmBuilder& a, Addr lock_addr, IReg scratch) {
   a.store(scratch, Mem::abs(lock_addr));
 }
 
+int annotate_lock(trace::TraceRecorder& rec, Addr lock_addr,
+                  const std::string& name) {
+  return rec.annotate_lock(lock_addr, name);
+}
+
 TwoThreadBarrier::TwoThreadBarrier(mem::MemoryLayout& layout,
                                    const std::string& name) {
   // One cache line per word: the arrival flags and the sleeping word must
@@ -86,6 +91,11 @@ TwoThreadBarrier::TwoThreadBarrier(mem::MemoryLayout& layout,
 Addr TwoThreadBarrier::flag_addr(int tid) const {
   SMT_CHECK(tid == 0 || tid == 1);
   return tid == 0 ? flags_ : flag1_;
+}
+
+int TwoThreadBarrier::annotate(trace::TraceRecorder& rec,
+                               const std::string& name, bool spr) const {
+  return rec.annotate_barrier(flag_addr(0), flag_addr(1), name, spr);
 }
 
 void TwoThreadBarrier::emit_init(AsmBuilder& a, IReg sense_reg) const {

@@ -17,6 +17,7 @@
 
 #include "isa/asm_builder.h"
 #include "mem/sim_memory.h"
+#include "trace/recorder.h"
 
 namespace smt::sync {
 
@@ -47,6 +48,12 @@ void emit_flag_set(isa::AsmBuilder& a, Addr addr, isa::IReg scratch,
 void emit_lock_acquire(isa::AsmBuilder& a, Addr lock_addr, isa::IReg scratch,
                        SpinKind kind);
 void emit_lock_release(isa::AsmBuilder& a, Addr lock_addr, isa::IReg scratch);
+
+/// Registers a test-and-set lock word with a trace recorder: the timeline
+/// then shows a `lock_held` span from each successful xchg-acquire to the
+/// releasing store. Returns the recorder's annotation id.
+int annotate_lock(trace::TraceRecorder& rec, Addr lock_addr,
+                  const std::string& name);
 
 /// Sense-reversing barrier for the two hardware contexts ([12] in the
 /// paper, specialized to two participants): each thread publishes its
@@ -83,6 +90,13 @@ class TwoThreadBarrier {
 
   Addr flag_addr(int tid) const;
   Addr sleeping_addr() const { return sleeping_; }
+
+  /// Registers this barrier's arrival flags with a trace recorder so every
+  /// episode appears as a span in the event timeline (`spr` marks barriers
+  /// that throttle an SPR prefetcher — their completions additionally emit
+  /// handoff markers). Returns the recorder's annotation id.
+  int annotate(trace::TraceRecorder& rec, const std::string& name,
+               bool spr = false) const;
 
  private:
   Addr flags_;     // arrival flag of thread 0 (own cache line)

@@ -1,0 +1,73 @@
+// Telemetry: the run-scoped bundle of the two time-resolved instruments —
+// a CounterSampler (windowed counter time-series, serialized into the run
+// report's `timeseries` section) and a TraceRecorder (cycle-stamped event
+// timeline, serialized as Chrome trace-event JSON for Perfetto /
+// chrome://tracing).
+//
+// A Machine owns at most one Telemetry, created either explicitly via
+// Machine::enable_telemetry() or implicitly when the process-global
+// default (set_global_telemetry, wired to SMT_BENCH_TRACE_DIR by
+// bench/bench_util.h) is enabled. Disabled telemetry costs nothing: the
+// core holds null pointers and every hook is a branch on them. Enabled
+// telemetry never perturbs a measurement: both instruments are read-only
+// observers of the counters and the simulation state (asserted
+// bit-for-bit in trace_test).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "perfmon/counters.h"
+#include "trace/recorder.h"
+#include "trace/sampler.h"
+
+namespace smt::trace {
+
+struct TelemetryConfig {
+  bool enabled = false;
+  /// Counter-sampling window in simulated cycles.
+  Cycle sample_window = 8192;
+  /// Trace ring-buffer capacity in events (oldest dropped beyond this).
+  size_t ring_capacity = 1 << 16;
+  /// Two L2 misses at most this many cycles apart belong to one burst.
+  Cycle l2_burst_gap = 64;
+};
+
+/// Process-global default consulted by Machine's constructor; disabled
+/// unless a driver (bench_main) turns it on.
+const TelemetryConfig& global_telemetry();
+void set_global_telemetry(const TelemetryConfig& cfg);
+
+class Telemetry {
+ public:
+  Telemetry(const TelemetryConfig& cfg, const perfmon::PerfCounters& ctr,
+            Cycle start_cycle = 0);
+
+  CounterSampler& sampler() { return sampler_; }
+  const CounterSampler& sampler() const { return sampler_; }
+  TraceRecorder& recorder() { return recorder_; }
+  const TraceRecorder& recorder() const { return recorder_; }
+  const TelemetryConfig& config() const { return cfg_; }
+
+  /// Flushes partial sampler windows and open recorder spans at `end`
+  /// (the run's final cycle). Idempotent for a fixed `end`.
+  void finalize(Cycle end);
+
+ private:
+  TelemetryConfig cfg_;
+  CounterSampler sampler_;
+  TraceRecorder recorder_;
+};
+
+/// Serializes the telemetry as a Chrome trace-event JSON document: one
+/// track (tid) per logical CPU plus one per barrier/lock annotation,
+/// counter ("C") tracks for the headline per-window counters, and
+/// metadata naming every track. 1 simulated cycle is mapped to 1 us.
+std::string chrome_trace_json(const Telemetry& t);
+
+/// Writes chrome_trace_json() to `path`, creating missing parent
+/// directories; logs to stderr and returns false on failure.
+bool write_chrome_trace_file(const Telemetry& t, const std::string& path);
+
+}  // namespace smt::trace

@@ -1,0 +1,121 @@
+// Tests for the perfmon counter layer: Snapshot interval semantics,
+// derived-metric guards, and the human-readable dump.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "perfmon/counters.h"
+#include "perfmon/events.h"
+
+namespace smt {
+namespace {
+
+using perfmon::Event;
+using perfmon::PerfCounters;
+using perfmon::Snapshot;
+
+constexpr CpuId kC0 = CpuId::kCpu0;
+constexpr CpuId kC1 = CpuId::kCpu1;
+
+// ---------------------------------------------------------------------------
+// Snapshot subtraction = events in an interval
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, SubtractionYieldsIntervalDeltas) {
+  PerfCounters ctr;
+  ctr.add(kC0, Event::kInstrRetired, 100);
+  ctr.add(kC1, Event::kL2ReadMisses, 7);
+  const Snapshot before = ctr.snapshot();
+
+  ctr.add(kC0, Event::kInstrRetired, 25);
+  ctr.add(kC0, Event::kCyclesActive, 60);
+  ctr.add(kC1, Event::kL2ReadMisses, 3);
+  const Snapshot after = ctr.snapshot();
+
+  const Snapshot delta = after - before;
+  EXPECT_EQ(delta.get(kC0, Event::kInstrRetired), 25u);
+  EXPECT_EQ(delta.get(kC0, Event::kCyclesActive), 60u);
+  EXPECT_EQ(delta.get(kC1, Event::kL2ReadMisses), 3u);
+  // Events untouched in the interval read zero even though their running
+  // totals are nonzero.
+  EXPECT_EQ(delta.get(kC1, Event::kInstrRetired), 0u);
+  EXPECT_EQ(delta.total(Event::kInstrRetired), 25u);
+}
+
+TEST(Snapshot, EmptyIntervalIsAllZero) {
+  PerfCounters ctr;
+  ctr.add(kC0, Event::kUopsRetired, 12);
+  ctr.add(kC1, Event::kCyclesHalted, 99);
+  const Snapshot s = ctr.snapshot();
+
+  const Snapshot delta = s - s;
+  for (int e = 0; e < perfmon::kNumEventValues; ++e) {
+    const Event ev = static_cast<Event>(e);
+    EXPECT_EQ(delta.get(kC0, ev), 0u) << perfmon::name(ev);
+    EXPECT_EQ(delta.get(kC1, ev), 0u) << perfmon::name(ev);
+  }
+}
+
+TEST(Snapshot, DefaultConstructedIsZeroAndSubtractable) {
+  PerfCounters ctr;
+  ctr.add(kC0, Event::kLoadsRetired, 4);
+  const Snapshot delta = ctr.snapshot() - Snapshot{};
+  EXPECT_EQ(delta.get(kC0, Event::kLoadsRetired), 4u);
+  EXPECT_EQ(delta.total(Event::kStoresRetired), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// cpi() never divides by zero
+// ---------------------------------------------------------------------------
+
+TEST(PerfCounters, CpiIsZeroWithoutRetiredInstructions) {
+  PerfCounters ctr;
+  EXPECT_EQ(ctr.cpi(kC0), 0.0);
+  // Active cycles but nothing retired (a context spinning in pauses).
+  ctr.add(kC0, Event::kCyclesActive, 1000);
+  EXPECT_EQ(ctr.cpi(kC0), 0.0);
+}
+
+TEST(PerfCounters, CpiIsZeroWithoutActiveCycles) {
+  PerfCounters ctr;
+  ctr.add(kC0, Event::kInstrRetired, 10);
+  EXPECT_EQ(ctr.cpi(kC0), 0.0);
+}
+
+TEST(PerfCounters, CpiIsActiveOverRetired) {
+  PerfCounters ctr;
+  ctr.add(kC1, Event::kCyclesActive, 300);
+  ctr.add(kC1, Event::kInstrRetired, 100);
+  EXPECT_DOUBLE_EQ(ctr.cpi(kC1), 3.0);
+  EXPECT_EQ(ctr.cpi(kC0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// to_string dumps only nonzero rows
+// ---------------------------------------------------------------------------
+
+TEST(PerfCounters, ToStringSkipsAllZeroRows) {
+  PerfCounters ctr;
+  EXPECT_EQ(ctr.to_string(), "");
+
+  ctr.add(kC0, Event::kInstrRetired, 42);
+  ctr.add(kC1, Event::kL2Misses, 5);
+  const std::string dump = ctr.to_string();
+  EXPECT_NE(dump.find("instr_retired"), std::string::npos);
+  EXPECT_NE(dump.find("l2_misses"), std::string::npos);
+  EXPECT_NE(dump.find("42"), std::string::npos);
+  // Rows that are zero on both contexts do not appear.
+  EXPECT_EQ(dump.find("machine_clears"), std::string::npos);
+  EXPECT_EQ(dump.find("ipis_sent"), std::string::npos);
+}
+
+TEST(PerfCounters, ToStringShowsRowWhenEitherCpuIsNonzero) {
+  PerfCounters ctr;
+  ctr.add(kC1, Event::kHaltTransitions, 1);
+  const std::string dump = ctr.to_string();
+  EXPECT_NE(dump.find("halt_transitions"), std::string::npos);
+  EXPECT_NE(dump.find("cpu0=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smt

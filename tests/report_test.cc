@@ -219,5 +219,25 @@ TEST(RunReport, WriteJsonFileRoundTrips) {
   EXPECT_EQ(v->find("workload")->string, "sample.fadd");
 }
 
+TEST(RunReport, WriteJsonFileCreatesMissingParentDirs) {
+  const core::RunReport r = sample_report();
+  const std::string path =
+      testing::TempDir() + "/report_test_nested/a/b/report.json";
+  ASSERT_TRUE(r.write_json_file(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_TRUE(f != nullptr);
+  std::fclose(f);
+}
+
+TEST(RunReport, WriteJsonFileFailsCleanlyOnUnwritablePath) {
+  const core::RunReport r = sample_report();
+  // The parent "directory" is an existing regular file.
+  const std::string blocker = testing::TempDir() + "/report_test_blocker";
+  std::FILE* f = std::fopen(blocker.c_str(), "w");
+  ASSERT_TRUE(f != nullptr);
+  std::fclose(f);
+  EXPECT_FALSE(r.write_json_file(blocker + "/report.json"));
+}
+
 }  // namespace
 }  // namespace smt

@@ -1,11 +1,22 @@
-// Validates the RunReport JSON artifacts a bench binary wrote under
-// SMT_BENCH_REPORT_DIR: every *.json in the directory must parse and carry
-// the required schema fields (per-CPU events + cycle breakdown). Exits
-// nonzero on any malformed file or if the directory holds no reports at
-// all — the ctest smoke test (cmake/report_smoke.cmake) runs this after
-// driving a bench binary.
+// Validates the artifacts a bench binary wrote:
 //
-//   $ check_reports <dir>
+//   $ check_reports <report-dir> [trace-dir]
+//
+// Every *.json in <report-dir> must parse as a RunReport of schema
+// smt-run-report/1 or /2 and carry the required fields (per-CPU events +
+// cycle breakdown). Schema /2 reports additionally carry a `timeseries`
+// section whose per-window counter deltas are checked to sum exactly to
+// the end-of-run per-CPU totals — the key invariant of the windowed
+// sampler under both event-skip modes.
+//
+// When <trace-dir> is given, every *.trace.json there must parse as a
+// Chrome trace-event document (object form with a `traceEvents` array of
+// well-formed events) — the format Perfetto / chrome://tracing load.
+//
+// Exits nonzero on any malformed file or if a scanned directory holds no
+// artifacts at all — the ctest smoke test (cmake/report_smoke.cmake) runs
+// this after driving a bench binary.
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -25,6 +36,83 @@ bool has_number(const smt::JsonValue& obj, const char* key) {
   return v != nullptr && v->is_number();
 }
 
+double number_or(const smt::JsonValue& obj, const std::string& key,
+                 double fallback) {
+  const smt::JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+// Checks that summing every window's per-CPU deltas reproduces the
+// end-of-run totals in `cpus` exactly (deltas are nonzero-only, so an
+// absent key counts as zero).
+bool check_timeseries(const fs::path& path, const smt::JsonValue& ts,
+                      const smt::JsonValue& cpus) {
+  if (!has_number(ts, "window_cycles") ||
+      ts.find("window_cycles")->number <= 0) {
+    std::fprintf(stderr, "%s: timeseries missing positive window_cycles\n",
+                 path.c_str());
+    return false;
+  }
+  const smt::JsonValue* windows = ts.find("windows");
+  if (windows == nullptr || !windows->is_array()) {
+    std::fprintf(stderr, "%s: timeseries missing windows array\n",
+                 path.c_str());
+    return false;
+  }
+  // sums[cpu][event]
+  double sums[smt::kNumLogicalCpus][smt::perfmon::kNumEventValues] = {};
+  double prev_end = -1.0;
+  for (const smt::JsonValue& win : windows->array) {
+    if (!has_number(win, "begin") || !has_number(win, "end")) {
+      std::fprintf(stderr, "%s: window missing begin/end\n", path.c_str());
+      return false;
+    }
+    const double begin = win.find("begin")->number;
+    const double end = win.find("end")->number;
+    if (end <= begin || (prev_end >= 0.0 && begin != prev_end)) {
+      std::fprintf(stderr, "%s: windows not contiguous/increasing\n",
+                   path.c_str());
+      return false;
+    }
+    prev_end = end;
+    const smt::JsonValue* wcpus = win.find("cpus");
+    if (wcpus == nullptr || !wcpus->is_array() ||
+        wcpus->array.size() != static_cast<size_t>(smt::kNumLogicalCpus)) {
+      std::fprintf(stderr, "%s: window \"cpus\" is not a %d-entry array\n",
+                   path.c_str(), smt::kNumLogicalCpus);
+      return false;
+    }
+    for (size_t i = 0; i < wcpus->array.size(); ++i) {
+      const smt::JsonValue* events = wcpus->array[i].find("events");
+      if (events == nullptr || !events->is_object()) {
+        std::fprintf(stderr, "%s: window cpu entry missing events\n",
+                     path.c_str());
+        return false;
+      }
+      for (int e = 0; e < smt::perfmon::kNumEventValues; ++e) {
+        const char* name =
+            smt::perfmon::name(static_cast<smt::perfmon::Event>(e));
+        sums[i][e] += number_or(*events, name, 0.0);
+      }
+    }
+  }
+  for (size_t i = 0; i < cpus.array.size(); ++i) {
+    const smt::JsonValue* events = cpus.array[i].find("events");
+    for (int e = 0; e < smt::perfmon::kNumEventValues; ++e) {
+      const char* name =
+          smt::perfmon::name(static_cast<smt::perfmon::Event>(e));
+      const double total = number_or(*events, name, 0.0);
+      if (sums[i][e] != total) {
+        std::fprintf(stderr,
+                     "%s: cpu%zu %s: window deltas sum to %.0f, total %.0f\n",
+                     path.c_str(), i, name, sums[i][e], total);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 bool check_report(const fs::path& path) {
   std::ifstream in(path);
   std::stringstream ss;
@@ -36,10 +124,12 @@ bool check_report(const fs::path& path) {
     return false;
   }
   const smt::JsonValue* schema = v->find("schema");
-  if (schema == nullptr || schema->string != "smt-run-report/1") {
+  if (schema == nullptr || (schema->string != "smt-run-report/1" &&
+                            schema->string != "smt-run-report/2")) {
     std::fprintf(stderr, "%s: missing/unknown schema\n", path.c_str());
     return false;
   }
+  const bool v2 = schema->string == "smt-run-report/2";
   for (const char* key : {"workload", "cycles", "verified", "config",
                           "cpus", "totals"}) {
     if (v->find(key) == nullptr) {
@@ -82,14 +172,86 @@ bool check_report(const fs::path& path) {
       }
     }
   }
+  const smt::JsonValue* ts = v->find("timeseries");
+  if (v2 && (ts == nullptr || !ts->is_object())) {
+    std::fprintf(stderr, "%s: schema /2 but no timeseries object\n",
+                 path.c_str());
+    return false;
+  }
+  if (!v2 && ts != nullptr) {
+    std::fprintf(stderr, "%s: schema /1 must not carry timeseries\n",
+                 path.c_str());
+    return false;
+  }
+  if (v2 && !check_timeseries(path, *ts, *cpus)) return false;
   return true;
+}
+
+// Validates one Chrome trace-event document: object form, `traceEvents`
+// array, every event an object with name/ph/pid/tid/ts of the right
+// types, complete ("X") events carrying a nonnegative dur.
+bool check_trace(const fs::path& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto v = smt::parse_json(ss.str());
+  if (!v.has_value() || !v->is_object()) {
+    std::fprintf(stderr, "%s: does not parse as a JSON object\n",
+                 path.c_str());
+    return false;
+  }
+  const smt::JsonValue* events = v->find("traceEvents");
+  if (events == nullptr || !events->is_array() || events->array.empty()) {
+    std::fprintf(stderr, "%s: missing/empty traceEvents array\n",
+                 path.c_str());
+    return false;
+  }
+  for (const smt::JsonValue& e : events->array) {
+    const smt::JsonValue* name = e.find("name");
+    const smt::JsonValue* ph = e.find("ph");
+    if (!e.is_object() || name == nullptr || !name->is_string() ||
+        ph == nullptr || !ph->is_string() || ph->string.size() != 1 ||
+        !has_number(e, "pid") || !has_number(e, "tid") ||
+        !has_number(e, "ts")) {
+      std::fprintf(stderr, "%s: malformed trace event\n", path.c_str());
+      return false;
+    }
+    if (ph->string == "X" &&
+        (!has_number(e, "dur") || e.find("dur")->number < 0)) {
+      std::fprintf(stderr, "%s: complete event without dur\n", path.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Scans `dir` for files ending in `suffix` and runs `fn` on each;
+// returns {checked, bad}.
+template <typename Fn>
+std::pair<int, int> scan(const fs::path& dir, const std::string& suffix,
+                         bool exclude_traces, Fn fn) {
+  int checked = 0, bad = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    // A single dir may hold both kinds of artifact; *.trace.json are not
+    // run reports.
+    if (exclude_traces && name.size() >= 11 &&
+        name.compare(name.size() - 11, 11, ".trace.json") == 0)
+      continue;
+    ++checked;
+    if (!fn(entry.path())) ++bad;
+  }
+  return {checked, bad};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <report-dir>\n", argv[0]);
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: %s <report-dir> [trace-dir]\n", argv[0]);
     return 2;
   }
   const fs::path dir = argv[1];
@@ -97,16 +259,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: not a directory\n", dir.c_str());
     return 2;
   }
-  int checked = 0, bad = 0;
-  for (const auto& entry : fs::directory_iterator(dir)) {
-    if (entry.path().extension() != ".json") continue;
-    ++checked;
-    if (!check_report(entry.path())) ++bad;
-  }
+  auto [checked, bad] = scan(dir, ".json", /*exclude_traces=*/true,
+                             check_report);
   if (checked == 0) {
     std::fprintf(stderr, "%s: no report artifacts found\n", dir.c_str());
     return 1;
   }
   std::printf("%d report(s) checked, %d bad\n", checked, bad);
+  if (argc == 3) {
+    const fs::path tdir = argv[2];
+    if (!fs::is_directory(tdir)) {
+      std::fprintf(stderr, "%s: not a directory\n", tdir.c_str());
+      return 2;
+    }
+    auto [tchecked, tbad] = scan(tdir, ".trace.json",
+                                 /*exclude_traces=*/false, check_trace);
+    if (tchecked == 0) {
+      std::fprintf(stderr, "%s: no trace artifacts found\n", tdir.c_str());
+      return 1;
+    }
+    std::printf("%d trace(s) checked, %d bad\n", tchecked, tbad);
+    bad += tbad;
+  }
   return bad == 0 ? 0 : 1;
 }
