@@ -16,6 +16,10 @@
 //                             smt-run-report/2) and a Chrome trace-event
 //                             file *.trace.json — loadable in Perfetto —
 //                             lands in `dir` per recorded run
+//   SMT_BENCH_PROFILE=1       enable the per-PC attribution profiler on
+//                             every run: reports gain a `profile` section
+//                             (hotspots + port occupancy, schema
+//                             smt-run-report/3; see tools/smt_annotate)
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -43,6 +47,11 @@ inline bool full_mode() {
 
 inline bool csv_mode() {
   const char* v = std::getenv("SMT_BENCH_CSV");
+  return v != nullptr && v[0] == '1';
+}
+
+inline bool profile_mode() {
+  const char* v = std::getenv("SMT_BENCH_PROFILE");
   return v != nullptr && v[0] == '1';
 }
 
@@ -97,6 +106,7 @@ inline core::RunStats stats_from(const core::Machine& m, std::string name,
   s.config = m.config();
   s.telemetry = m.telemetry();
   if (s.telemetry != nullptr) s.telemetry->finalize(m.cycles());
+  s.pc_profile = m.pc_profiler();
   return s;
 }
 
@@ -180,9 +190,10 @@ inline int bench_main(int argc, char** argv, std::function<void()> register_all,
     if (slash != std::string::npos) base = base.substr(slash + 1);
     if (!base.empty()) report_prefix() = base;
   }
-  if (!trace_dir().empty()) {
+  if (!trace_dir().empty() || profile_mode()) {
     trace::TelemetryConfig cfg;
-    cfg.enabled = true;
+    cfg.enabled = !trace_dir().empty();
+    cfg.pc_profile = profile_mode();
     trace::set_global_telemetry(cfg);
   }
   benchmark::Initialize(&argc, argv);

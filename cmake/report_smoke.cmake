@@ -1,9 +1,9 @@
 # Smoke test driver: run a bench binary with report emission enabled —
-# and, when TRACE_DIR is given, with telemetry enabled too — then validate
-# the artifacts with check_reports. Invoked by ctest (see
-# tools/CMakeLists.txt) as:
+# and, when TRACE_DIR is given, with telemetry enabled too; when PROFILE
+# is set, with the per-PC profiler on — then validate the artifacts with
+# check_reports. Invoked by ctest (see tools/CMakeLists.txt) as:
 #   cmake -DBENCH=... -DCHECKER=... -DREPORT_DIR=... [-DTRACE_DIR=...]
-#     -P report_smoke.cmake
+#     [-DPROFILE=1] -P report_smoke.cmake
 file(REMOVE_RECURSE "${REPORT_DIR}")
 file(MAKE_DIRECTORY "${REPORT_DIR}")
 
@@ -12,6 +12,9 @@ if(TRACE_DIR)
   file(REMOVE_RECURSE "${TRACE_DIR}")
   file(MAKE_DIRECTORY "${TRACE_DIR}")
   set(ENV{SMT_BENCH_TRACE_DIR} "${TRACE_DIR}")
+endif()
+if(PROFILE)
+  set(ENV{SMT_BENCH_PROFILE} "1")
 endif()
 execute_process(COMMAND "${BENCH}" RESULT_VARIABLE bench_rc)
 if(NOT bench_rc EQUAL 0)

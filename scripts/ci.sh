@@ -23,3 +23,27 @@ rm -rf "$report_dir" && mkdir -p "$report_dir"
 SMT_BENCH_REPORT_DIR="$report_dir" SMT_BENCH_TRACE_DIR="$trace_dir" \
   ./build/bench/ablation_sync > /dev/null
 ./build/tools/check_reports "$report_dir" "$trace_dir"
+
+# Profiled run of the fig3 matmul bench: schema /3 reports whose per-PC
+# attributions must validate, annotate cleanly, and gate regressions.
+profile_dir=$(mktemp -d)
+trap 'rm -rf "$report_dir" "$trace_dir" "$profile_dir"' EXIT
+SMT_BENCH_REPORT_DIR="$profile_dir" SMT_BENCH_PROFILE=1 \
+  ./build/bench/fig3_matmul > /dev/null
+./build/tools/check_reports "$profile_dir"
+
+# The annotated disassembly must surface ALU0 traffic (the paper's
+# mask-instruction serialization signature of the blocked-layout MM).
+mm_report="$profile_dir/fig3_matmul.mm.serial.n64.json"
+./build/tools/smt_annotate "$mm_report" --cpu 0 > "$profile_dir/annotated.txt"
+grep -q "alu0" "$profile_dir/annotated.txt"
+
+# report_diff is the regression gate: a report diffed against itself must
+# pass, and a perturbed counter must trip a nonzero exit.
+./build/tools/report_diff "$mm_report" "$mm_report"
+sed -E 's/"uops_retired":[0-9]+/"uops_retired":1/' "$mm_report" \
+  > "$profile_dir/perturbed.json"
+if ./build/tools/report_diff "$mm_report" "$profile_dir/perturbed.json"; then
+  echo "report_diff failed to flag a perturbed counter" >&2
+  exit 1
+fi

@@ -24,8 +24,15 @@ class RunningStats {
 
   uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
-  double min() const { return n_ ? min_ : 0.0; }
-  double max() const { return n_ ? max_ : 0.0; }
+  // Unlike mean/variance, 0.0 is a misleading extremum for an empty
+  // accumulator (it pretends a sample at 0 was seen); report NaN so the
+  // absence of data propagates instead of masquerading as a value.
+  double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
 
   double variance() const {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;

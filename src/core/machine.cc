@@ -10,6 +10,8 @@ Machine::Machine(const MachineConfig& cfg)
       core_(cfg.core, hierarchy_, memory_, counters_) {
   if (trace::global_telemetry().enabled) {
     enable_telemetry(trace::global_telemetry());
+  } else if (trace::global_telemetry().pc_profile) {
+    enable_pc_profiler();
   }
 }
 
@@ -18,6 +20,18 @@ void Machine::enable_telemetry(const trace::TelemetryConfig& cfg) {
   telemetry_ =
       std::make_shared<trace::Telemetry>(cfg, counters_, core_.now());
   core_.set_telemetry(&telemetry_->recorder(), &telemetry_->sampler());
+  if (cfg.pc_profile && pc_profiler_ == nullptr) enable_pc_profiler();
+}
+
+void Machine::enable_pc_profiler() {
+  SMT_CHECK_MSG(pc_profiler_ == nullptr, "pc profiler already enabled");
+  pc_profiler_ = std::make_shared<profile::PcProfiler>();
+  core_.set_pipeline_observer(pc_profiler_.get());
+  for (int i = 0; i < kNumLogicalCpus; ++i) {
+    if (programs_[i].has_value()) {
+      pc_profiler_->set_program(static_cast<CpuId>(i), *programs_[i]);
+    }
+  }
 }
 
 void Machine::load_program(CpuId cpu, isa::Program prog,
@@ -26,6 +40,7 @@ void Machine::load_program(CpuId cpu, isa::Program prog,
   SMT_CHECK_MSG(!slot.has_value(), "logical CPU already has a program");
   slot.emplace(std::move(prog));
   core_.load_program(cpu, *slot, init);
+  if (pc_profiler_ != nullptr) pc_profiler_->set_program(cpu, *slot);
 }
 
 }  // namespace smt::core

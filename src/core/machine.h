@@ -18,6 +18,7 @@
 #include "mem/hierarchy.h"
 #include "mem/sim_memory.h"
 #include "perfmon/counters.h"
+#include "profile/pc_profiler.h"
 #include "trace/telemetry.h"
 
 namespace smt::core {
@@ -56,6 +57,19 @@ class Machine {
     return telemetry_;
   }
 
+  /// Attaches the per-PC attribution profiler (read-only pipeline
+  /// observer; see src/profile/pc_profiler.h). The constructor calls this
+  /// automatically when the process-global telemetry default has
+  /// pc_profile set (bench binaries with SMT_BENCH_PROFILE=1). Call
+  /// before running; enabling never perturbs any counter.
+  void enable_pc_profiler();
+
+  /// The attached profiler (null when disabled). Shared so RunStats can
+  /// carry it past this machine's lifetime.
+  const std::shared_ptr<profile::PcProfiler>& pc_profiler() const {
+    return pc_profiler_;
+  }
+
   /// Binds `prog` to `cpu` (the program is copied and kept alive by the
   /// machine). The sched_setaffinity analog: one software thread per
   /// logical processor.
@@ -75,6 +89,7 @@ class Machine {
   mem::CacheHierarchy hierarchy_;
   perfmon::PerfCounters counters_;
   std::shared_ptr<trace::Telemetry> telemetry_;
+  std::shared_ptr<profile::PcProfiler> pc_profiler_;
   cpu::Core core_;
   std::array<std::optional<isa::Program>, kNumLogicalCpus> programs_;
 };

@@ -127,6 +127,84 @@ void write_timeseries(JsonWriter& w, const trace::CounterSampler& s) {
   w.end_object();
 }
 
+void write_block_reason_map(JsonWriter& w,
+                            const std::array<uint64_t, cpu::kNumBlockReasons>&
+                                stalls) {
+  w.begin_object();
+  for (int r = 0; r < cpu::kNumBlockReasons; ++r) {
+    w.kv(cpu::name(static_cast<cpu::BlockReason>(r)), stalls[r]);
+  }
+  w.end_object();
+}
+
+void write_port_map(JsonWriter& w,
+                    const std::array<uint64_t, cpu::kNumIssuePorts>& ports) {
+  w.begin_object();
+  for (int p = 0; p < cpu::kNumIssuePorts; ++p) {
+    w.kv(cpu::name(static_cast<cpu::IssuePort>(p)), ports[p]);
+  }
+  w.end_object();
+}
+
+void write_profile(JsonWriter& w, const profile::PcProfiler& prof,
+                   const cpu::CoreConfig& core_cfg) {
+  w.begin_object();
+  w.key("hotspots");
+  w.begin_array();
+  for (int i = 0; i < kNumLogicalCpus; ++i) {
+    const CpuId cpu = static_cast<CpuId>(i);
+    w.begin_object();
+    w.kv("cpu", i);
+    w.key("pcs");
+    w.begin_array();
+    for (const auto& [pc, s] : prof.pcs(cpu)) {
+      w.begin_object();
+      w.kv("pc", static_cast<uint64_t>(pc));
+      w.kv("disasm", prof.disasm(cpu, pc));
+      w.kv("retired_instrs", s.retired_instrs);
+      w.kv("retired_uops", s.retired_uops);
+      w.kv("l1_misses", s.l1_misses);
+      w.kv("l2_misses", s.l2_misses);
+      w.key("stalls");
+      write_block_reason_map(w, s.stalls);
+      w.key("ports");
+      write_port_map(w, s.port_uops);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("port_occupancy");
+  w.begin_array();
+  for (int i = 0; i < kNumLogicalCpus; ++i) {
+    w.begin_object();
+    w.kv("cpu", i);
+    w.key("ports");
+    write_port_map(w, prof.port_totals(static_cast<CpuId>(i)));
+    w.end_object();
+  }
+  w.end_array();
+
+  // Per-cycle issue caps for each port (the double-speed ALUs fire twice a
+  // cycle; the FP/move/load/store ports once). Validators bound occupancy
+  // by cap * cycles, and smt_annotate computes utilization against them.
+  w.key("port_caps_per_cycle");
+  std::array<uint64_t, cpu::kNumIssuePorts> caps{};
+  caps[static_cast<int>(cpu::IssuePort::kAlu0)] =
+      static_cast<uint64_t>(core_cfg.alu0_per_cycle);
+  caps[static_cast<int>(cpu::IssuePort::kAlu1)] =
+      static_cast<uint64_t>(core_cfg.alu1_per_cycle);
+  caps[static_cast<int>(cpu::IssuePort::kFp)] = 1;
+  caps[static_cast<int>(cpu::IssuePort::kFpMove)] = 1;
+  caps[static_cast<int>(cpu::IssuePort::kLoad)] = 1;
+  caps[static_cast<int>(cpu::IssuePort::kStore)] = 1;
+  write_port_map(w, caps);
+
+  w.end_object();
+}
+
 }  // namespace
 
 RunReport RunReport::from(const RunStats& stats) {
@@ -139,12 +217,16 @@ RunReport RunReport::from(const RunStats& stats) {
 std::string RunReport::to_json() const {
   // Reports from telemetry-enabled runs carry the windowed counter
   // time-series and advertise schema /2; plain runs stay on /1 so
-  // existing artifact consumers are unaffected.
+  // existing artifact consumers are unaffected. Profiled runs carry a
+  // `profile` section and advertise /3 (timeseries optional there).
   const bool timeseries = stats.telemetry != nullptr &&
                           !stats.telemetry->sampler().windows().empty();
+  const bool profiled = stats.pc_profile != nullptr;
   JsonWriter w;
   w.begin_object();
-  w.kv("schema", timeseries ? "smt-run-report/2" : "smt-run-report/1");
+  w.kv("schema", profiled      ? "smt-run-report/3"
+                 : timeseries  ? "smt-run-report/2"
+                               : "smt-run-report/1");
   w.kv("workload", stats.workload);
   w.kv("cycles", static_cast<uint64_t>(stats.cycles));
   w.kv("verified", stats.verified);
@@ -191,6 +273,11 @@ std::string RunReport::to_json() const {
     write_timeseries(w, stats.telemetry->sampler());
   }
 
+  if (profiled) {
+    w.key("profile");
+    write_profile(w, *stats.pc_profile, stats.config.core);
+  }
+
   w.end_object();
   return w.str();
 }
@@ -214,6 +301,7 @@ RunReport report_from_machine(const Machine& m, std::string workload,
   s.config = m.config();
   s.telemetry = m.telemetry();
   if (s.telemetry != nullptr) s.telemetry->finalize(m.cycles());
+  s.pc_profile = m.pc_profiler();
   return RunReport::from(s);
 }
 

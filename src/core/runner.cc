@@ -24,6 +24,7 @@ RunStats run_workload(const MachineConfig& cfg, Workload& w,
   stats.config = cfg;
   stats.telemetry = m.telemetry();
   if (stats.telemetry != nullptr) stats.telemetry->finalize(m.cycles());
+  stats.pc_profile = m.pc_profiler();
   return stats;
 }
 

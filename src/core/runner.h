@@ -21,6 +21,9 @@ struct RunStats {
   /// Time-resolved telemetry of the run (finalized), when the machine had
   /// it enabled; null otherwise. Shared: outlives the machine.
   std::shared_ptr<trace::Telemetry> telemetry;
+  /// Per-PC attribution profile of the run, when the machine had the
+  /// profiler enabled; null otherwise. Shared: outlives the machine.
+  std::shared_ptr<profile::PcProfiler> pc_profile;
 
   uint64_t total(perfmon::Event e) const { return events.total(e); }
   uint64_t cpu(CpuId c, perfmon::Event e) const { return events.get(c, e); }

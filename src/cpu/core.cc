@@ -13,6 +13,30 @@ using isa::Opcode;
 using isa::UnitClass;
 using perfmon::Event;
 
+const char* name(IssuePort p) {
+  switch (p) {
+    case IssuePort::kAlu0:   return "alu0";
+    case IssuePort::kAlu1:   return "alu1";
+    case IssuePort::kFp:     return "fp";
+    case IssuePort::kFpMove: return "fp_move";
+    case IssuePort::kLoad:   return "load";
+    case IssuePort::kStore:  return "store";
+  }
+  return "?";
+}
+
+const char* name(BlockReason r) {
+  switch (r) {
+    case BlockReason::kStoreBuffer:  return "store_buffer";
+    case BlockReason::kRob:          return "rob";
+    case BlockReason::kLoadQueue:    return "load_queue";
+    case BlockReason::kUopQueueFull: return "uop_queue_full";
+    case BlockReason::kPortConflict: return "port_conflict";
+    case BlockReason::kDividerBusy:  return "divider_busy";
+  }
+  return "?";
+}
+
 Core::Core(const CoreConfig& cfg, mem::CacheHierarchy& hierarchy,
            mem::SimMemory& memory, perfmon::PerfCounters& counters)
     : cfg_(cfg), hier_(hierarchy), mem_(memory), ctr_(counters) {
@@ -108,8 +132,11 @@ void Core::deliver_ipi(CpuId target) {
 }
 
 void Core::mirror_access_stats(CpuId cpu, const mem::AccessOutcome& out,
-                               bool is_load) {
-  if (out.served_by != mem::ServedBy::kL1) ctr_.add(cpu, Event::kL1Misses);
+                               bool is_load, uint32_t pc) {
+  if (out.served_by != mem::ServedBy::kL1) {
+    ctr_.add(cpu, Event::kL1Misses);
+    if (pipe_ != nullptr) pipe_->on_demand_miss(cpu, pc, out.l2_miss);
+  }
   if (out.served_by == mem::ServedBy::kL2 ||
       out.served_by == mem::ServedBy::kMemory) {
     ctr_.add(cpu, Event::kL2Accesses);
@@ -237,12 +264,15 @@ int Core::retire_thread(Thread& t, CpuId cpu) {
       store_commit_port_free_ = start + 1;
       const mem::AccessOutcome out =
           hier_.access(u.addr, /*is_write=*/true, cpu, start, u.pc);
-      mirror_access_stats(cpu, out, /*is_load=*/false);
+      mirror_access_stats(cpu, out, /*is_load=*/false, u.pc);
       t.sb_drain_free_at.push_back(std::max(out.ready, start + 1));
       // The store-buffer entry stays occupied until the drain completes.
     }
 
     if (observer_ != nullptr) observer_->on_retire(cpu, u);
+    if (pipe_ != nullptr) {
+      pipe_->on_retire_uop(cpu, u, u.op == Opcode::kXchg ? 2 : 1);
+    }
 
     ++t.head;
     ++retired;
@@ -276,10 +306,13 @@ bool Core::try_issue_one(Thread& t, CpuId cpu, int& budget) {
     // Structural check + reservation.
     const DynUop& u = e.uop;
     Cycle done = now_ + 1;
+    IssuePort port = IssuePort::kAlu0;
+    bool has_port = true;  // kNone uops take an issue slot but no port
     switch (u.unit) {
       case UnitClass::kAlu:
         if (cap_alu1_ > 0) {
           --cap_alu1_;
+          port = IssuePort::kAlu1;
         } else if (cap_alu0_ > 0) {
           --cap_alu0_;
         } else {
@@ -298,6 +331,7 @@ bool Core::try_issue_one(Thread& t, CpuId cpu, int& budget) {
         // through the same single FP issue port.
         if (cap_fp_port_ <= 0) continue;
         --cap_fp_port_;
+        port = IssuePort::kFp;
         done = now_ + cfg_.latency(u.op);
         break;
       case UnitClass::kIntDiv:
@@ -307,6 +341,7 @@ bool Core::try_issue_one(Thread& t, CpuId cpu, int& budget) {
         if (cap_fp_port_ <= 0) continue;
         if (cfg_.idiv_unpipelined && idiv_busy_until_ > now_) continue;
         --cap_fp_port_;
+        port = IssuePort::kFp;
         done = now_ + cfg_.latency(u.op);
         if (cfg_.idiv_unpipelined) idiv_busy_until_ = done;
         break;
@@ -314,30 +349,34 @@ bool Core::try_issue_one(Thread& t, CpuId cpu, int& budget) {
       case UnitClass::kFpMul:
         if (cap_fp_port_ <= 0) continue;
         --cap_fp_port_;
+        port = IssuePort::kFp;
         done = now_ + cfg_.latency(u.op);
         break;
       case UnitClass::kFpDiv:
         if (cap_fp_port_ <= 0) continue;
         if (cfg_.fdiv_unpipelined && fdiv_busy_until_ > now_) continue;
         --cap_fp_port_;
+        port = IssuePort::kFp;
         done = now_ + cfg_.latency(u.op);
         if (cfg_.fdiv_unpipelined) fdiv_busy_until_ = done;
         break;
       case UnitClass::kFpMove:
         if (cap_fpmov_ <= 0) continue;
         --cap_fpmov_;
+        port = IssuePort::kFpMove;
         done = now_ + cfg_.latency(u.op);
         break;
       case UnitClass::kLoad: {
         if (cap_load_ <= 0) continue;
         --cap_load_;
+        port = IssuePort::kLoad;
         if (u.is_prefetch) {
           hier_.prefetch(u.addr, u.prefetch_to_l1, cpu, now_);
           done = now_ + 1;  // fire-and-forget
         } else {
           const mem::AccessOutcome out =
               hier_.access(u.addr, /*is_write=*/false, cpu, now_, u.pc);
-          mirror_access_stats(cpu, out, /*is_load=*/true);
+          mirror_access_stats(cpu, out, /*is_load=*/true, u.pc);
           done = out.ready;
         }
         break;
@@ -346,9 +385,11 @@ bool Core::try_issue_one(Thread& t, CpuId cpu, int& budget) {
         // Store-address generation; the data commits at drain time.
         if (cap_store_ <= 0) continue;
         --cap_store_;
+        port = IssuePort::kStore;
         done = now_ + 1;
         break;
       case UnitClass::kNone:
+        has_port = false;
         done = now_ + 1;
         break;
     }
@@ -356,10 +397,55 @@ bool Core::try_issue_one(Thread& t, CpuId cpu, int& budget) {
     e.issued = true;
     e.done_at = done;
     ctr_.add(cpu, Event::kIssuedUops);
+    if (pipe_ != nullptr && has_port) pipe_->on_issue(cpu, port, u.pc);
     --budget;
     return true;
   }
   return false;
+}
+
+void Core::scan_issue_blocks() {
+  // Attribution-only pass, run after the issue stage settles: for each
+  // context, find the oldest dep-ready unissued uop still in the scheduler
+  // window. It failed to issue this cycle, so it is blocked on structure —
+  // either an unpipelined divider that is mid-operation, or a port taken by
+  // other uops this cycle. Reads the same state try_issue_one reads and
+  // writes only the Thread attribution fields, so the simulation itself is
+  // unperturbed. In an event-skip window nothing issues and no divider or
+  // dependency deadline expires mid-window, so the fields stay constant and
+  // record_cycle_counters can replay them exactly over n cycles.
+  for (int i = 0; i < kNumLogicalCpus; ++i) {
+    Thread& t = threads_[i];
+    const CpuId cpu = static_cast<CpuId>(i);
+    t.issue_blocked = false;
+    const int window = sched_window_limit(cpu);
+    int examined = 0;
+    for (uint64_t seq = t.head; seq != t.next && examined < window; ++seq) {
+      const RobEntry& e = t.rob[seq % cfg_.rob_size];
+      if (e.issued) continue;
+      ++examined;
+      bool ready = true;
+      for (int d = 0; d < e.ndeps; ++d) {
+        if (!dep_ready(t, e.dep[d])) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      BlockReason reason = BlockReason::kPortConflict;
+      if (e.uop.unit == UnitClass::kIntDiv && cap_fp_port_ > 0 &&
+          cfg_.idiv_unpipelined && idiv_busy_until_ > now_) {
+        reason = BlockReason::kDividerBusy;
+      } else if (e.uop.unit == UnitClass::kFpDiv && cap_fp_port_ > 0 &&
+                 cfg_.fdiv_unpipelined && fdiv_busy_until_ > now_) {
+        reason = BlockReason::kDividerBusy;
+      }
+      t.issue_blocked = true;
+      t.issue_block_reason = reason;
+      t.issue_block_pc = e.uop.pc;
+      break;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -374,14 +460,17 @@ int Core::dispatch_thread(Thread& t, CpuId cpu) {
     const DynUop& u = t.uq.front();
     if (t.rob_occupancy() >= static_cast<size_t>(rob_limit(cpu))) {
       t.stall = StallReason::kRob;
+      t.stall_pc = u.pc;
       break;
     }
     if (u.is_load && !u.is_prefetch && t.lq_used >= lq_limit(cpu)) {
       t.stall = StallReason::kLoadQueue;
+      t.stall_pc = u.pc;
       break;
     }
     if (u.is_store && t.sb_used >= sb_limit(cpu)) {
       t.stall = StallReason::kStoreBuffer;
+      t.stall_pc = u.pc;
       break;
     }
 
@@ -569,6 +658,9 @@ bool Core::step_cycle() {
       }
     }
   }
+  // Attribution-only: find which PC (if any) is issue-blocked this cycle.
+  // Must run after the issue stage so the result reflects final port state.
+  if (pipe_ != nullptr) scan_issue_blocks();
 
   // Dispatch: the allocator serves one context per cycle (alternating); a
   // context that has nothing queued — or whose next uop cannot allocate
@@ -610,10 +702,13 @@ bool Core::step_cycle() {
       const CpuId cpu = static_cast<CpuId>(i);
       if (t.rob_occupancy() >= static_cast<size_t>(rob_limit(cpu))) {
         t.stall = StallReason::kRob;
+        t.stall_pc = u.pc;
       } else if (u.is_load && !u.is_prefetch && t.lq_used >= lq_limit(cpu)) {
         t.stall = StallReason::kLoadQueue;
+        t.stall_pc = u.pc;
       } else if (u.is_store && t.sb_used >= sb_limit(cpu)) {
         t.stall = StallReason::kStoreBuffer;
+        t.stall_pc = u.pc;
       }
     }
   }
@@ -632,6 +727,7 @@ bool Core::step_cycle() {
         // kUopQueueFullCycles in record_cycle_counters so the count
         // replays exactly across event-skip windows.
         t.uq_full = true;
+        t.uq_full_pc = t.arch.pc;
         continue;
       }
       const TMode mode_before = t.mode;
@@ -675,22 +771,37 @@ void Core::record_cycle_counters(Cycle first, Cycle n) {
     }
     if (t.mode == TMode::kRunning && t.uq_full) {
       ctr_.add(cpu, Event::kUopQueueFullCycles, n);
+      if (pipe_ != nullptr) {
+        pipe_->on_block(cpu, BlockReason::kUopQueueFull, t.uq_full_pc, n);
+      }
     }
     switch (t.stall) {
       case StallReason::kRob:
         ctr_.add(cpu, Event::kResourceStallCycles, n);
         ctr_.add(cpu, Event::kRobStallCycles, n);
+        if (pipe_ != nullptr) {
+          pipe_->on_block(cpu, BlockReason::kRob, t.stall_pc, n);
+        }
         break;
       case StallReason::kLoadQueue:
         ctr_.add(cpu, Event::kResourceStallCycles, n);
         ctr_.add(cpu, Event::kLoadQueueStallCycles, n);
+        if (pipe_ != nullptr) {
+          pipe_->on_block(cpu, BlockReason::kLoadQueue, t.stall_pc, n);
+        }
         break;
       case StallReason::kStoreBuffer:
         ctr_.add(cpu, Event::kResourceStallCycles, n);
         ctr_.add(cpu, Event::kStoreBufferStallCycles, n);
+        if (pipe_ != nullptr) {
+          pipe_->on_block(cpu, BlockReason::kStoreBuffer, t.stall_pc, n);
+        }
         break;
       default:
         break;
+    }
+    if (pipe_ != nullptr && t.issue_blocked) {
+      pipe_->on_block(cpu, t.issue_block_reason, t.issue_block_pc, n);
     }
   }
 }

@@ -73,6 +73,65 @@ class RetireObserver {
   virtual void on_retire(CpuId cpu, const DynUop& uop) = 0;
 };
 
+/// Issue ports of the modeled backend, at the granularity the paper's
+/// Table 1 / Figure 6 reason about: the two double-speed ALUs (logical,
+/// shift and branch uops are restricted to ALU0), the single shared FP
+/// issue port (FP add/mul/div plus the complex integer unit), the FP-move
+/// path, and the load / store-address ports.
+enum class IssuePort : uint8_t {
+  kAlu0,
+  kAlu1,
+  kFp,      // shared FP complex port (fadd/fmul/fdiv/imul/idiv)
+  kFpMove,
+  kLoad,
+  kStore,   // store-address generation
+};
+inline constexpr int kNumIssuePorts = 6;
+
+/// Why the backend could not make forward progress on a uop this cycle.
+/// The first four mirror the allocator/frontend stall counters; the last
+/// two are issue-stage conditions that have no per-CPU counter but are
+/// attributable per PC (the ALU0 serialization the paper's §5.3 reasons
+/// about shows up as kPortConflict on the mask instructions).
+enum class BlockReason : uint8_t {
+  kStoreBuffer,
+  kRob,
+  kLoadQueue,
+  kUopQueueFull,
+  kPortConflict,  // ready to issue, but the port (or issue slots) were taken
+  kDividerBusy,   // ready to issue, but the unpipelined divider is occupied
+};
+inline constexpr int kNumBlockReasons = 6;
+
+const char* name(IssuePort p);
+const char* name(BlockReason r);
+
+/// Pure observer of the backend's issue, stall and miss activity — the
+/// attachment point of the per-PC attribution profiler
+/// (profile::PcProfiler). Like the telemetry instruments, it is read-only:
+/// attaching one never perturbs a counter, and every callback replays
+/// bit-identically under event-skip fast-forward (on_block is raised from
+/// record_cycle_counters with the frozen per-thread blocking state, so a
+/// skipped window attributes exactly like single-cycle stepping).
+class PipelineObserver {
+ public:
+  virtual ~PipelineObserver() = default;
+  /// A uop from `pc` won an issue slot on `port` this cycle. Uops with no
+  /// execution unit (nop/pause/halt/ipi/exit) consume issue bandwidth but
+  /// no port and are not reported.
+  virtual void on_issue(CpuId cpu, IssuePort port, uint32_t pc) = 0;
+  /// The oldest blocked uop of `cpu`, from `pc`, spent `cycles` cycles
+  /// blocked for `reason` (bulk-reported across event-skip windows).
+  virtual void on_block(CpuId cpu, BlockReason reason, uint32_t pc,
+                        Cycle cycles) = 0;
+  /// A demand access by `pc` missed L1 (`l2_miss` = it also missed L2).
+  /// Raised at the same points as the kL1Misses/kL2Misses counters.
+  virtual void on_demand_miss(CpuId cpu, uint32_t pc, bool l2_miss) = 0;
+  /// A uop from `pc` retired; `uops` is its retired-uop count (2 for the
+  /// load+store halves of xchg), matching kUopsRetired exactly.
+  virtual void on_retire_uop(CpuId cpu, const DynUop& uop, int uops) = 0;
+};
+
 class Core {
  public:
   Core(const CoreConfig& cfg, mem::CacheHierarchy& hierarchy,
@@ -99,6 +158,12 @@ class Core {
   Cycle now() const { return now_; }
 
   void set_retire_observer(RetireObserver* obs) { observer_ = obs; }
+
+  /// Attaches the per-PC attribution observer (may be null to detach).
+  /// A pure observer with the same guarantees as the telemetry
+  /// instruments: zero cost when detached (every hook is a null check),
+  /// and no counter or simulation state is ever perturbed when attached.
+  void set_pipeline_observer(PipelineObserver* obs) { pipe_ = obs; }
 
   /// Attaches the optional telemetry instruments (either may be null).
   /// Both are pure observers: with them attached, every perf counter stays
@@ -156,10 +221,27 @@ class Core {
     std::vector<Cycle> sb_drain_free_at;
     bool ipi_pending = false;
     StallReason stall = StallReason::kNone;
+    // PC of the uop the allocator could not move when stall != kNone
+    // (the oldest blocked uop, always uq.front()); consumed by
+    // record_cycle_counters for per-PC stall attribution.
+    uint32_t stall_pc = 0;
     // Set by the fetch stage when this context donated its slot because
     // the uop queue was full; consumed by record_cycle_counters so the
     // attribution replays exactly across event-skip windows.
     bool uq_full = false;
+    // PC of the next instruction to fetch when uq_full was set (the
+    // oldest instruction blocked at the frontend).
+    uint32_t uq_full_pc = 0;
+    // Issue-stage blocking state, recomputed after the issue stage of
+    // every stepped cycle (only while a PipelineObserver is attached):
+    // the oldest dependence-ready but unissued uop in the scheduler
+    // window, and why it could not issue. Within an event-skip window the
+    // predicate is constant (ports are untouched in no-activity cycles
+    // and divider-busy expiry is a next-event candidate), so
+    // record_cycle_counters replays it bit-identically.
+    bool issue_blocked = false;
+    BlockReason issue_block_reason = BlockReason::kPortConflict;
+    uint32_t issue_block_pc = 0;
     // Recent-load/-store rings for memory-order-violation detection.
     static constexpr int kRlSize = 8;
     static constexpr int kRsSize = 16;
@@ -211,8 +293,12 @@ class Core {
   /// all cycles < t to be accounted). No-op without a sampler.
   void sample_up_to(Cycle t);
   Cycle next_event_cycle() const;
+  /// Recomputes Thread::issue_blocked/issue_block_* for both contexts
+  /// (called after the issue stage; only while a PipelineObserver is
+  /// attached — the scan is read-only).
+  void scan_issue_blocks();
   void mirror_access_stats(CpuId cpu, const mem::AccessOutcome& out,
-                           bool is_load);
+                           bool is_load, uint32_t pc);
   void check_memory_order(Thread& t, CpuId cpu, Addr addr, uint64_t value);
 
   CoreConfig cfg_;
@@ -220,6 +306,7 @@ class Core {
   mem::SimMemory& mem_;
   perfmon::PerfCounters& ctr_;
   RetireObserver* observer_ = nullptr;
+  PipelineObserver* pipe_ = nullptr;
   trace::TraceRecorder* trace_ = nullptr;
   trace::CounterSampler* sampler_ = nullptr;
 

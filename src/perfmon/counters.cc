@@ -47,7 +47,12 @@ Snapshot Snapshot::operator-(const Snapshot& rhs) const {
   Snapshot out;
   for (int c = 0; c < kNumLogicalCpus; ++c) {
     for (int e = 0; e < kNumEventValues; ++e) {
-      SMT_DCHECK(v[c][e] >= rhs.v[c][e]);
+      // Counters are monotone, so later - earlier can never go negative.
+      // A violation means the operands are swapped (interval math with
+      // begin/end reversed) and would silently wrap to a huge uint64;
+      // fail loudly instead, in release builds too.
+      SMT_CHECK_MSG(v[c][e] >= rhs.v[c][e],
+                    "Snapshot subtraction underflow (operands swapped?)");
       out.v[c][e] = v[c][e] - rhs.v[c][e];
     }
   }

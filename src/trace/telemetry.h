@@ -32,6 +32,10 @@ struct TelemetryConfig {
   size_t ring_capacity = 1 << 16;
   /// Two L2 misses at most this many cycles apart belong to one burst.
   Cycle l2_burst_gap = 64;
+  /// Attach the per-PC attribution profiler (src/profile/pc_profiler.h;
+  /// run reports gain a `profile` section and move to schema /3).
+  /// Independent of `enabled`: profiling without time-series is valid.
+  bool pc_profile = false;
 };
 
 /// Process-global default consulted by Machine's constructor; disabled

@@ -83,6 +83,10 @@ TEST(RunningStats, EmptyIsDefined) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  // An empty accumulator has no extrema: 0.0 would masquerade as a seen
+  // sample, so min/max report NaN instead.
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
 }
 
 TEST(Helpers, SafeRatioAndRelErr) {

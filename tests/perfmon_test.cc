@@ -64,6 +64,17 @@ TEST(Snapshot, DefaultConstructedIsZeroAndSubtractable) {
   EXPECT_EQ(delta.total(Event::kStoresRetired), 0u);
 }
 
+TEST(SnapshotDeathTest, SwappedOperandsFailLoudly) {
+  // Counters are monotone, so earlier - later is always a caller bug
+  // (begin/end swapped in interval math). The subtraction must abort
+  // rather than silently wrap to a huge unsigned delta.
+  PerfCounters ctr;
+  const Snapshot before = ctr.snapshot();
+  ctr.add(kC0, Event::kInstrRetired, 1);
+  const Snapshot after = ctr.snapshot();
+  EXPECT_DEATH(before - after, "underflow");
+}
+
 // ---------------------------------------------------------------------------
 // cpi() never divides by zero
 // ---------------------------------------------------------------------------

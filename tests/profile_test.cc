@@ -7,6 +7,7 @@
 #include "kernels/matmul.h"
 #include "profile/delinquent.h"
 #include "profile/mix_profiler.h"
+#include "profile/pc_profiler.h"
 
 namespace smt::profile {
 namespace {
@@ -103,6 +104,51 @@ TEST(MixProfiler, SprPrefetcherHasNoFpArithmetic) {
   EXPECT_EQ(prof.count(CpuId::kCpu1, Subunit::kFpAdd), 0u);
   EXPECT_EQ(prof.count(CpuId::kCpu1, Subunit::kFpMul), 0u);
   EXPECT_GT(prof.count(CpuId::kCpu1, Subunit::kLoad), 0u);  // prefetches
+}
+
+TEST(PcProfiler, PerPcCountsSumToMixProfilerAndCounters) {
+  // The per-PC attribution must be a refinement of the Table-1 mix: on the
+  // SPR matmul, grouping each context's per-PC retired-instruction counts
+  // by the PC's execution subunit reproduces the MixProfiler totals
+  // exactly, and the per-PC retired-uop counts sum to kUopsRetired. Both
+  // observers ride the same run (separate observer slots).
+  MatMulParams p;
+  p.n = 16;
+  p.tile = 4;
+  p.mode = MmMode::kTlpPfetch;
+  MatMulWorkload w(p);
+  core::Machine m{};
+  MixProfiler mix;
+  PcProfiler pcs;
+  m.core().set_retire_observer(&mix);
+  m.core().set_pipeline_observer(&pcs);
+  w.setup(m);
+  auto progs = w.programs();
+  m.load_program(CpuId::kCpu0, progs[0]);
+  m.load_program(CpuId::kCpu1, progs[1]);
+  m.run();
+  EXPECT_TRUE(w.verify(m));
+  for (int c = 0; c < kNumLogicalCpus; ++c) {
+    const CpuId cpu = static_cast<CpuId>(c);
+    const isa::Program& prog = progs[static_cast<size_t>(c)];
+    uint64_t by_subunit[static_cast<int>(Subunit::kNumSubunits)] = {};
+    uint64_t instrs = 0;
+    uint64_t uops = 0;
+    for (const auto& [pc, s] : pcs.pcs(cpu)) {
+      ASSERT_LT(pc, prog.size());
+      const Subunit su = subunit_of(isa::unit_class(prog.at(pc).op));
+      by_subunit[static_cast<int>(su)] += s.retired_instrs;
+      instrs += s.retired_instrs;
+      uops += s.retired_uops;
+    }
+    for (int s = 0; s < static_cast<int>(Subunit::kNumSubunits); ++s) {
+      EXPECT_EQ(by_subunit[s], mix.count(cpu, static_cast<Subunit>(s)))
+          << "cpu" << c << " subunit " << name(static_cast<Subunit>(s));
+    }
+    EXPECT_EQ(instrs,
+              m.counters().get(cpu, perfmon::Event::kInstrRetired));
+    EXPECT_EQ(uops, m.counters().get(cpu, perfmon::Event::kUopsRetired));
+  }
 }
 
 TEST(MixProfiler, ResetClearsState) {

@@ -3,11 +3,15 @@
 //   $ check_reports <report-dir> [trace-dir]
 //
 // Every *.json in <report-dir> must parse as a RunReport of schema
-// smt-run-report/1 or /2 and carry the required fields (per-CPU events +
-// cycle breakdown). Schema /2 reports additionally carry a `timeseries`
-// section whose per-window counter deltas are checked to sum exactly to
-// the end-of-run per-CPU totals — the key invariant of the windowed
-// sampler under both event-skip modes.
+// smt-run-report/1, /2 or /3 and carry the required fields (per-CPU
+// events + cycle breakdown). Schema /2 reports additionally carry a
+// `timeseries` section whose per-window counter deltas are checked to sum
+// exactly to the end-of-run per-CPU totals — the key invariant of the
+// windowed sampler under both event-skip modes. Schema /3 reports carry a
+// `profile` section (timeseries optional) whose per-PC attributions are
+// checked to sum exactly to the counter totals (retired instrs/uops,
+// L1/L2 misses, the four counter-backed stall reasons) and whose port
+// occupancy is bounded by the per-cycle port caps times run cycles.
 //
 // When <trace-dir> is given, every *.trace.json there must parse as a
 // Chrome trace-event document (object form with a `traceEvents` array of
@@ -25,6 +29,7 @@
 
 #include "common/json.h"
 #include "common/types.h"
+#include "cpu/core.h"
 #include "perfmon/events.h"
 
 namespace fs = std::filesystem;
@@ -113,6 +118,129 @@ bool check_timeseries(const fs::path& path, const smt::JsonValue& ts,
   return true;
 }
 
+// Reads map[key] treating a missing key as 0 but rejecting non-objects.
+double map_value(const smt::JsonValue* m, const char* key) {
+  return m != nullptr && m->is_object() ? number_or(*m, key, 0.0) : 0.0;
+}
+
+// Checks the /3 `profile` section: per-CPU per-PC attributions must sum
+// exactly to the counter totals wherever a counter backs the quantity, and
+// port occupancy must both equal the per-PC port sums and respect the
+// per-cycle issue caps.
+bool check_profile(const fs::path& path, const smt::JsonValue& prof,
+                   const smt::JsonValue& cpus, double cycles) {
+  const smt::JsonValue* hotspots = prof.find("hotspots");
+  const smt::JsonValue* occupancy = prof.find("port_occupancy");
+  const smt::JsonValue* caps = prof.find("port_caps_per_cycle");
+  if (hotspots == nullptr || !hotspots->is_array() ||
+      hotspots->array.size() != static_cast<size_t>(smt::kNumLogicalCpus) ||
+      occupancy == nullptr || !occupancy->is_array() ||
+      occupancy->array.size() != static_cast<size_t>(smt::kNumLogicalCpus) ||
+      caps == nullptr || !caps->is_object()) {
+    std::fprintf(stderr,
+                 "%s: profile missing hotspots/port_occupancy/"
+                 "port_caps_per_cycle\n",
+                 path.c_str());
+    return false;
+  }
+  // Total port occupancy across both contexts, for the shared-cap bound.
+  double port_sum_all[smt::cpu::kNumIssuePorts] = {};
+  for (size_t i = 0; i < cpus.array.size(); ++i) {
+    const smt::JsonValue* events = cpus.array[i].find("events");
+    const smt::JsonValue* pcs = hotspots->array[i].find("pcs");
+    if (pcs == nullptr || !pcs->is_array()) {
+      std::fprintf(stderr, "%s: hotspots cpu%zu missing pcs array\n",
+                   path.c_str(), i);
+      return false;
+    }
+    double instrs = 0, uops = 0, l1 = 0, l2 = 0;
+    double stall_sums[smt::cpu::kNumBlockReasons] = {};
+    double port_sums[smt::cpu::kNumIssuePorts] = {};
+    for (const smt::JsonValue& entry : pcs->array) {
+      if (!has_number(entry, "pc") || entry.find("disasm") == nullptr) {
+        std::fprintf(stderr, "%s: hotspot entry missing pc/disasm\n",
+                     path.c_str());
+        return false;
+      }
+      instrs += number_or(entry, "retired_instrs", 0.0);
+      uops += number_or(entry, "retired_uops", 0.0);
+      l1 += number_or(entry, "l1_misses", 0.0);
+      l2 += number_or(entry, "l2_misses", 0.0);
+      for (int r = 0; r < smt::cpu::kNumBlockReasons; ++r) {
+        stall_sums[r] += map_value(
+            entry.find("stalls"),
+            smt::cpu::name(static_cast<smt::cpu::BlockReason>(r)));
+      }
+      for (int p = 0; p < smt::cpu::kNumIssuePorts; ++p) {
+        port_sums[p] +=
+            map_value(entry.find("ports"),
+                      smt::cpu::name(static_cast<smt::cpu::IssuePort>(p)));
+      }
+    }
+    // Counter-backed attributions must sum to the counters, exactly.
+    const struct {
+      const char* counter;
+      double sum;
+    } exact[] = {
+        {"instr_retired", instrs},
+        {"uops_retired", uops},
+        {"l1_misses", l1},
+        {"l2_misses", l2},
+        {"rob_stall_cycles", stall_sums[static_cast<int>(
+                                 smt::cpu::BlockReason::kRob)]},
+        {"load_queue_stall_cycles",
+         stall_sums[static_cast<int>(smt::cpu::BlockReason::kLoadQueue)]},
+        {"store_buffer_stall_cycles",
+         stall_sums[static_cast<int>(smt::cpu::BlockReason::kStoreBuffer)]},
+        {"uop_queue_full_cycles",
+         stall_sums[static_cast<int>(smt::cpu::BlockReason::kUopQueueFull)]},
+    };
+    for (const auto& [counter, sum] : exact) {
+      const double total = number_or(*events, counter, 0.0);
+      if (sum != total) {
+        std::fprintf(stderr,
+                     "%s: cpu%zu %s: per-PC sum %.0f != counter %.0f\n",
+                     path.c_str(), i, counter, sum, total);
+        return false;
+      }
+    }
+    // Per-PC port sums must reproduce the port_occupancy section.
+    const smt::JsonValue* occ = occupancy->array[i].find("ports");
+    for (int p = 0; p < smt::cpu::kNumIssuePorts; ++p) {
+      const char* pname =
+          smt::cpu::name(static_cast<smt::cpu::IssuePort>(p));
+      const double occ_v = map_value(occ, pname);
+      if (port_sums[p] != occ_v) {
+        std::fprintf(stderr,
+                     "%s: cpu%zu port %s: per-PC sum %.0f != occupancy "
+                     "%.0f\n",
+                     path.c_str(), i, pname, port_sums[p], occ_v);
+        return false;
+      }
+      port_sum_all[p] += occ_v;
+    }
+  }
+  // The ports are shared between the contexts: combined occupancy cannot
+  // exceed the per-cycle cap over the whole run.
+  for (int p = 0; p < smt::cpu::kNumIssuePorts; ++p) {
+    const char* pname = smt::cpu::name(static_cast<smt::cpu::IssuePort>(p));
+    const double cap = number_or(*caps, pname, 0.0);
+    if (cap <= 0) {
+      std::fprintf(stderr, "%s: port cap for %s missing/nonpositive\n",
+                   path.c_str(), pname);
+      return false;
+    }
+    if (port_sum_all[p] > cap * cycles) {
+      std::fprintf(stderr,
+                   "%s: port %s occupancy %.0f exceeds cap %.0f x %.0f "
+                   "cycles\n",
+                   path.c_str(), pname, port_sum_all[p], cap, cycles);
+      return false;
+    }
+  }
+  return true;
+}
+
 bool check_report(const fs::path& path) {
   std::ifstream in(path);
   std::stringstream ss;
@@ -125,11 +253,13 @@ bool check_report(const fs::path& path) {
   }
   const smt::JsonValue* schema = v->find("schema");
   if (schema == nullptr || (schema->string != "smt-run-report/1" &&
-                            schema->string != "smt-run-report/2")) {
+                            schema->string != "smt-run-report/2" &&
+                            schema->string != "smt-run-report/3")) {
     std::fprintf(stderr, "%s: missing/unknown schema\n", path.c_str());
     return false;
   }
   const bool v2 = schema->string == "smt-run-report/2";
+  const bool v3 = schema->string == "smt-run-report/3";
   for (const char* key : {"workload", "cycles", "verified", "config",
                           "cpus", "totals"}) {
     if (v->find(key) == nullptr) {
@@ -178,12 +308,29 @@ bool check_report(const fs::path& path) {
                  path.c_str());
     return false;
   }
-  if (!v2 && ts != nullptr) {
+  // /2 requires timeseries; /3 may carry it (profiled + traced run); /1
+  // must not.
+  if (!v2 && !v3 && ts != nullptr) {
     std::fprintf(stderr, "%s: schema /1 must not carry timeseries\n",
                  path.c_str());
     return false;
   }
-  if (v2 && !check_timeseries(path, *ts, *cpus)) return false;
+  if (ts != nullptr && !check_timeseries(path, *ts, *cpus)) return false;
+  const smt::JsonValue* prof = v->find("profile");
+  if (v3 && (prof == nullptr || !prof->is_object())) {
+    std::fprintf(stderr, "%s: schema /3 but no profile object\n",
+                 path.c_str());
+    return false;
+  }
+  if (!v3 && prof != nullptr) {
+    std::fprintf(stderr, "%s: schema /%s must not carry profile\n",
+                 path.c_str(), v2 ? "2" : "1");
+    return false;
+  }
+  if (v3 &&
+      !check_profile(path, *prof, *cpus, number_or(*v, "cycles", 0.0))) {
+    return false;
+  }
   return true;
 }
 

@@ -1,0 +1,215 @@
+// Run-report comparator / regression gate:
+//
+//   $ report_diff <a.json> <b.json> [--rel-tol R] [--abs-tol A]
+//
+// Compares two RunReport artifacts (any mix of schemas /1, /2, /3):
+// cycles, every per-CPU counter, the cycle-accounting breakdown, the
+// totals section — and, when both reports are profiled (/3), the per-PC
+// hotspot attributions (retired uops, total stall cycles, L2 misses; a PC
+// absent on one side counts as zero there).
+//
+// A quantity regresses when |a-b| exceeds BOTH the absolute tolerance
+// (default 0 — any change) and the relative tolerance against
+// max(|a|,|b|) (default 0.02 = 2%). Every regression is printed; the exit
+// code is the gate: 0 = within tolerance, 1 = regression(s), 2 =
+// usage/parse error. This is the seed of a bench-trajectory gate: diff a
+// fresh SMT_BENCH_REPORT_DIR artifact against a checked-in baseline.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "common/types.h"
+#include "perfmon/events.h"
+
+namespace {
+
+using smt::JsonValue;
+
+double number_or(const JsonValue& obj, const std::string& key,
+                 double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+struct Gate {
+  double rel_tol = 0.02;
+  double abs_tol = 0.0;
+  int regressions = 0;
+
+  // Flags `label` when a and b differ beyond both tolerances.
+  void compare(const std::string& label, double a, double b) {
+    const double diff = std::fabs(a - b);
+    if (diff <= abs_tol) return;
+    const double base = std::max(std::fabs(a), std::fabs(b));
+    if (base > 0.0 && diff / base <= rel_tol) return;
+    std::printf("REGRESSION %-48s  a=%.6g  b=%.6g  (%+.2f%%)\n",
+                label.c_str(), a, b,
+                a != 0.0 ? 100.0 * (b - a) / a : 0.0);
+    ++regressions;
+  }
+};
+
+std::optional<JsonValue> load(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return std::nullopt;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  auto v = smt::parse_json(ss.str());
+  if (!v.has_value() || !v->is_object() || v->find("schema") == nullptr) {
+    std::fprintf(stderr, "%s: not a run report\n", path);
+    return std::nullopt;
+  }
+  return v;
+}
+
+// Per-(cpu,pc) hotspot triple used for the /3 comparison.
+struct HotspotRow {
+  double uops = 0;
+  double stall_cycles = 0;
+  double l2_misses = 0;
+};
+
+std::map<std::string, HotspotRow> hotspot_rows(const JsonValue& report) {
+  std::map<std::string, HotspotRow> rows;
+  const JsonValue* prof = report.find("profile");
+  const JsonValue* hotspots =
+      prof != nullptr ? prof->find("hotspots") : nullptr;
+  if (hotspots == nullptr || !hotspots->is_array()) return rows;
+  for (size_t c = 0; c < hotspots->array.size(); ++c) {
+    const JsonValue* pcs = hotspots->array[c].find("pcs");
+    if (pcs == nullptr || !pcs->is_array()) continue;
+    for (const JsonValue& e : pcs->array) {
+      char key[64];
+      std::snprintf(key, sizeof key, "cpu%zu.pc%04llu", c,
+                    static_cast<unsigned long long>(number_or(e, "pc", 0)));
+      HotspotRow& r = rows[key];
+      r.uops = number_or(e, "retired_uops", 0.0);
+      r.l2_misses = number_or(e, "l2_misses", 0.0);
+      const JsonValue* stalls = e.find("stalls");
+      if (stalls != nullptr && stalls->is_object()) {
+        for (const auto& [name, v] : stalls->object) {
+          if (v.is_number()) r.stall_cycles += v.number;
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* pa = nullptr;
+  const char* pb = nullptr;
+  Gate gate;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rel-tol") == 0 && i + 1 < argc) {
+      gate.rel_tol = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--abs-tol") == 0 && i + 1 < argc) {
+      gate.abs_tol = std::atof(argv[++i]);
+    } else if (pa == nullptr && argv[i][0] != '-') {
+      pa = argv[i];
+    } else if (pb == nullptr && argv[i][0] != '-') {
+      pb = argv[i];
+    } else {
+      pa = pb = nullptr;
+      break;
+    }
+  }
+  if (pa == nullptr || pb == nullptr) {
+    std::fprintf(stderr,
+                 "usage: %s <a.json> <b.json> [--rel-tol R] [--abs-tol A]\n",
+                 argv[0]);
+    return 2;
+  }
+  const auto a = load(pa);
+  const auto b = load(pb);
+  if (!a.has_value() || !b.has_value()) return 2;
+
+  gate.compare("cycles", number_or(*a, "cycles", 0.0),
+               number_or(*b, "cycles", 0.0));
+
+  // Per-CPU counters and cycle-accounting breakdown.
+  const JsonValue* acpus = a->find("cpus");
+  const JsonValue* bcpus = b->find("cpus");
+  if (acpus != nullptr && bcpus != nullptr && acpus->is_array() &&
+      bcpus->is_array() && acpus->array.size() == bcpus->array.size()) {
+    for (size_t i = 0; i < acpus->array.size(); ++i) {
+      const JsonValue* ae = acpus->array[i].find("events");
+      const JsonValue* be = bcpus->array[i].find("events");
+      if (ae == nullptr || be == nullptr) continue;
+      for (int e = 0; e < smt::perfmon::kNumEventValues; ++e) {
+        const char* name =
+            smt::perfmon::name(static_cast<smt::perfmon::Event>(e));
+        char label[80];
+        std::snprintf(label, sizeof label, "cpu%zu.events.%s", i, name);
+        gate.compare(label, number_or(*ae, name, 0.0),
+                     number_or(*be, name, 0.0));
+      }
+      const JsonValue* ab = acpus->array[i].find("breakdown");
+      const JsonValue* bb = bcpus->array[i].find("breakdown");
+      if (ab == nullptr || bb == nullptr || !ab->is_object()) continue;
+      for (const auto& [key, av] : ab->object) {
+        if (!av.is_number()) continue;
+        char label[80];
+        std::snprintf(label, sizeof label, "cpu%zu.breakdown.%s", i,
+                      key.c_str());
+        gate.compare(label, av.number, number_or(*bb, key, 0.0));
+      }
+    }
+  } else {
+    std::fprintf(stderr, "warning: cpus sections not comparable\n");
+  }
+
+  const JsonValue* at = a->find("totals");
+  const JsonValue* bt = b->find("totals");
+  if (at != nullptr && bt != nullptr && at->is_object()) {
+    for (const auto& [key, av] : at->object) {
+      if (av.is_number()) {
+        gate.compare("totals." + key, av.number, number_or(*bt, key, 0.0));
+      }
+    }
+  }
+
+  // Hotspot attributions, when both sides carry a profile.
+  const bool a3 = a->find("profile") != nullptr;
+  const bool b3 = b->find("profile") != nullptr;
+  if (a3 && b3) {
+    const auto ra = hotspot_rows(*a);
+    auto rb = hotspot_rows(*b);
+    for (const auto& [key, row] : ra) {
+      const HotspotRow other = rb.count(key) > 0 ? rb[key] : HotspotRow{};
+      rb.erase(key);
+      gate.compare(key + ".retired_uops", row.uops, other.uops);
+      gate.compare(key + ".stall_cycles", row.stall_cycles,
+                   other.stall_cycles);
+      gate.compare(key + ".l2_misses", row.l2_misses, other.l2_misses);
+    }
+    for (const auto& [key, row] : rb) {  // PCs present only in b
+      gate.compare(key + ".retired_uops", 0.0, row.uops);
+      gate.compare(key + ".stall_cycles", 0.0, row.stall_cycles);
+      gate.compare(key + ".l2_misses", 0.0, row.l2_misses);
+    }
+  } else if (a3 != b3) {
+    std::printf("note: only one report is profiled (/3); hotspots not "
+                "compared\n");
+  }
+
+  if (gate.regressions == 0) {
+    std::printf("OK: reports match within tolerance (rel %.4f, abs %.4f)\n",
+                gate.rel_tol, gate.abs_tol);
+    return 0;
+  }
+  std::printf("%d regression(s)\n", gate.regressions);
+  return 1;
+}

@@ -1,0 +1,221 @@
+// Annotated-disassembly viewer for profiled run reports:
+//
+//   $ smt_annotate <report.json> [--cpu N] [--top K]
+//
+// Joins the `profile` section of a schema smt-run-report/3 artifact (per-PC
+// retired uops, issue-port occupancy, stall cycles by blocking reason,
+// L1/L2 misses — see src/profile/pc_profiler.h) with the disassembly the
+// report carries, printing for each logical CPU:
+//
+//   * a Table-1-style port-utilization table: uops issued down each port
+//     and the port's utilization against its per-cycle cap — the lens that
+//     makes ALU0 serialization (mask-heavy blocked-layout MM) and the
+//     single shared FP port visible at a glance;
+//   * an annotated listing in program order: estimated cycle share (port
+//     occupancy weighted by the per-cycle caps), per-port uop counts,
+//     stalls by reason, and miss counts per instruction.
+//
+// `--top K` restricts the listing to the K busiest PCs (by cycle share),
+// still in program order. Exits 2 on usage/parse errors, 1 if the report
+// is not schema /3.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/table.h"
+#include "common/types.h"
+#include "cpu/core.h"
+
+namespace {
+
+using smt::JsonValue;
+
+double number_or(const JsonValue& obj, const std::string& key,
+                 double fallback) {
+  const JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+double map_value(const JsonValue* m, const char* key) {
+  return m != nullptr && m->is_object() ? number_or(*m, key, 0.0) : 0.0;
+}
+
+const char* port_name(int p) {
+  return smt::cpu::name(static_cast<smt::cpu::IssuePort>(p));
+}
+const char* reason_name(int r) {
+  return smt::cpu::name(static_cast<smt::cpu::BlockReason>(r));
+}
+
+struct PcRow {
+  uint64_t pc = 0;
+  std::string disasm;
+  double retired_uops = 0;
+  double l1 = 0, l2 = 0;
+  double ports[smt::cpu::kNumIssuePorts] = {};
+  double stalls[smt::cpu::kNumBlockReasons] = {};
+  double port_cycles = 0;  // sum over ports of uops / cap
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::optional<int> only_cpu;
+  size_t top = 0;  // 0 = all
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cpu") == 0 && i + 1 < argc) {
+      only_cpu = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (path == nullptr && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s <report.json> [--cpu N] [--top K]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto v = smt::parse_json(ss.str());
+  if (!v.has_value() || !v->is_object()) {
+    std::fprintf(stderr, "%s: does not parse as a JSON object\n", path);
+    return 2;
+  }
+  const JsonValue* schema = v->find("schema");
+  if (schema == nullptr || schema->string != "smt-run-report/3") {
+    std::fprintf(stderr,
+                 "%s: not a profiled report (schema /3 required; run the "
+                 "bench with SMT_BENCH_PROFILE=1)\n",
+                 path);
+    return 1;
+  }
+  const JsonValue* prof = v->find("profile");
+  const JsonValue* hotspots = prof != nullptr ? prof->find("hotspots")
+                                              : nullptr;
+  const JsonValue* occupancy =
+      prof != nullptr ? prof->find("port_occupancy") : nullptr;
+  const JsonValue* caps =
+      prof != nullptr ? prof->find("port_caps_per_cycle") : nullptr;
+  if (hotspots == nullptr || !hotspots->is_array() || occupancy == nullptr ||
+      !occupancy->is_array() || caps == nullptr) {
+    std::fprintf(stderr, "%s: malformed profile section\n", path);
+    return 2;
+  }
+  const double cycles = number_or(*v, "cycles", 0.0);
+  const JsonValue* workload = v->find("workload");
+  std::printf("annotated profile: %s  (%.0f cycles)\n",
+              workload != nullptr ? workload->string.c_str() : "?", cycles);
+
+  double cap[smt::cpu::kNumIssuePorts];
+  for (int p = 0; p < smt::cpu::kNumIssuePorts; ++p) {
+    cap[p] = map_value(caps, port_name(p));
+    if (cap[p] <= 0) cap[p] = 1;
+  }
+
+  for (size_t c = 0; c < hotspots->array.size(); ++c) {
+    if (only_cpu.has_value() && static_cast<size_t>(*only_cpu) != c) continue;
+    const JsonValue* pcs = hotspots->array[c].find("pcs");
+    if (pcs == nullptr || !pcs->is_array()) continue;
+
+    // Port-utilization table (Table-1 style, per logical CPU).
+    const JsonValue* occ = occupancy->array[c].find("ports");
+    smt::TextTable ports({"port", "uops", "uops/cycle", "util%"});
+    for (int p = 0; p < smt::cpu::kNumIssuePorts; ++p) {
+      const double uops = map_value(occ, port_name(p));
+      ports.add_row({port_name(p), smt::fmt_count(static_cast<uint64_t>(uops)),
+                     smt::fmt(cycles > 0 ? uops / cycles : 0.0, 3),
+                     smt::fmt(cycles > 0 ? 100.0 * uops / (cap[p] * cycles)
+                                         : 0.0,
+                              1)});
+    }
+    std::printf("\n=== cpu%zu port occupancy ===\n%s", c,
+                ports.to_string().c_str());
+
+    std::vector<PcRow> rows;
+    double total_port_cycles = 0;
+    for (const JsonValue& entry : pcs->array) {
+      PcRow r;
+      r.pc = static_cast<uint64_t>(number_or(entry, "pc", 0.0));
+      const JsonValue* d = entry.find("disasm");
+      if (d != nullptr) r.disasm = d->string;
+      r.retired_uops = number_or(entry, "retired_uops", 0.0);
+      r.l1 = number_or(entry, "l1_misses", 0.0);
+      r.l2 = number_or(entry, "l2_misses", 0.0);
+      for (int p = 0; p < smt::cpu::kNumIssuePorts; ++p) {
+        r.ports[p] = map_value(entry.find("ports"), port_name(p));
+        // A double-speed port delivers cap[p] uops per cycle, so uops/cap
+        // estimates the cycles this PC had the port busy.
+        r.port_cycles += r.ports[p] / cap[p];
+      }
+      for (int s = 0; s < smt::cpu::kNumBlockReasons; ++s) {
+        r.stalls[s] = map_value(entry.find("stalls"), reason_name(s));
+      }
+      total_port_cycles += r.port_cycles;
+      rows.push_back(std::move(r));
+    }
+
+    if (top > 0 && rows.size() > top) {
+      // Keep the K busiest PCs, then restore program order.
+      std::sort(rows.begin(), rows.end(), [](const PcRow& a, const PcRow& b) {
+        return a.port_cycles > b.port_cycles;
+      });
+      rows.resize(top);
+      std::sort(rows.begin(), rows.end(), [](const PcRow& a, const PcRow& b) {
+        return a.pc < b.pc;
+      });
+    }
+
+    smt::TextTable t({"pc  disasm", "cycles%", "uops", "alu0", "alu1",
+                      "fp", "fp_move", "load", "store", "stalls", "L1miss",
+                      "L2miss"});
+    for (const PcRow& r : rows) {
+      std::string stalls;
+      for (int s = 0; s < smt::cpu::kNumBlockReasons; ++s) {
+        if (r.stalls[s] <= 0) continue;
+        if (!stalls.empty()) stalls += " ";
+        stalls += std::string(reason_name(s)) + ":" +
+                  smt::fmt_count(static_cast<uint64_t>(r.stalls[s]));
+      }
+      char pc_buf[16];
+      std::snprintf(pc_buf, sizeof pc_buf, "%04llu",
+                    static_cast<unsigned long long>(r.pc));
+      t.add_row({std::string(pc_buf) + "  " + r.disasm,
+                 smt::fmt(total_port_cycles > 0
+                              ? 100.0 * r.port_cycles / total_port_cycles
+                              : 0.0,
+                          1),
+                 smt::fmt_count(static_cast<uint64_t>(r.retired_uops)),
+                 smt::fmt_count(static_cast<uint64_t>(r.ports[0])),
+                 smt::fmt_count(static_cast<uint64_t>(r.ports[1])),
+                 smt::fmt_count(static_cast<uint64_t>(r.ports[2])),
+                 smt::fmt_count(static_cast<uint64_t>(r.ports[3])),
+                 smt::fmt_count(static_cast<uint64_t>(r.ports[4])),
+                 smt::fmt_count(static_cast<uint64_t>(r.ports[5])),
+                 stalls.empty() ? "-" : stalls,
+                 smt::fmt_count(static_cast<uint64_t>(r.l1)),
+                 smt::fmt_count(static_cast<uint64_t>(r.l2))});
+    }
+    std::printf("\n=== cpu%zu hotspots%s ===\n%s", c,
+                top > 0 ? " (top)" : "", t.to_string().c_str());
+  }
+  return 0;
+}
