@@ -28,9 +28,11 @@
 #include <cstdlib>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/io.h"
 #include "common/table.h"
 #include "core/machine.h"
 #include "core/run_report.h"
@@ -82,16 +84,12 @@ inline std::string& report_prefix() {
   return prefix;
 }
 
-/// Turns a registry key into a safe filename fragment.
+/// Turns a registry key into a safe filename fragment. Collision-free:
+/// distinct keys yield distinct fragments (keys with replaced characters
+/// get a short hash of the raw key appended — see common/io.h — so e.g.
+/// "a/b" and "a_b" no longer overwrite each other's artifacts).
 inline std::string sanitize_key(const std::string& key) {
-  std::string out;
-  out.reserve(key.size());
-  for (char c : key) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
-    out += ok ? c : '_';
-  }
-  return out;
+  return sanitize_artifact_key(key);
 }
 
 /// Builds RunStats directly from a machine a bench drove by hand (the
@@ -112,6 +110,13 @@ inline core::RunStats stats_from(const core::Machine& m, std::string name,
 
 /// Registry of named measurements filled during the benchmark run and
 /// consumed by the table printers afterwards.
+///
+/// Thread-safety contract: every accessor takes the registry mutex, so
+/// runs may record results from multiple host threads (the sweep job
+/// pool) concurrently. Keys are write-once — nothing is ever erased and
+/// re-putting a key while another thread holds a reference from get() is
+/// outside the contract — so the std::map node stability makes the
+/// references returned by get() safe to hold after the lock is released.
 class Results {
  public:
   static Results& instance() {
@@ -136,28 +141,39 @@ class Results {
                      path.c_str());
       }
     }
+    const std::lock_guard<std::mutex> lock(mu_);
     stats_[key] = std::move(stats);
   }
 
   const core::RunStats& get(const std::string& key) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     auto it = stats_.find(key);
     SMT_CHECK_MSG(it != stats_.end(), key.c_str());
     return it->second;
   }
 
-  bool has(const std::string& key) const { return stats_.count(key) > 0; }
+  bool has(const std::string& key) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_.count(key) > 0;
+  }
 
-  void put_value(const std::string& key, double v) { values_[key] = v; }
+  void put_value(const std::string& key, double v) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    values_[key] = v;
+  }
   double value(const std::string& key) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     auto it = values_.find(key);
     SMT_CHECK_MSG(it != values_.end(), key.c_str());
     return it->second;
   }
   bool has_value(const std::string& key) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     return values_.count(key) > 0;
   }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, core::RunStats> stats_;
   std::map<std::string, double> values_;
 };

@@ -1,0 +1,88 @@
+# Sweep smoke driver: exercise the smt_sweep orchestrator end to end.
+# Invoked by ctest (see tools/CMakeLists.txt) as:
+#   cmake -DSWEEP=... -DCHECKER=... -DOUT_DIR=... -P sweep_smoke.cmake
+#
+# Three runs:
+#   1. serial (--jobs 1) reference sweep over a small healthy manifest;
+#   2. the same manifest on 4 workers — every per-job report must be
+#      byte-identical to the serial run's (determinism gate);
+#   3. the manifest with deliberately failing self-test jobs injected —
+#      the sweep must exit nonzero and name the failures, yet still write
+#      a complete sweep_index.json and a valid (check_reports-clean)
+#      report for every job, including the failed ones.
+set(manifest mm.serial.n64 mm.tlp-fine.n64 lu.serial.n64 bt.serial)
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+
+execute_process(COMMAND "${SWEEP}" --jobs 1 --out "${OUT_DIR}/serial"
+  ${manifest} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serial sweep failed: ${rc}")
+endif()
+
+execute_process(COMMAND "${SWEEP}" --jobs 4 --out "${OUT_DIR}/parallel"
+  ${manifest} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "parallel sweep failed: ${rc}")
+endif()
+
+list(LENGTH manifest expected)
+file(GLOB serial_reports "${OUT_DIR}/serial/reports/*.json")
+list(LENGTH serial_reports n)
+if(NOT n EQUAL expected)
+  message(FATAL_ERROR "serial sweep wrote ${n} reports, expected ${expected}")
+endif()
+foreach(report IN LISTS serial_reports)
+  get_filename_component(fname "${report}" NAME)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${report}" "${OUT_DIR}/parallel/reports/${fname}" RESULT_VARIABLE cmp)
+  if(NOT cmp EQUAL 0)
+    message(FATAL_ERROR "parallel report ${fname} differs from serial run")
+  endif()
+endforeach()
+
+foreach(dir serial parallel)
+  execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/${dir}/reports"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${dir} sweep reports failed validation: ${rc}")
+  endif()
+endforeach()
+
+# Failure injection: a deadlock, a blown cycle budget and a verification
+# failure ride along with one healthy job.
+execute_process(COMMAND "${SWEEP}" --jobs 2 --out "${OUT_DIR}/injected"
+  mm.serial.n64 selftest.deadlock selftest.budget selftest.verify-fail
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "sweep with injected failures unexpectedly exited 0")
+endif()
+
+if(NOT EXISTS "${OUT_DIR}/injected/sweep_index.json")
+  message(FATAL_ERROR "failed sweep did not write sweep_index.json")
+endif()
+file(READ "${OUT_DIR}/injected/sweep_index.json" index)
+foreach(needle
+    "\"schema\":\"smt-sweep-index/1\""
+    "\"failed\":3"
+    "\"outcome\":\"deadlock\""
+    "\"outcome\":\"cycle_budget_exceeded\""
+    "\"outcome\":\"verify_failed\""
+    "\"outcome\":\"ok\"")
+  string(FIND "${index}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "sweep_index.json lacks ${needle}")
+  endif()
+endforeach()
+
+# Every job — failed ones included — must have left a schema-valid report.
+file(GLOB injected_reports "${OUT_DIR}/injected/reports/*.json")
+list(LENGTH injected_reports n)
+if(NOT n EQUAL 4)
+  message(FATAL_ERROR "injected sweep wrote ${n} reports, expected 4")
+endif()
+execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/injected/reports"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "injected sweep reports failed validation: ${rc}")
+endif()

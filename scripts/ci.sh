@@ -47,3 +47,19 @@ if ./build/tools/report_diff "$mm_report" "$profile_dir/perturbed.json"; then
   echo "report_diff failed to flag a perturbed counter" >&2
   exit 1
 fi
+
+# Sweep orchestrator: a small manifest with an injected deadlock job must
+# exit nonzero yet still deliver a complete index and valid reports for
+# every job — failures are data, not process aborts.
+sweep_dir=$(mktemp -d)
+trap 'rm -rf "$report_dir" "$trace_dir" "$profile_dir" "$sweep_dir"' EXIT
+if ./build/tools/smt_sweep --jobs 2 --out "$sweep_dir" \
+    mm.serial.n64 selftest.deadlock bt.serial 2> "$sweep_dir/stderr.txt"; then
+  echo "smt_sweep ignored an injected deadlock job" >&2
+  exit 1
+fi
+grep -q "selftest.deadlock" "$sweep_dir/stderr.txt"
+grep -q '"schema":"smt-sweep-index/1"' "$sweep_dir/sweep_index.json"
+grep -q '"outcome":"deadlock"' "$sweep_dir/sweep_index.json"
+test "$(ls "$sweep_dir"/reports/*.json | wc -l)" -eq 3
+./build/tools/check_reports "$sweep_dir/reports"

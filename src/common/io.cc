@@ -1,6 +1,7 @@
 #include "common/io.h"
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -34,6 +35,33 @@ bool write_text_file(const std::string& path, std::string_view content) {
     return false;
   }
   return true;
+}
+
+std::string sanitize_artifact_key(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  bool replaced = false;
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) replaced = true;
+    out += ok ? c : '_';
+  }
+  if (replaced) {
+    // FNV-1a over the *raw* key: two distinct keys that sanitize to the
+    // same string differ in at least one replaced character, so their
+    // hashes (and thus their fragments) differ.
+    uint64_t h = 1469598103934665603ull;
+    for (const char c : key) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    char suffix[12];
+    std::snprintf(suffix, sizeof suffix, "-%08x",
+                  static_cast<unsigned>(h ^ (h >> 32)));
+    out += suffix;
+  }
+  return out;
 }
 
 }  // namespace smt

@@ -1,5 +1,6 @@
-// Small file-output helper shared by the artifact writers (run reports,
-// Chrome traces).
+// Small file-output helpers shared by the artifact writers (run reports,
+// Chrome traces, sweep indexes): text output with directory creation, and
+// collision-free mapping of registry keys to filename fragments.
 #pragma once
 
 #include <string>
@@ -11,5 +12,14 @@ namespace smt {
 /// Returns false — after logging the reason to stderr — if the directory
 /// cannot be created or the file cannot be written.
 bool write_text_file(const std::string& path, std::string_view content);
+
+/// Turns an artifact registry key into a safe filename fragment:
+/// characters outside [A-Za-z0-9._-] are replaced with '_'. Distinct keys
+/// always map to distinct fragments — whenever any character had to be
+/// replaced, a short hash of the raw key is appended, so keys that would
+/// otherwise collapse onto the same name (e.g. "a/b" and "a_b") stay
+/// distinguishable. Keys that are already clean are returned verbatim
+/// (existing artifact filenames are unchanged).
+std::string sanitize_artifact_key(const std::string& key);
 
 }  // namespace smt

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -77,6 +78,19 @@ class Machine {
                     const cpu::ArchState& init = {});
 
   void run(Cycle max_cycles = 4'000'000'000ull) { core_.run(max_cycles); }
+  /// Non-aborting run: deadlock / exhausted cycle budget / host
+  /// cancellation come back as a structured cpu::RunResult instead of an
+  /// SMT_CHECK abort; the machine stays inspectable (counters, cycles,
+  /// memory reflect the partial run). run() above keeps the legacy
+  /// crash-on-deadlock contract.
+  cpu::RunResult try_run(Cycle max_cycles = 4'000'000'000ull) {
+    return core_.try_run(max_cycles);
+  }
+  /// Installs the cancellation predicate try_run polls (the sweep job
+  /// pool's wall-clock watchdog); see cpu::Core::set_cancel_check.
+  void set_cancel_check(std::function<bool()> cancel) {
+    core_.set_cancel_check(std::move(cancel));
+  }
   CpuId run_until_any_done(Cycle max_cycles = 4'000'000'000ull) {
     return core_.run_until_any_done(max_cycles);
   }

@@ -1,12 +1,28 @@
 #include "core/runner.h"
 
+#include <utility>
+
 #include "common/check.h"
 
 namespace smt::core {
 
-RunStats run_workload(const MachineConfig& cfg, Workload& w,
-                      Cycle max_cycles) {
+const char* name(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk:                  return "ok";
+    case RunStatus::kDeadlock:            return "deadlock";
+    case RunStatus::kCycleBudgetExceeded: return "cycle_budget_exceeded";
+    case RunStatus::kVerifyFailed:        return "verify_failed";
+    case RunStatus::kCancelled:           return "cancelled";
+  }
+  return "?";
+}
+
+RunOutcome try_run_workload(const MachineConfig& cfg, Workload& w,
+                            Cycle max_cycles, std::function<bool()> cancel) {
+  RunOutcome out;
+
   Machine m(cfg);
+  if (cancel) m.set_cancel_check(std::move(cancel));
   w.setup(m);
   std::vector<isa::Program> progs = w.programs();
   SMT_CHECK_MSG(!progs.empty() && progs.size() <= kNumLogicalCpus,
@@ -14,18 +30,56 @@ RunStats run_workload(const MachineConfig& cfg, Workload& w,
   for (size_t i = 0; i < progs.size(); ++i) {
     m.load_program(static_cast<CpuId>(i), std::move(progs[i]));
   }
-  m.run(max_cycles);
+  const cpu::RunResult run = m.try_run(max_cycles);
 
-  RunStats stats;
-  stats.workload = w.name();
-  stats.cycles = m.cycles();
-  stats.events = m.counters().snapshot();
-  stats.verified = w.verify(m);
-  stats.config = cfg;
-  stats.telemetry = m.telemetry();
-  if (stats.telemetry != nullptr) stats.telemetry->finalize(m.cycles());
-  stats.pc_profile = m.pc_profiler();
-  return stats;
+  // The stats always describe the run, even a failed one: a partial report
+  // (cycles so far, all counters, finalized telemetry) is still valid data.
+  out.stats.workload = w.name();
+  out.stats.cycles = m.cycles();
+  out.stats.events = m.counters().snapshot();
+  out.stats.config = cfg;
+  out.stats.telemetry = m.telemetry();
+  if (out.stats.telemetry != nullptr) out.stats.telemetry->finalize(m.cycles());
+  out.stats.pc_profile = m.pc_profiler();
+
+  switch (run.termination) {
+    case cpu::RunTermination::kDeadlock:
+      out.status = RunStatus::kDeadlock;
+      break;
+    case cpu::RunTermination::kCycleBudgetExceeded:
+      out.status = RunStatus::kCycleBudgetExceeded;
+      break;
+    case cpu::RunTermination::kCancelled:
+      out.status = RunStatus::kCancelled;
+      break;
+    case cpu::RunTermination::kDone:
+      out.status = RunStatus::kOk;
+      break;
+  }
+  if (!run.ok()) {
+    // Incomplete computation: don't consult the workload's verifier.
+    out.stats.verified = false;
+    out.message = run.message;
+    return out;
+  }
+
+  out.stats.verified = w.verify(m);
+  if (!out.stats.verified) {
+    out.status = RunStatus::kVerifyFailed;
+    out.message = "result verification failed";
+  }
+  return out;
+}
+
+RunStats run_workload(const MachineConfig& cfg, Workload& w,
+                      Cycle max_cycles) {
+  RunOutcome o = try_run_workload(cfg, w, max_cycles);
+  // Legacy contract: simulation failures abort (with the historical
+  // watchdog / max_cycles message); a failed verification only shows up
+  // as stats.verified == false.
+  SMT_CHECK_MSG(o.ok() || o.status == RunStatus::kVerifyFailed,
+                o.message.c_str());
+  return std::move(o.stats);
 }
 
 }  // namespace smt::core

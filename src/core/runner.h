@@ -1,7 +1,14 @@
 // ExperimentRunner: executes a Workload on a fresh Machine and returns the
 // measurements the paper's figures are built from.
+//
+// Two entry points: run_workload keeps the legacy crash-on-deadlock
+// contract (an SMT_CHECK abort on deadlock or exhausted cycle budget),
+// try_run_workload converts every failure path into data — a RunOutcome
+// whose RunStats always describe the (possibly partial) run, so a sweep
+// over many configurations can lose one job without losing the rest.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -29,9 +36,41 @@ struct RunStats {
   uint64_t cpu(CpuId c, perfmon::Event e) const { return events.get(c, e); }
 };
 
+/// How a try_run_workload invocation ended.
+enum class RunStatus : uint8_t {
+  kOk,                   // ran to completion and verified
+  kDeadlock,             // no forward progress (watchdog / lost wake-up)
+  kCycleBudgetExceeded,  // max_cycles elapsed before completion
+  kVerifyFailed,         // completed, but the result check failed
+  kCancelled,            // the host cancel predicate fired mid-run
+};
+const char* name(RunStatus s);
+
+/// Structured result of a non-aborting workload run. `stats` is always
+/// filled in — on failure it describes the partial run (cycles, counters,
+/// finalized telemetry), so a report can still be written; only kOk runs
+/// have stats.verified == true.
+struct RunOutcome {
+  RunStatus status = RunStatus::kOk;
+  RunStats stats;
+  std::string message;  // empty on kOk, human-readable failure otherwise
+
+  bool ok() const { return status == RunStatus::kOk; }
+};
+
 /// Runs `w` to completion on a machine built from `cfg` and verifies the
 /// result. Aborts (SMT_CHECK) on simulation deadlock.
 RunStats run_workload(const MachineConfig& cfg, Workload& w,
                       Cycle max_cycles = 4'000'000'000ull);
+
+/// Non-aborting variant: deadlock, an exhausted cycle budget, a failed
+/// verification, or a fired `cancel` predicate (polled periodically by the
+/// core's run loop — the sweep job pool's wall-clock watchdog) come back
+/// as a structured RunOutcome instead of crashing the process. Verification
+/// only runs after a completed simulation; failed runs report
+/// stats.verified == false without consulting the workload.
+RunOutcome try_run_workload(const MachineConfig& cfg, Workload& w,
+                            Cycle max_cycles = 4'000'000'000ull,
+                            std::function<bool()> cancel = nullptr);
 
 }  // namespace smt::core

@@ -37,6 +37,16 @@ const char* name(BlockReason r) {
   return "?";
 }
 
+const char* name(RunTermination t) {
+  switch (t) {
+    case RunTermination::kDone:                return "done";
+    case RunTermination::kDeadlock:            return "deadlock";
+    case RunTermination::kCycleBudgetExceeded: return "cycle_budget_exceeded";
+    case RunTermination::kCancelled:           return "cancelled";
+  }
+  return "?";
+}
+
 Core::Core(const CoreConfig& cfg, mem::CacheHierarchy& hierarchy,
            mem::SimMemory& memory, perfmon::PerfCounters& counters)
     : cfg_(cfg), hier_(hierarchy), mem_(memory), ctr_(counters) {
@@ -859,18 +869,40 @@ Cycle Core::next_event_cycle() const {
   }
   consider(fdiv_busy_until_);
   consider(idiv_busy_until_);
-  SMT_CHECK_MSG(cand != std::numeric_limits<Cycle>::max(),
-                "no future event: all contexts asleep (lost wake-up?)");
   return cand;
 }
 
-void Core::run(Cycle max_cycles) {
+namespace {
+
+// The abort/report texts shared by run() and try_run(); run()'s SMT_CHECK
+// messages are the historical strings death tests match against.
+constexpr const char* kDeadlockAsleepMsg =
+    "no future event: all contexts asleep (lost wake-up?)";
+constexpr const char* kDeadlockWatchdogMsg =
+    "watchdog: no retirement progress (deadlocked sync?)";
+constexpr const char* kMaxCyclesMsg = "max_cycles exceeded";
+
+// try_run polls the host cancel predicate once per this many run-loop
+// iterations — rare enough to stay off the hot path, frequent enough
+// (each iteration advances at least one cycle) for a sweep watchdog.
+constexpr uint64_t kCancelPollPeriod = 4096;
+
+}  // namespace
+
+RunResult Core::try_run(Cycle max_cycles) {
   const Cycle deadline = now_ + max_cycles;
   last_retire_cycle_ = now_;
+  uint64_t iter = 0;
   while (!all_done()) {
+    if (cancel_ && (++iter % kCancelPollPeriod) == 0 && cancel_()) {
+      return {RunTermination::kCancelled, "cancelled by host watchdog"};
+    }
     const bool any = step_cycle();
     if (!any && cfg_.event_skip) {
       const Cycle next = next_event_cycle();
+      if (next == kNoFutureEvent) {
+        return {RunTermination::kDeadlock, kDeadlockAsleepMsg};
+      }
       if (next > now_ + 1) {
         record_skipped_window(now_ + 1, next - now_ - 1);
         now_ = next;
@@ -879,10 +911,19 @@ void Core::run(Cycle max_cycles) {
     }
     ++now_;
     sample_up_to(now_);
-    SMT_CHECK_MSG(now_ - last_retire_cycle_ < cfg_.watchdog_cycles,
-                  "watchdog: no retirement progress (deadlocked sync?)");
-    SMT_CHECK_MSG(now_ < deadline, "max_cycles exceeded");
+    if (now_ - last_retire_cycle_ >= cfg_.watchdog_cycles) {
+      return {RunTermination::kDeadlock, kDeadlockWatchdogMsg};
+    }
+    if (now_ >= deadline) {
+      return {RunTermination::kCycleBudgetExceeded, kMaxCyclesMsg};
+    }
   }
+  return {};
+}
+
+void Core::run(Cycle max_cycles) {
+  const RunResult r = try_run(max_cycles);
+  SMT_CHECK_MSG(r.ok(), r.message.c_str());
 }
 
 CpuId Core::run_until_any_done(Cycle max_cycles) {
@@ -897,6 +938,7 @@ CpuId Core::run_until_any_done(Cycle max_cycles) {
     const bool any = step_cycle();
     if (!any && cfg_.event_skip) {
       const Cycle next = next_event_cycle();
+      SMT_CHECK_MSG(next != kNoFutureEvent, kDeadlockAsleepMsg);
       if (next > now_ + 1) {
         record_skipped_window(now_ + 1, next - now_ - 1);
         now_ = next;
@@ -906,8 +948,8 @@ CpuId Core::run_until_any_done(Cycle max_cycles) {
     ++now_;
     sample_up_to(now_);
     SMT_CHECK_MSG(now_ - last_retire_cycle_ < cfg_.watchdog_cycles,
-                  "watchdog: no retirement progress (deadlocked sync?)");
-    SMT_CHECK_MSG(now_ < deadline, "max_cycles exceeded");
+                  kDeadlockWatchdogMsg);
+    SMT_CHECK_MSG(now_ < deadline, kMaxCyclesMsg);
   }
 }
 

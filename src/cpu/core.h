@@ -32,6 +32,9 @@
 
 #include <array>
 #include <deque>
+#include <functional>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -106,6 +109,29 @@ inline constexpr int kNumBlockReasons = 6;
 const char* name(IssuePort p);
 const char* name(BlockReason r);
 
+/// Sentinel of next_event_cycle(): no context has any scheduled future
+/// event — every bound context is asleep with no wake-up pending, i.e.
+/// the simulated synchronization has deadlocked.
+inline constexpr Cycle kNoFutureEvent = std::numeric_limits<Cycle>::max();
+
+/// Why a (non-aborting) run loop returned.
+enum class RunTermination : uint8_t {
+  kDone,                 // every bound context exited
+  kDeadlock,             // watchdog or lost wake-up: no forward progress
+  kCycleBudgetExceeded,  // max_cycles elapsed before completion
+  kCancelled,            // the host cancel check fired (sweep watchdog)
+};
+const char* name(RunTermination t);
+
+/// Structured result of Core::try_run — the failure paths the legacy
+/// run() turns into SMT_CHECK aborts, as data.
+struct RunResult {
+  RunTermination termination = RunTermination::kDone;
+  std::string message;  // empty on kDone; the would-be abort text otherwise
+
+  bool ok() const { return termination == RunTermination::kDone; }
+};
+
 /// Pure observer of the backend's issue, stall and miss activity — the
 /// attachment point of the per-PC attribution profiler
 /// (profile::PcProfiler). Like the telemetry instruments, it is read-only:
@@ -146,6 +172,23 @@ class Core {
   /// watchdog sees no retirement progress (deadlock in simulated sync) or
   /// `max_cycles` elapses.
   void run(Cycle max_cycles = 4'000'000'000ull);
+
+  /// Non-aborting run: like run(), but a deadlock (retirement watchdog or
+  /// lost wake-up), an exhausted cycle budget, or a fired cancel check is
+  /// returned as a structured RunResult instead of crashing the process.
+  /// The simulation state stays valid and inspectable after any outcome —
+  /// counters, cycles and memory reflect the partial run.
+  RunResult try_run(Cycle max_cycles = 4'000'000'000ull);
+
+  /// Installs a host-side cancellation predicate polled periodically (every
+  /// few thousand run-loop iterations) by try_run; when it returns true,
+  /// try_run stops with kCancelled. Pass an empty function to detach. Used
+  /// by the sweep job pool's wall-clock watchdog; polling never perturbs
+  /// the simulation, and an uncancelled run is bit-identical with or
+  /// without a check installed.
+  void set_cancel_check(std::function<bool()> cancel) {
+    cancel_ = std::move(cancel);
+  }
 
   /// Runs until the first bound context exits (used by the co-execution
   /// stream experiments, which measure CPI over the fully-overlapped
@@ -305,6 +348,7 @@ class Core {
   mem::CacheHierarchy& hier_;
   mem::SimMemory& mem_;
   perfmon::PerfCounters& ctr_;
+  std::function<bool()> cancel_;  // host cancellation predicate (may be empty)
   RetireObserver* observer_ = nullptr;
   PipelineObserver* pipe_ = nullptr;
   trace::TraceRecorder* trace_ = nullptr;

@@ -1,0 +1,204 @@
+#include "host/experiments.h"
+
+#include "isa/asm_builder.h"
+#include "kernels/bt.h"
+#include "kernels/cg.h"
+#include "kernels/lu.h"
+#include "kernels/matmul.h"
+
+namespace smt::host {
+
+namespace {
+
+using kernels::BtMode;
+using kernels::CgMode;
+using kernels::LuMode;
+using kernels::MmMode;
+
+// ---------------------------------------------------------------------------
+// Self-test workloads: deterministic failures for exercising the sweep's
+// structured-outcome paths (never part of the default manifest).
+// ---------------------------------------------------------------------------
+
+/// Halts its only context with no sibling to ever send the wake-up IPI —
+/// the canonical lost-wake-up deadlock the watchdog used to abort on.
+class DeadlockWorkload : public core::Workload {
+ public:
+  const std::string& name() const override { return name_; }
+  void setup(core::Machine&) override {}
+  std::vector<isa::Program> programs() const override {
+    isa::AsmBuilder a("sleeper");
+    a.halt();
+    a.exit();
+    return {a.take()};
+  }
+  bool verify(const core::Machine&) const override { return true; }
+
+ private:
+  std::string name_ = "selftest.deadlock";
+};
+
+/// Counts far beyond what its job's cycle budget allows.
+class BudgetWorkload : public core::Workload {
+ public:
+  const std::string& name() const override { return name_; }
+  void setup(core::Machine&) override {}
+  std::vector<isa::Program> programs() const override {
+    isa::AsmBuilder a("counter");
+    a.imovi(isa::IReg::R0, 0);
+    const isa::Label loop = a.here();
+    a.iaddi(isa::IReg::R0, isa::IReg::R0, 1);
+    a.bri(isa::BrCond::kLt, isa::IReg::R0, 1'000'000'000, loop);
+    a.exit();
+    return {a.take()};
+  }
+  bool verify(const core::Machine&) const override { return true; }
+
+ private:
+  std::string name_ = "selftest.budget";
+};
+
+/// Completes fine but fails its result check.
+class VerifyFailWorkload : public core::Workload {
+ public:
+  const std::string& name() const override { return name_; }
+  void setup(core::Machine& m) override { m.memory().write_i64(0xa000, 1); }
+  std::vector<isa::Program> programs() const override {
+    isa::AsmBuilder a("noop");
+    a.exit();
+    return {a.take()};
+  }
+  bool verify(const core::Machine& m) const override {
+    return m.memory().read_i64(0xa000) == 2;  // never: the program wrote 1
+  }
+
+ private:
+  std::string name_ = "selftest.verify-fail";
+};
+
+// ---------------------------------------------------------------------------
+// Registry construction: the bench binaries' non-full-mode suites.
+// ---------------------------------------------------------------------------
+
+std::vector<ExperimentDef> build_registry() {
+  std::vector<ExperimentDef> defs;
+
+  // Figure 3: MM, five variants at n = 64 and 128 (bench/fig3_matmul.cc).
+  for (size_t n : {size_t{64}, size_t{128}}) {
+    for (MmMode mode :
+         {MmMode::kSerial, MmMode::kTlpFine, MmMode::kTlpCoarse,
+          MmMode::kTlpPfetch, MmMode::kTlpPfetchWork}) {
+      ExperimentDef d;
+      d.name = std::string("mm.") + kernels::name(mode) + ".n" +
+               std::to_string(n);
+      d.make = [mode, n] {
+        kernels::MatMulParams p;
+        p.n = n;
+        p.tile = 16;
+        p.mode = mode;
+        p.halt_barriers = mode == MmMode::kTlpPfetch ||
+                          mode == MmMode::kTlpPfetchWork;
+        return std::make_unique<kernels::MatMulWorkload>(p);
+      };
+      defs.push_back(std::move(d));
+    }
+  }
+
+  // Figure 4: LU, three variants at n = 64 and 128 (bench/fig4_lu.cc).
+  for (size_t n : {size_t{64}, size_t{128}}) {
+    for (LuMode mode :
+         {LuMode::kSerial, LuMode::kTlpCoarse, LuMode::kTlpPfetch}) {
+      ExperimentDef d;
+      d.name = std::string("lu.") + kernels::name(mode) + ".n" +
+               std::to_string(n);
+      d.make = [mode, n] {
+        kernels::LuParams p;
+        p.n = n;
+        p.tile = 16;
+        p.mode = mode;
+        return std::make_unique<kernels::LuWorkload>(p);
+      };
+      defs.push_back(std::move(d));
+    }
+  }
+
+  // Figure 5: NAS CG and BT (bench/fig5_nas.cc).
+  for (CgMode mode : {CgMode::kSerial, CgMode::kTlpCoarse, CgMode::kTlpPfetch,
+                      CgMode::kTlpPfetchWork}) {
+    ExperimentDef d;
+    d.name = std::string("cg.") + kernels::name(mode);
+    d.make = [mode] {
+      kernels::CgParams p;
+      p.n = 8192;
+      p.nz_per_row = 8;
+      p.iters = 6;
+      p.mode = mode;
+      return std::make_unique<kernels::CgWorkload>(p);
+    };
+    defs.push_back(std::move(d));
+  }
+  for (BtMode mode :
+       {BtMode::kSerial, BtMode::kTlpCoarse, BtMode::kTlpPfetch}) {
+    ExperimentDef d;
+    d.name = std::string("bt.") + kernels::name(mode);
+    d.make = [mode] {
+      kernels::BtParams p;
+      p.lines = 64;
+      p.cells = 32;
+      p.mode = mode;
+      return std::make_unique<kernels::BtWorkload>(p);
+    };
+    defs.push_back(std::move(d));
+  }
+
+  // Self tests: structured-failure probes, excluded from the default
+  // manifest (CI injects them by name).
+  {
+    ExperimentDef d;
+    d.name = "selftest.deadlock";
+    d.make = [] { return std::make_unique<DeadlockWorkload>(); };
+    d.in_default_manifest = false;
+    defs.push_back(std::move(d));
+  }
+  {
+    ExperimentDef d;
+    d.name = "selftest.budget";
+    d.make = [] { return std::make_unique<BudgetWorkload>(); };
+    d.cycle_budget = 100'000;  // the count loop needs orders of magnitude more
+    d.in_default_manifest = false;
+    defs.push_back(std::move(d));
+  }
+  {
+    ExperimentDef d;
+    d.name = "selftest.verify-fail";
+    d.make = [] { return std::make_unique<VerifyFailWorkload>(); };
+    d.in_default_manifest = false;
+    defs.push_back(std::move(d));
+  }
+
+  return defs;
+}
+
+}  // namespace
+
+const std::vector<ExperimentDef>& experiments() {
+  static const std::vector<ExperimentDef> defs = build_registry();
+  return defs;
+}
+
+const ExperimentDef* find_experiment(const std::string& name) {
+  for (const ExperimentDef& d : experiments()) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> default_manifest() {
+  std::vector<std::string> names;
+  for (const ExperimentDef& d : experiments()) {
+    if (d.in_default_manifest) names.push_back(d.name);
+  }
+  return names;
+}
+
+}  // namespace smt::host

@@ -1,0 +1,46 @@
+// Named experiment definitions for the sweep orchestrator: the paper's
+// figure/table workload suite (the same kernel parameterizations the
+// bench binaries run — see bench/fig3_matmul.cc, fig4_lu.cc, fig5_nas.cc)
+// plus a few deliberately failing self-test jobs used to exercise the
+// structured failure paths in CI.
+//
+// Every definition is fully deterministic: the factory builds a fresh
+// Workload with fixed sizes and seeds, so a job's report depends only on
+// its name — never on which worker ran it, in what order, or whether the
+// watchdog forced a retry. The stream/co-execution experiments (Figures
+// 1-2, Table 1) drive machines by hand inside their bench binaries and
+// are not part of this registry.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/workload.h"
+
+namespace smt::host {
+
+struct ExperimentDef {
+  /// Registry key, matching the bench result keys (e.g. "mm.serial.n64").
+  std::string name;
+  /// Builds a fresh, deterministic instance of the workload.
+  std::function<std::unique_ptr<core::Workload>()> make;
+  /// Per-job simulated-cycle budget (try_run_workload's max_cycles).
+  Cycle cycle_budget = 4'000'000'000ull;
+  /// Whether the job belongs to smt_sweep's default manifest (the
+  /// selftest.* jobs do not — they exist to be injected explicitly).
+  bool in_default_manifest = true;
+};
+
+/// The full registry, in canonical (figure/table) order.
+const std::vector<ExperimentDef>& experiments();
+
+/// Looks up a definition by name; nullptr when unknown.
+const ExperimentDef* find_experiment(const std::string& name);
+
+/// The names of every default-manifest experiment, in registry order.
+std::vector<std::string> default_manifest();
+
+}  // namespace smt::host

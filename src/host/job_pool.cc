@@ -1,0 +1,79 @@
+#include "host/job_pool.h"
+
+#include <thread>
+
+#include "common/check.h"
+
+namespace smt::host {
+
+const char* name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk:      return "ok";
+    case JobStatus::kFailed:  return "failed";
+    case JobStatus::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+namespace {
+
+JobResult run_one(const JobPoolConfig& cfg, const Job& job) {
+  SMT_CHECK_MSG(static_cast<bool>(job.fn), job.name.c_str());
+  JobResult r;
+  for (int attempt = 0;; ++attempt) {
+    CancelToken token;
+    if (cfg.job_timeout.count() > 0) {
+      token.arm_deadline(std::chrono::steady_clock::now() + cfg.job_timeout);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string message;
+    r.status = job.fn(token, attempt, &message);
+    r.message = std::move(message);
+    r.wall_ms += std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    ++r.attempts;
+    // One fresh attempt after a watchdog kill; every job definition fixes
+    // its seeds, so the retry recomputes the identical simulation.
+    if (r.status == JobStatus::kTimeout && attempt < cfg.timeout_retries) {
+      continue;
+    }
+    return r;
+  }
+}
+
+}  // namespace
+
+std::vector<JobResult> run_jobs(const JobPoolConfig& cfg,
+                                const std::vector<Job>& jobs) {
+  std::vector<JobResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  int workers = cfg.workers < 1 ? 1 : cfg.workers;
+  if (static_cast<size_t>(workers) > jobs.size()) {
+    workers = static_cast<int>(jobs.size());
+  }
+
+  // Work stealing off a shared atomic cursor; each worker writes only the
+  // result slots of the jobs it claimed, so no further synchronization is
+  // needed on `results`.
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < jobs.size(); i = next.fetch_add(1, std::memory_order_relaxed)) {
+      results[i] = run_one(cfg, jobs[i]);
+    }
+  };
+
+  if (workers == 1) {
+    worker();  // serial mode stays on the caller's thread (no pool at all)
+    return results;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int i = 0; i < workers; ++i) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  return results;
+}
+
+}  // namespace smt::host

@@ -1,0 +1,97 @@
+// Host-parallel job pool: shards independent simulation jobs across a
+// fixed set of host worker threads — the sweep orchestrator's engine.
+//
+// Design constraints, in order:
+//   * Crash isolation by construction: jobs must not abort the process.
+//     Pool jobs therefore run simulations through the non-aborting
+//     core::try_run_workload path and report failures as data.
+//   * Determinism: a job's *result artifacts* depend only on the job
+//     definition (every experiment fixes its seeds), never on worker
+//     count, scheduling order, or whether a retry happened — which is
+//     what makes parallel sweep reports byte-identical to serial ones.
+//   * Cooperative wall-clock watchdog: each attempt gets a CancelToken
+//     armed with a deadline; the simulator's cancel hook
+//     (cpu::Core::set_cancel_check) polls it and winds the run down
+//     cleanly. A job killed by the watchdog is retried once (fresh
+//     machine, same definition and seeds) before being reported as
+//     kTimeout. A job that ignores its token simply runs to its cycle
+//     budget — the watchdog cannot preempt, only request.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace smt::host {
+
+/// Cooperative cancellation handle handed to each job attempt: expires
+/// when cancel() was called or the armed wall-clock deadline passed.
+/// expired() is safe to poll from the job's thread while any other thread
+/// calls cancel().
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  void arm_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// How a job ended, after retries.
+enum class JobStatus : uint8_t {
+  kOk,
+  kFailed,   // structured failure (deadlock, budget, verify, ...)
+  kTimeout,  // the watchdog expired the token on every allowed attempt
+};
+const char* name(JobStatus s);
+
+struct JobResult {
+  JobStatus status = JobStatus::kOk;
+  std::string message;   // failure detail; empty when ok
+  int attempts = 0;      // executions consumed (2 after a watchdog retry)
+  double wall_ms = 0.0;  // host wall-clock across all attempts
+};
+
+struct Job {
+  std::string name;
+  /// One attempt of the job. Must poll `token` (wire it into the
+  /// simulator's cancel check) and return kTimeout when it wound down
+  /// because the token expired; `attempt` is 0 first, 1 on the retry.
+  /// On kFailed/kTimeout, describe the failure in *message.
+  std::function<JobStatus(const CancelToken& token, int attempt,
+                          std::string* message)>
+      fn;
+};
+
+struct JobPoolConfig {
+  /// Fixed number of worker threads (clamped to [1, #jobs]).
+  int workers = 1;
+  /// Per-attempt wall-clock watchdog; zero disables it.
+  std::chrono::milliseconds job_timeout{0};
+  /// Extra attempts granted when the watchdog killed the previous one.
+  int timeout_retries = 1;
+};
+
+/// Runs every job to completion on the worker pool and returns the
+/// results in job order (independent of scheduling). Blocks until all
+/// jobs finished; never throws away completed work because another job
+/// failed.
+std::vector<JobResult> run_jobs(const JobPoolConfig& cfg,
+                                const std::vector<Job>& jobs);
+
+}  // namespace smt::host

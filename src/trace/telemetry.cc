@@ -107,6 +107,11 @@ Telemetry::Telemetry(const TelemetryConfig& cfg,
       recorder_(cfg.ring_capacity, cfg.l2_burst_gap) {}
 
 void Telemetry::finalize(Cycle end) {
+  // Guarded, not accidentally idempotent: the underlying instruments
+  // tolerate a repeat call with the same `end`, but a later call with a
+  // different `end` would append spurious windows/spans.
+  if (finalized_) return;
+  finalized_ = true;
   sampler_.finalize(end);
   recorder_.finalize(end);
 }

@@ -55,13 +55,20 @@ class Telemetry {
   const TelemetryConfig& config() const { return cfg_; }
 
   /// Flushes partial sampler windows and open recorder spans at `end`
-  /// (the run's final cycle). Idempotent for a fixed `end`.
+  /// (the run's final cycle). Explicitly idempotent: the first call wins
+  /// and every later call — finalize is reached from run_workload,
+  /// bench stats_from and report_from_machine, which may all touch the
+  /// same Telemetry — is a guarded no-op, so windows and trace events are
+  /// never flushed (and thus duplicated) twice.
   void finalize(Cycle end);
+
+  bool finalized() const { return finalized_; }
 
  private:
   TelemetryConfig cfg_;
   CounterSampler sampler_;
   TraceRecorder recorder_;
+  bool finalized_ = false;
 };
 
 /// Serializes the telemetry as a Chrome trace-event JSON document: one

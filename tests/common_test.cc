@@ -2,9 +2,15 @@
 // table/number formatting the bench harness depends on.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cfloat>
 #include <cmath>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "common/io.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -149,6 +155,102 @@ TEST(Format, EngineeringSuffixes) {
   EXPECT_EQ(fmt_eng(1500, 1), "1.5K");
   EXPECT_EQ(fmt_eng(2.5e6, 1), "2.5M");
   EXPECT_EQ(fmt_eng(4.6e9, 2), "4.60G");
+}
+
+// ---------------------------------------------------------------------------
+// JSON double serialization
+// ---------------------------------------------------------------------------
+
+/// Serializes `v` through JsonWriter and re-parses the emitted literal.
+double json_round_trip(double v) {
+  JsonWriter w;
+  w.value(v);
+  const std::optional<JsonValue> parsed = parse_json(w.str());
+  EXPECT_TRUE(parsed.has_value()) << w.str();
+  EXPECT_TRUE(parsed->is_number()) << w.str();
+  return parsed->number;
+}
+
+TEST(Json, DoublesRoundTripExactly) {
+  // The old %.12g writer silently dropped significand bits; every awkward
+  // double must now re-parse bit-for-bit equal.
+  const std::vector<double> awkward = {
+      0.0,
+      1.0 / 3.0,
+      0.1,
+      2.0 / 3.0e10,
+      1e-300,
+      1.7976931348623157e308,          // DBL_MAX
+      DBL_MIN,                         // smallest normal
+      5e-324,                          // smallest denormal
+      2.2250738585072011e-308,         // largest denormal neighborhood
+      9007199254740992.0,              // 2^53
+      9007199254740993.0,              // 2^53 + 1 (rounds to 2^53)
+      9007199254740991.0,              // 2^53 - 1
+      3.141592653589793,
+      6.02214076e23,
+      -1.2345678901234567e-89,
+  };
+  for (double v : awkward) {
+    for (double signedv : {v, -v}) {
+      const double back = json_round_trip(signedv);
+      EXPECT_EQ(back, signedv) << "value " << signedv;
+      EXPECT_EQ(std::signbit(back), std::signbit(signedv));
+    }
+  }
+}
+
+TEST(Json, DoublesRoundTripUnderRandomSweep) {
+  Rng rng(2024);
+  for (int i = 0; i < 2000; ++i) {
+    // Spread across magnitudes: mantissa in [0,1), exponent in [-80, 80].
+    const double mantissa = rng.next_double();
+    const int exp = static_cast<int>(rng.next_below(161)) - 80;
+    const double v = std::ldexp(mantissa, exp);
+    EXPECT_EQ(json_round_trip(v), v);
+  }
+}
+
+TEST(Json, IntegralDoublesStayCompact) {
+  JsonWriter w;
+  w.value(2.0);
+  EXPECT_EQ(w.str(), "2");  // shortest-form search must not bloat easy values
+}
+
+// ---------------------------------------------------------------------------
+// Artifact-key sanitization
+// ---------------------------------------------------------------------------
+
+TEST(SanitizeArtifactKey, CleanKeysPassThroughVerbatim) {
+  EXPECT_EQ(sanitize_artifact_key("mm.serial.n64"), "mm.serial.n64");
+  EXPECT_EQ(sanitize_artifact_key("fig3_matmul.mm.tlp-fine.n128"),
+            "fig3_matmul.mm.tlp-fine.n128");
+}
+
+TEST(SanitizeArtifactKey, DistinctDirtyKeysStayDistinct) {
+  // "a/b" used to collapse onto the clean key "a_b" — both mapped to the
+  // same report filename and the second write clobbered the first.
+  const std::string slash = sanitize_artifact_key("a/b");
+  EXPECT_NE(slash, "a_b");
+  EXPECT_NE(slash, sanitize_artifact_key("a_b"));
+  EXPECT_NE(sanitize_artifact_key("a/b"), sanitize_artifact_key("a:b"));
+  EXPECT_NE(sanitize_artifact_key("cg.tlp-pfetch+work"),
+            sanitize_artifact_key("cg.tlp-pfetch_work"));
+}
+
+TEST(SanitizeArtifactKey, ResultIsAlwaysFilenameSafe) {
+  for (const std::string key :
+       {"a/b", "a b", "cg.tlp-pfetch+work", "x:y|z*?", "plain"}) {
+    const std::string s = sanitize_artifact_key(key);
+    EXPECT_FALSE(s.empty());
+    for (char c : s) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+                  c == '_' || c == '-')
+          << key << " -> " << s;
+    }
+    // Deterministic: same key, same fragment.
+    EXPECT_EQ(s, sanitize_artifact_key(key));
+  }
 }
 
 }  // namespace

@@ -2,7 +2,9 @@
 // the perfmon snapshot arithmetic they rely on.
 #include <gtest/gtest.h>
 
+#include "common/json.h"
 #include "core/machine.h"
+#include "core/run_report.h"
 #include "core/runner.h"
 #include "core/workload.h"
 #include "isa/asm_builder.h"
@@ -180,6 +182,117 @@ TEST(Runner, ReportsFailedVerification) {
   TrivialWorkload w(false);
   const RunStats st = run_workload(MachineConfig{}, w);
   EXPECT_FALSE(st.verified);
+}
+
+// ---------------------------------------------------------------------------
+// Structured run outcomes (try_run_workload)
+// ---------------------------------------------------------------------------
+
+/// Halts its only context: no sibling ever sends the wake-up IPI, so the
+/// machine has no future event — the canonical lost-wake-up deadlock.
+class HaltForeverWorkload : public Workload {
+ public:
+  const std::string& name() const override { return name_; }
+  void setup(Machine&) override {}
+  std::vector<isa::Program> programs() const override {
+    AsmBuilder a("sleeper");
+    a.halt();
+    a.exit();
+    return {a.take()};
+  }
+  bool verify(const Machine&) const override { return true; }
+
+ private:
+  std::string name_ = "halt-forever";
+};
+
+/// Counts to `n` — cheap to make arbitrarily longer than a cycle budget.
+class CountWorkload : public Workload {
+ public:
+  explicit CountWorkload(int n) : n_(n) {}
+  const std::string& name() const override { return name_; }
+  void setup(Machine&) override {}
+  std::vector<isa::Program> programs() const override {
+    return {count_to(n_, 0x9000)};
+  }
+  bool verify(const Machine& m) const override {
+    return m.memory().read_i64(0x9000) == n_;
+  }
+
+ private:
+  std::string name_ = "count";
+  int n_;
+};
+
+TEST(TryRunWorkload, DeadlockBecomesStructuredOutcome) {
+  HaltForeverWorkload w;
+  const RunOutcome o = try_run_workload(MachineConfig{}, w);
+  EXPECT_EQ(o.status, RunStatus::kDeadlock);
+  EXPECT_FALSE(o.ok());
+  EXPECT_FALSE(o.message.empty());
+  // The partial stats are still real data: identified, unverified, and
+  // serializable as a schema-valid report.
+  EXPECT_EQ(o.stats.workload, "halt-forever");
+  EXPECT_FALSE(o.stats.verified);
+  const std::string json = RunReport::from(o.stats).to_json();
+  ASSERT_TRUE(parse_json(json).has_value());
+}
+
+TEST(TryRunWorkload, WatchdogDeadlockWithoutEventSkip) {
+  // With event skipping off there is no "no future event" oracle; the
+  // retirement watchdog catches the same hang.
+  HaltForeverWorkload w;
+  MachineConfig cfg;
+  cfg.core.event_skip = false;
+  cfg.core.watchdog_cycles = 10'000;
+  const RunOutcome o = try_run_workload(cfg, w);
+  EXPECT_EQ(o.status, RunStatus::kDeadlock);
+}
+
+TEST(TryRunWorkload, CycleBudgetBecomesStructuredOutcome) {
+  CountWorkload w(1'000'000'000);
+  const RunOutcome o = try_run_workload(MachineConfig{}, w, /*max_cycles=*/1000);
+  EXPECT_EQ(o.status, RunStatus::kCycleBudgetExceeded);
+  EXPECT_GT(o.stats.cycles, 0u);
+  EXPECT_FALSE(o.stats.verified);
+}
+
+TEST(TryRunWorkload, VerifyFailureBecomesStructuredOutcome) {
+  TrivialWorkload w(false);
+  const RunOutcome o = try_run_workload(MachineConfig{}, w);
+  EXPECT_EQ(o.status, RunStatus::kVerifyFailed);
+  EXPECT_FALSE(o.stats.verified);
+  EXPECT_GT(o.stats.cycles, 0u);
+}
+
+TEST(TryRunWorkload, OkRunMatchesLegacyPath) {
+  TrivialWorkload w(true);
+  const RunOutcome o = try_run_workload(MachineConfig{}, w);
+  EXPECT_EQ(o.status, RunStatus::kOk);
+  EXPECT_TRUE(o.ok());
+  EXPECT_TRUE(o.message.empty());
+  EXPECT_TRUE(o.stats.verified);
+  EXPECT_EQ(o.stats.cpu(CpuId::kCpu0, Event::kStoresRetired), 1u);
+}
+
+TEST(TryRunWorkload, CancelHookWindsTheRunDown) {
+  CountWorkload w(1'000'000'000);
+  const RunOutcome o = try_run_workload(MachineConfig{}, w,
+                                        /*max_cycles=*/4'000'000'000ull,
+                                        [] { return true; });
+  EXPECT_EQ(o.status, RunStatus::kCancelled);
+  EXPECT_FALSE(o.message.empty());
+}
+
+TEST(TryRunWorkloadDeath, LegacyRunWorkloadStillAbortsOnDeadlock) {
+  HaltForeverWorkload w;
+  EXPECT_DEATH(run_workload(MachineConfig{}, w), "no future event");
+}
+
+TEST(TryRunWorkloadDeath, LegacyMachineRunStillAbortsOnBudget) {
+  Machine m;
+  m.load_program(CpuId::kCpu0, count_to(1'000'000'000, 0x9000));
+  EXPECT_DEATH(m.run(/*max_cycles=*/1000), "max_cycles exceeded");
 }
 
 }  // namespace

@@ -1,0 +1,228 @@
+// Tests for the host-parallel job pool and the sweep experiment registry.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/run_report.h"
+#include "core/runner.h"
+#include "host/experiments.h"
+#include "host/job_pool.h"
+
+namespace smt::host {
+namespace {
+
+TEST(JobPool, ResultsComeBackInJobOrder) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 8; ++i) {
+    std::string jname = "j";
+    jname += std::to_string(i);
+    jobs.push_back({jname, [i](const CancelToken&, int, std::string* message) {
+                      *message = "ran ";
+                      *message += std::to_string(i);
+                      return JobStatus::kOk;
+                    }});
+  }
+  JobPoolConfig cfg;
+  cfg.workers = 4;
+  const std::vector<JobResult> results = run_jobs(cfg, jobs);
+  ASSERT_EQ(results.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(results[i].status, JobStatus::kOk);
+    std::string expect = "ran ";
+    expect += std::to_string(i);
+    EXPECT_EQ(results[i].message, expect);
+    EXPECT_EQ(results[i].attempts, 1);
+  }
+}
+
+TEST(JobPool, EmptyJobListIsFine) {
+  JobPoolConfig cfg;
+  cfg.workers = 4;
+  EXPECT_TRUE(run_jobs(cfg, {}).empty());
+}
+
+TEST(JobPool, OneFailureDoesNotStopTheOthers) {
+  std::atomic<int> executed{0};
+  std::vector<Job> jobs;
+  for (int i = 0; i < 6; ++i) {
+    std::string jname = "j";
+    jname += std::to_string(i);
+    jobs.push_back({jname, [i, &executed](const CancelToken&, int,
+                                          std::string* message) {
+                      executed.fetch_add(1);
+                      if (i == 2) {
+                        *message = "synthetic failure";
+                        return JobStatus::kFailed;
+                      }
+                      return JobStatus::kOk;
+                    }});
+  }
+  JobPoolConfig cfg;
+  cfg.workers = 2;
+  const std::vector<JobResult> results = run_jobs(cfg, jobs);
+  EXPECT_EQ(executed.load(), 6);
+  EXPECT_EQ(results[2].status, JobStatus::kFailed);
+  EXPECT_EQ(results[2].message, "synthetic failure");
+  for (int i = 0; i < 6; ++i) {
+    if (i != 2) {
+      EXPECT_EQ(results[i].status, JobStatus::kOk);
+    }
+  }
+}
+
+TEST(JobPool, JobsRunConcurrentlyAcrossWorkers) {
+  // Two jobs that each wait (bounded) for the other to start can only both
+  // finish ok if the pool really runs them on different threads at once.
+  std::atomic<int> started{0};
+  auto meet = [&started](const CancelToken&, int, std::string* message) {
+    started.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (started.load() < 2) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        *message = "peer never started";
+        return JobStatus::kFailed;
+      }
+      std::this_thread::yield();
+    }
+    return JobStatus::kOk;
+  };
+  JobPoolConfig cfg;
+  cfg.workers = 2;
+  const std::vector<JobResult> results =
+      run_jobs(cfg, {{"a", meet}, {"b", meet}});
+  EXPECT_EQ(results[0].status, JobStatus::kOk);
+  EXPECT_EQ(results[1].status, JobStatus::kOk);
+}
+
+TEST(JobPool, WatchdogExpiryRetriesOnceThenReportsTimeout) {
+  std::atomic<int> attempts_seen{0};
+  Job job{"stuck", [&attempts_seen](const CancelToken& token, int attempt,
+                                    std::string* message) {
+            attempts_seen.fetch_add(1);
+            EXPECT_EQ(attempt, attempts_seen.load() - 1);
+            while (!token.expired()) std::this_thread::yield();
+            *message = "token expired";
+            return JobStatus::kTimeout;
+          }};
+  JobPoolConfig cfg;
+  cfg.workers = 1;
+  cfg.job_timeout = std::chrono::milliseconds(20);
+  const std::vector<JobResult> results = run_jobs(cfg, {job});
+  EXPECT_EQ(results[0].status, JobStatus::kTimeout);
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_EQ(attempts_seen.load(), 2);
+  EXPECT_GT(results[0].wall_ms, 0.0);
+}
+
+TEST(JobPool, TimeoutFollowedBySuccessEndsOk) {
+  Job job{"flaky", [](const CancelToken&, int attempt, std::string* message) {
+            if (attempt == 0) {
+              *message = "first attempt timed out";
+              return JobStatus::kTimeout;
+            }
+            return JobStatus::kOk;
+          }};
+  JobPoolConfig cfg;
+  cfg.workers = 1;
+  cfg.job_timeout = std::chrono::milliseconds(1000);
+  const std::vector<JobResult> results = run_jobs(cfg, {job});
+  EXPECT_EQ(results[0].status, JobStatus::kOk);
+  EXPECT_EQ(results[0].attempts, 2);
+}
+
+TEST(JobPool, StructuredFailureIsNotRetried) {
+  std::atomic<int> attempts_seen{0};
+  Job job{"bad", [&attempts_seen](const CancelToken&, int, std::string*) {
+            attempts_seen.fetch_add(1);
+            return JobStatus::kFailed;
+          }};
+  JobPoolConfig cfg;
+  cfg.workers = 1;
+  cfg.job_timeout = std::chrono::milliseconds(1000);
+  const std::vector<JobResult> results = run_jobs(cfg, {job});
+  EXPECT_EQ(results[0].status, JobStatus::kFailed);
+  EXPECT_EQ(attempts_seen.load(), 1);
+}
+
+TEST(CancelToken, ExpiresOnCancelAndOnDeadline) {
+  CancelToken fresh;
+  EXPECT_FALSE(fresh.expired());
+  fresh.cancel();
+  EXPECT_TRUE(fresh.expired());
+
+  CancelToken timed;
+  timed.arm_deadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  EXPECT_TRUE(timed.expired());
+}
+
+// ---------------------------------------------------------------------------
+// Experiment registry
+// ---------------------------------------------------------------------------
+
+TEST(Experiments, RegistryNamesAreUniqueAndLookupsWork) {
+  std::set<std::string> names;
+  for (const ExperimentDef& d : experiments()) {
+    EXPECT_TRUE(names.insert(d.name).second) << "duplicate: " << d.name;
+    EXPECT_EQ(find_experiment(d.name), &d);
+  }
+  EXPECT_EQ(find_experiment("no.such.experiment"), nullptr);
+}
+
+TEST(Experiments, DefaultManifestExcludesSelfTests) {
+  const std::vector<std::string> manifest = default_manifest();
+  EXPECT_FALSE(manifest.empty());
+  for (const std::string& name : manifest) {
+    EXPECT_EQ(name.find("selftest."), std::string::npos) << name;
+  }
+  // The figure suites are all present.
+  const std::set<std::string> set(manifest.begin(), manifest.end());
+  EXPECT_TRUE(set.count("mm.serial.n64"));
+  EXPECT_TRUE(set.count("lu.tlp-pfetch.n128"));
+  EXPECT_TRUE(set.count("cg.tlp-pfetch+work"));
+  EXPECT_TRUE(set.count("bt.tlp-coarse"));
+}
+
+TEST(Experiments, SelfTestsFailTheWayTheyPromise) {
+  const ExperimentDef* deadlock = find_experiment("selftest.deadlock");
+  ASSERT_NE(deadlock, nullptr);
+  const core::RunOutcome o = core::try_run_workload(
+      core::MachineConfig{}, *deadlock->make(), deadlock->cycle_budget);
+  EXPECT_EQ(o.status, core::RunStatus::kDeadlock);
+
+  const ExperimentDef* budget = find_experiment("selftest.budget");
+  ASSERT_NE(budget, nullptr);
+  const core::RunOutcome b = core::try_run_workload(
+      core::MachineConfig{}, *budget->make(), budget->cycle_budget);
+  EXPECT_EQ(b.status, core::RunStatus::kCycleBudgetExceeded);
+
+  const ExperimentDef* verify = find_experiment("selftest.verify-fail");
+  ASSERT_NE(verify, nullptr);
+  const core::RunOutcome v = core::try_run_workload(
+      core::MachineConfig{}, *verify->make(), verify->cycle_budget);
+  EXPECT_EQ(v.status, core::RunStatus::kVerifyFailed);
+}
+
+TEST(Experiments, ExperimentRunsAreDeterministic) {
+  // The sweep's byte-identical-reports guarantee rests on this: two fresh
+  // instances of the same definition produce identical report JSON.
+  const ExperimentDef* def = find_experiment("mm.serial.n64");
+  ASSERT_NE(def, nullptr);
+  std::string json[2];
+  for (std::string& j : json) {
+    const core::RunOutcome o = core::try_run_workload(
+        core::MachineConfig{}, *def->make(), def->cycle_budget);
+    ASSERT_EQ(o.status, core::RunStatus::kOk);
+    j = core::RunReport::from(o.stats).to_json();
+  }
+  EXPECT_EQ(json[0], json[1]);
+}
+
+}  // namespace
+}  // namespace smt::host

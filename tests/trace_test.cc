@@ -245,6 +245,36 @@ TEST(TraceRecorder, PairsHaltSpans) {
 // Hard guarantee 1: tracing never perturbs a measurement
 // ---------------------------------------------------------------------------
 
+TEST(Telemetry, FinalizeIsIdempotentAcrossCallSites) {
+  // finalize() is reached from three sites (core::run_workload, bench
+  // stats_from, report_from_machine) that may all touch one run's
+  // telemetry. That used to work only by accident — the instruments
+  // happened to tolerate re-finalizing at the *same* end cycle; the
+  // explicit guard must make later calls no-ops even with a different
+  // end, or the series would grow a bogus tail window / re-close spans.
+  perfmon::PerfCounters ctr;
+  TelemetryConfig cfg;
+  cfg.enabled = true;
+  cfg.sample_window = 100;
+  trace::Telemetry t(cfg, ctr);
+  ctr.add(kC0, Event::kInstrRetired, 7);
+  t.recorder().on_halt_enter(kC1, 50);  // open span for finalize to close
+
+  EXPECT_FALSE(t.finalized());
+  t.finalize(150);
+  EXPECT_TRUE(t.finalized());
+  const size_t windows = t.sampler().windows().size();
+  const size_t events = t.recorder().events().size();
+  ASSERT_GT(windows, 0u);
+  EXPECT_EQ(t.sampler().windows().back().end, 150u);
+
+  t.finalize(150);
+  t.finalize(400);  // later end: still a no-op
+  EXPECT_EQ(t.sampler().windows().size(), windows);
+  EXPECT_EQ(t.recorder().events().size(), events);
+  EXPECT_EQ(t.sampler().windows().back().end, 150u);
+}
+
 TEST(Telemetry, TracingDoesNotPerturbAnyCounter) {
   for (const bool event_skip : {false, true}) {
     const RunStats off = run_spr_matmul(false, event_skip, true);

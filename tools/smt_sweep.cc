@@ -1,0 +1,284 @@
+// smt_sweep: host-parallel experiment orchestrator over the paper's
+// figure/table workload suite.
+//
+//   $ smt_sweep [options] [experiment names...]
+//
+//   --jobs N          worker threads (default: host hardware concurrency)
+//   --out DIR         output directory (default "sweep-out")
+//   --manifest FILE   newline-separated experiment names ('#' comments);
+//                     default: every default-manifest registry entry
+//   --cycle-budget N  per-job simulated-cycle budget override
+//   --timeout-ms N    per-attempt wall-clock watchdog (0 = off, default);
+//                     a watchdog-killed job is retried once
+//   --list            print the experiment registry and exit
+//
+// Every job runs a fresh deterministic Machine simulation through the
+// non-aborting core::try_run_workload path on the host::JobPool, so one
+// deadlocked or over-budget job cannot abort the process or lose the
+// other jobs' measurements. Per-job RunReport JSON artifacts land in
+// <out>/reports/ (also for failed jobs — a partial report is still
+// data), and a merged, schema-versioned <out>/sweep_index.json records
+// every job's structured outcome, timing and report path, in manifest
+// order regardless of scheduling. Because each job's artifact depends
+// only on its definition, a parallel sweep's reports are byte-identical
+// to a serial (--jobs 1) run's.
+//
+// Exit status: 0 when every job is ok; 1 with the failed jobs listed on
+// stderr otherwise (the index and surviving reports are complete either
+// way); 2 on usage/manifest errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/io.h"
+#include "common/json.h"
+#include "core/run_report.h"
+#include "core/runner.h"
+#include "host/experiments.h"
+#include "host/job_pool.h"
+
+namespace {
+
+using smt::host::ExperimentDef;
+
+struct SweepOptions {
+  int jobs = static_cast<int>(std::thread::hardware_concurrency());
+  std::string out_dir = "sweep-out";
+  std::string manifest_path;
+  smt::Cycle cycle_budget = 0;  // 0: use each definition's own budget
+  long timeout_ms = 0;
+  bool list = false;
+  std::vector<std::string> names;  // explicit positional selections
+};
+
+/// Per-job record for the sweep index, written only by the job's own
+/// worker (slots are preallocated, one per manifest entry).
+struct JobRecord {
+  std::string name;
+  std::string outcome = "ok";  // core::RunStatus name, or "timeout"
+  std::string message;
+  smt::Cycle cycles = 0;
+  bool verified = false;
+  std::string report;  // path relative to the output directory
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs N] [--out DIR] [--manifest FILE]\n"
+               "       [--cycle-budget N] [--timeout-ms N] [--list]\n"
+               "       [experiment names...]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, SweepOptions* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--jobs") {
+      const char* v = next("--jobs");
+      if (v == nullptr) return false;
+      opt->jobs = std::atoi(v);
+    } else if (a == "--out") {
+      const char* v = next("--out");
+      if (v == nullptr) return false;
+      opt->out_dir = v;
+    } else if (a == "--manifest") {
+      const char* v = next("--manifest");
+      if (v == nullptr) return false;
+      opt->manifest_path = v;
+    } else if (a == "--cycle-budget") {
+      const char* v = next("--cycle-budget");
+      if (v == nullptr) return false;
+      opt->cycle_budget = std::strtoull(v, nullptr, 10);
+    } else if (a == "--timeout-ms") {
+      const char* v = next("--timeout-ms");
+      if (v == nullptr) return false;
+      opt->timeout_ms = std::atol(v);
+    } else if (a == "--list") {
+      opt->list = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return false;
+    } else {
+      opt->names.push_back(a);
+    }
+  }
+  if (opt->jobs < 1) opt->jobs = 1;
+  return true;
+}
+
+/// Reads a manifest file: one experiment name per line, blank lines and
+/// '#' comments skipped.
+bool read_manifest(const std::string& path, std::vector<std::string>* names) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open manifest %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    size_t e = line.find_last_not_of(" \t\r");
+    names->push_back(line.substr(b, e - b + 1));
+  }
+  return true;
+}
+
+std::string index_json(const SweepOptions& opt,
+                       const std::vector<JobRecord>& records,
+                       const std::vector<smt::host::JobResult>& results,
+                       int failed) {
+  smt::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "smt-sweep-index/1");
+  w.kv("workers", opt.jobs);
+  w.kv("job_timeout_ms", static_cast<int64_t>(opt.timeout_ms));
+  w.kv("total", static_cast<int64_t>(records.size()));
+  w.kv("failed", failed);
+  w.key("jobs");
+  w.begin_array();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JobRecord& r = records[i];
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("outcome", r.outcome);
+    w.kv("message", r.message);
+    w.kv("attempts", results[i].attempts);
+    w.kv("wall_ms", results[i].wall_ms);
+    w.kv("cycles", static_cast<uint64_t>(r.cycles));
+    w.kv("verified", r.verified);
+    w.kv("report", r.report);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepOptions opt;
+  if (!parse_args(argc, argv, &opt)) return usage(argv[0]);
+
+  if (opt.list) {
+    for (const ExperimentDef& d : smt::host::experiments()) {
+      std::printf("%-28s %s\n", d.name.c_str(),
+                  d.in_default_manifest ? "" : "(selftest)");
+    }
+    return 0;
+  }
+
+  // Assemble the manifest: explicit names > manifest file > default suite.
+  std::vector<std::string> manifest = opt.names;
+  if (!opt.manifest_path.empty() &&
+      !read_manifest(opt.manifest_path, &manifest)) {
+    return 2;
+  }
+  if (manifest.empty()) manifest = smt::host::default_manifest();
+
+  // Resolve every name up front so a typo fails loudly before any work.
+  std::vector<const ExperimentDef*> defs;
+  bool unknown = false;
+  for (const std::string& name : manifest) {
+    const ExperimentDef* d = smt::host::find_experiment(name);
+    if (d == nullptr) {
+      std::fprintf(stderr, "unknown experiment: %s\n", name.c_str());
+      unknown = true;
+    }
+    defs.push_back(d);
+  }
+  if (unknown) return 2;
+
+  std::vector<JobRecord> records(manifest.size());
+  std::vector<smt::host::Job> jobs(manifest.size());
+  for (size_t i = 0; i < manifest.size(); ++i) {
+    const ExperimentDef& def = *defs[i];
+    JobRecord& rec = records[i];
+    rec.name = def.name;
+    rec.report = "reports/" + smt::sanitize_artifact_key(def.name) + ".json";
+    const smt::Cycle budget =
+        opt.cycle_budget != 0 ? opt.cycle_budget : def.cycle_budget;
+    const std::string report_path = opt.out_dir + "/" + rec.report;
+
+    jobs[i].name = def.name;
+    jobs[i].fn = [&def, &rec, budget, report_path](
+                     const smt::host::CancelToken& token, int /*attempt*/,
+                     std::string* message) {
+      const std::unique_ptr<smt::core::Workload> w = def.make();
+      smt::core::RunOutcome o = smt::core::try_run_workload(
+          smt::core::MachineConfig{}, *w, budget,
+          [&token] { return token.expired(); });
+
+      // Even a failed run leaves a valid partial report — write it so the
+      // surviving measurements of a broken sweep are never lost. A
+      // watchdog retry simply rewrites the file.
+      if (!smt::core::RunReport::from(o.stats).write_json_file(report_path)) {
+        *message = "could not write report " + report_path;
+        rec.outcome = "report_write_failed";
+        return smt::host::JobStatus::kFailed;
+      }
+      rec.cycles = o.stats.cycles;
+      rec.verified = o.stats.verified;
+      rec.message = o.message;
+
+      if (o.status == smt::core::RunStatus::kCancelled) {
+        rec.outcome = "timeout";
+        rec.message = "wall-clock watchdog expired";
+        *message = rec.message;
+        return smt::host::JobStatus::kTimeout;
+      }
+      rec.outcome = smt::core::name(o.status);
+      if (!o.ok()) {
+        *message = o.message;
+        return smt::host::JobStatus::kFailed;
+      }
+      return smt::host::JobStatus::kOk;
+    };
+  }
+
+  smt::host::JobPoolConfig pool;
+  pool.workers = opt.jobs;
+  pool.job_timeout = std::chrono::milliseconds(opt.timeout_ms);
+  const std::vector<smt::host::JobResult> results =
+      smt::host::run_jobs(pool, jobs);
+
+  int failed = 0;
+  for (const smt::host::JobResult& r : results) {
+    if (r.status != smt::host::JobStatus::kOk) ++failed;
+  }
+
+  const std::string index_path = opt.out_dir + "/sweep_index.json";
+  if (!smt::write_text_file(index_path,
+                            index_json(opt, records, results, failed))) {
+    return 2;
+  }
+
+  std::printf("%zu job(s), %d failed; index: %s\n", results.size(), failed,
+              index_path.c_str());
+  if (failed > 0) {
+    std::fprintf(stderr, "failed jobs:\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (results[i].status != smt::host::JobStatus::kOk) {
+        std::fprintf(stderr, "  %-28s %s (%s)\n", records[i].name.c_str(),
+                     records[i].outcome.c_str(), records[i].message.c_str());
+      }
+    }
+    return 1;
+  }
+  return 0;
+}
