@@ -1,0 +1,32 @@
+# Lint smoke driver: the guest-program verifier's static gate.
+# Invoked by ctest (see tools/CMakeLists.txt) as:
+#   cmake -DLINT=... -P lint_smoke.cmake
+#
+# Two runs:
+#   1. smt_lint over the full experiment registry — every emitted program
+#      of every kernel mode must come back finding-free;
+#   2. smt_lint --selftest — one deliberately broken program per lint
+#      rule, each of which the lint must catch (exit 0 = all caught).
+
+execute_process(COMMAND "${LINT}" RESULT_VARIABLE rc OUTPUT_VARIABLE out
+  ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "smt_lint found problems in registry programs:\n${out}")
+endif()
+string(FIND "${out}" "0 finding(s)" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "smt_lint summary missing/unexpected:\n${out}")
+endif()
+
+execute_process(COMMAND "${LINT}" --selftest RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "smt_lint --selftest missed a seeded violation:\n${out}")
+endif()
+foreach(rule uninit-read missing-pause lock-pairing sync-region-write
+    out-of-extent unreachable fall-off-end)
+  string(FIND "${out}" "caught ${rule}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "selftest output lacks 'caught ${rule}':\n${out}")
+  endif()
+endforeach()

@@ -1,0 +1,40 @@
+# Race-detection smoke driver: the guest-program verifier's dynamic gate.
+# Invoked by ctest (see tools/CMakeLists.txt) as:
+#   cmake -DSWEEP=... -DCHECKER=... -DOUT_DIR=... -P race_smoke.cmake
+#
+# Runs the sweep with the deliberately racy self-test job injected next to
+# a healthy one: the sweep must exit nonzero, the index must record the
+# structured race_detected outcome (not a crash, not a verify failure),
+# and every report — the racy job's included — must stay schema-valid.
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+
+execute_process(COMMAND "${SWEEP}" --jobs 2 --out "${OUT_DIR}"
+  mm.serial.n64 selftest.race RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "sweep with injected race unexpectedly exited 0")
+endif()
+
+if(NOT EXISTS "${OUT_DIR}/sweep_index.json")
+  message(FATAL_ERROR "race sweep did not write sweep_index.json")
+endif()
+file(READ "${OUT_DIR}/sweep_index.json" index)
+foreach(needle
+    "\"failed\":1"
+    "\"outcome\":\"race_detected\""
+    "\"outcome\":\"ok\"")
+  string(FIND "${index}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "sweep_index.json lacks ${needle}")
+  endif()
+endforeach()
+
+file(GLOB reports "${OUT_DIR}/reports/*.json")
+list(LENGTH reports n)
+if(NOT n EQUAL 2)
+  message(FATAL_ERROR "race sweep wrote ${n} reports, expected 2")
+endif()
+execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/reports" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "race sweep reports failed validation: ${rc}")
+endif()

@@ -4,12 +4,47 @@
 # then double-check that a bench binary emits parseable RunReport JSON
 # artifacts — once plain, once with telemetry enabled so the reports carry
 # the timeseries section and a Perfetto-loadable trace lands next to them.
+#
+# The sanitizer matrix rides behind the main job (skip with SMT_CI_FAST=1):
+#   asan  ASan+UBSan build, full test suite;
+#   tsan  TSan build, host-parallelism surfaces only (host_test + the
+#         sweep smoke) — guest simulation is single-threaded, the job
+#         pool is what TSan is for.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . -DSMT_WERROR=ON
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+# Static front end of the guest-program verifier over the full registry
+# (also exercised by the lint_smoke ctest; run explicitly so a CI log
+# always shows the finding count), plus clang-tidy when available.
+./build/tools/smt_lint
+if command -v clang-tidy > /dev/null 2>&1; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  # shellcheck disable=SC2046
+  clang-tidy -p build --quiet \
+    $(find src/host src/analysis -name '*.cc') 2> /dev/null
+else
+  echo "ci: clang-tidy not installed, skipping tidy pass" >&2
+fi
+
+if [[ "${SMT_CI_FAST:-0}" != "1" ]]; then
+  cmake -B build-asan -S . -DSMT_WERROR=ON -DSMT_SANITIZE=asan
+  cmake --build build-asan -j "$(nproc)"
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+  cmake -B build-tsan -S . -DSMT_WERROR=ON -DSMT_SANITIZE=tsan
+  cmake --build build-tsan -j "$(nproc)" \
+    --target host_test smt_sweep check_reports
+  ./build-tsan/tests/host_test
+  tsan_sweep_dir=$(mktemp -d)
+  trap 'rm -rf "$tsan_sweep_dir"' EXIT
+  ./build-tsan/tools/smt_sweep --jobs 4 --out "$tsan_sweep_dir" \
+    mm.serial.n64 bt.serial cg.serial > /dev/null
+  ./build-tsan/tools/check_reports "$tsan_sweep_dir/reports"
+fi
 
 # Belt-and-braces: drive the cheapest bench with reporting on and validate.
 report_dir=$(mktemp -d)

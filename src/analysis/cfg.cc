@@ -1,0 +1,106 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace smt::analysis {
+
+using isa::Instr;
+using isa::Opcode;
+
+Cfg Cfg::build(const isa::Program& p) {
+  SMT_CHECK_MSG(!p.empty(), "cannot build a CFG over an empty program");
+  const uint32_t n = static_cast<uint32_t>(p.size());
+
+  auto valid_target = [n](int32_t t) {
+    return t >= 0 && static_cast<uint32_t>(t) < n;
+  };
+
+  // Leaders: entry, every valid branch target, every post-branch pc.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (uint32_t pc = 0; pc < n; ++pc) {
+    const Instr& in = p.at(pc);
+    if (!in.is_branch()) continue;
+    if (valid_target(in.target)) leader[in.target] = true;
+    if (pc + 1 < n) leader[pc + 1] = true;
+  }
+
+  Cfg g;
+  g.block_of.resize(n);
+  for (uint32_t pc = 0; pc < n; ++pc) {
+    if (leader[pc]) {
+      BasicBlock b;
+      b.begin = pc;
+      g.blocks.push_back(b);
+    }
+    g.block_of[pc] = static_cast<uint32_t>(g.blocks.size() - 1);
+  }
+  for (size_t i = 0; i < g.blocks.size(); ++i) {
+    g.blocks[i].end =
+        i + 1 < g.blocks.size() ? g.blocks[i + 1].begin : n;
+  }
+
+  // Edges.
+  for (size_t i = 0; i < g.blocks.size(); ++i) {
+    BasicBlock& b = g.blocks[i];
+    const Instr& last = p.at(b.end - 1);
+    auto link = [&](int32_t target_pc) {
+      if (!valid_target(target_pc)) {
+        b.bad_target = true;
+        b.falls_off_end = true;
+        return;
+      }
+      const uint32_t s = g.block_of[target_pc];
+      if (std::find(b.succs.begin(), b.succs.end(), s) == b.succs.end()) {
+        b.succs.push_back(s);
+      }
+    };
+    auto fall_through = [&] {
+      if (b.end >= n) {
+        b.falls_off_end = true;
+      } else {
+        link(static_cast<int32_t>(b.end));
+      }
+    };
+    switch (last.op) {
+      case Opcode::kExit:
+        break;  // no successors
+      case Opcode::kJmp:
+        link(last.target);
+        break;
+      case Opcode::kBr:  // both the taken and the not-taken path
+        link(last.target);
+        fall_through();
+        break;
+      default:
+        fall_through();
+        break;
+    }
+  }
+
+  // Predecessors.
+  for (size_t i = 0; i < g.blocks.size(); ++i) {
+    for (uint32_t s : g.blocks[i].succs) {
+      g.blocks[s].preds.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  // Reachability: DFS from the entry block.
+  std::vector<uint32_t> stack{0};
+  g.blocks[0].reachable = true;
+  while (!stack.empty()) {
+    const uint32_t i = stack.back();
+    stack.pop_back();
+    for (uint32_t s : g.blocks[i].succs) {
+      if (!g.blocks[s].reachable) {
+        g.blocks[s].reachable = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace smt::analysis

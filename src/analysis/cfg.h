@@ -1,0 +1,45 @@
+// Control-flow graph over an isa::Program, the substrate of the static
+// micro-ISA lint (src/analysis/lint.h).
+//
+// Basic blocks are maximal straight-line instruction ranges: a leader is
+// the program entry, any branch target, or the instruction after a
+// branch. Edges follow the resolved instruction-index targets the
+// assembler wrote into kBr/kJmp (kBr additionally falls through; kExit
+// terminates; everything else — including kHalt, which resumes after the
+// wake-up IPI — falls through). Construction never aborts on malformed
+// programs: an out-of-range or unresolved branch target and a block that
+// can run past the program end are recorded as flags for the lint to
+// report, so hand-built (deliberately broken) programs can be analyzed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace smt::analysis {
+
+struct BasicBlock {
+  uint32_t begin = 0;  // first instruction index
+  uint32_t end = 0;    // one past the last instruction
+  std::vector<uint32_t> succs;  // successor block indices
+  std::vector<uint32_t> preds;  // predecessor block indices
+  bool reachable = false;       // from the entry block
+  /// The block's last instruction can transfer control past the end of
+  /// the program (fall-through at the boundary, or a branch whose target
+  /// is unresolved / out of range).
+  bool falls_off_end = false;
+  /// The block ends in a branch whose target index is invalid.
+  bool bad_target = false;
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;   // in program order; block 0 is entry
+  std::vector<uint32_t> block_of;   // instruction index -> block index
+
+  /// Builds the CFG and computes reachability from instruction 0.
+  /// The program must be non-empty.
+  static Cfg build(const isa::Program& p);
+};
+
+}  // namespace smt::analysis

@@ -1,0 +1,414 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analysis/cfg.h"
+#include "common/check.h"
+#include "isa/disasm.h"
+
+namespace smt::analysis {
+
+using isa::Instr;
+using isa::kNoReg;
+using isa::LockOp;
+using isa::Opcode;
+using isa::RegId;
+using isa::SyncRegion;
+
+const char* name(LintRule r) {
+  switch (r) {
+    case LintRule::kUninitRead:       return "uninit-read";
+    case LintRule::kSyncRegionWrite:  return "sync-region-write";
+    case LintRule::kMissingPause:     return "missing-pause";
+    case LintRule::kLockPairing:      return "lock-pairing";
+    case LintRule::kOutOfExtentStore: return "out-of-extent";
+    case LintRule::kUnreachable:      return "unreachable";
+    case LintRule::kFallOffEnd:       return "fall-off-end";
+  }
+  return "?";
+}
+
+namespace {
+
+uint32_t bit(RegId r) { return r == kNoReg ? 0u : (1u << r); }
+
+uint32_t mem_reads(const Instr& in) {
+  return bit(in.mem.base) | bit(in.mem.index);
+}
+
+constexpr uint32_t kAllRegs = 0xffffffffu;
+
+std::string reg_name(RegId r) {
+  std::ostringstream os;
+  if (isa::is_fp_reg(r)) {
+    os << "f" << static_cast<int>(r) - isa::kNumIRegs;
+  } else {
+    os << "r" << static_cast<int>(r);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+uint32_t reg_reads(const Instr& in) {
+  switch (in.op) {
+    case Opcode::kIAdd:
+    case Opcode::kISub:
+    case Opcode::kIAnd:
+    case Opcode::kIOr:
+    case Opcode::kIXor:
+    case Opcode::kIShl:
+    case Opcode::kIShr:
+    case Opcode::kIMul:
+    case Opcode::kIDiv:
+      return bit(in.rs1) | (in.use_imm ? 0u : bit(in.rs2));
+    case Opcode::kIMov:
+      return bit(in.rs1);
+    case Opcode::kIMovImm:
+      return 0;
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFMul:
+    case Opcode::kFDiv:
+      return bit(in.rs1) | bit(in.rs2);
+    case Opcode::kFMov:
+    case Opcode::kFNeg:
+      return bit(in.rs1);
+    case Opcode::kFMovImm:
+      return 0;
+    case Opcode::kLoad:
+    case Opcode::kFLoad:
+    case Opcode::kPrefetch:
+      return mem_reads(in);
+    case Opcode::kStore:
+    case Opcode::kFStore:
+      return bit(in.rs1) | mem_reads(in);
+    case Opcode::kXchg:
+      // xchg reads the outgoing value from rd (encoded as rs1 == rd).
+      return bit(in.rs1) | mem_reads(in);
+    case Opcode::kBr:
+      return bit(in.rs1) | (in.use_imm ? 0u : bit(in.rs2));
+    case Opcode::kJmp:
+    case Opcode::kPause:
+    case Opcode::kHalt:
+    case Opcode::kIpi:
+    case Opcode::kNop:
+    case Opcode::kExit:
+      return 0;
+    case Opcode::kNumOpcodes:
+      break;
+  }
+  SMT_CHECK_MSG(false, "lint cannot classify opcode; extend reg_reads");
+  return 0;
+}
+
+uint32_t reg_writes(const Instr& in) {
+  // kNumOpcodes (and anything past it) must abort like reg_reads.
+  SMT_CHECK_MSG(static_cast<size_t>(in.op) <
+                    static_cast<size_t>(Opcode::kNumOpcodes),
+                "lint cannot classify opcode; extend reg_writes");
+  return isa::traits(in.op).writes_reg ? bit(in.rd) : 0u;
+}
+
+namespace {
+
+void check_uninit_reads(const isa::Program& p, const Cfg& g,
+                        uint32_t assumed_written,
+                        std::vector<LintFinding>* out) {
+  const size_t nb = g.blocks.size();
+  // Must-be-written analysis: in[b] = ∩ out[pred]; top = all registers.
+  std::vector<uint32_t> in(nb, kAllRegs), outset(nb, kAllRegs);
+  in[0] = assumed_written;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t b = 0; b < nb; ++b) {
+      if (!g.blocks[b].reachable) continue;
+      // The entry block always keeps the entry contract: execution
+      // reaches it at least once with only assumed_written defined, even
+      // when a loop branches back to instruction 0.
+      uint32_t s = kAllRegs;
+      for (uint32_t pr : g.blocks[b].preds) {
+        if (g.blocks[pr].reachable) s &= outset[pr];
+      }
+      if (b == 0) s = assumed_written;
+      in[b] = s;
+      for (uint32_t pc = g.blocks[b].begin; pc < g.blocks[b].end; ++pc) {
+        s |= reg_writes(p.at(pc));
+      }
+      if (s != outset[b]) {
+        outset[b] = s;
+        changed = true;
+      }
+    }
+  }
+  // Report each offending pc once, with the offending registers.
+  std::set<uint32_t> seen;
+  for (size_t b = 0; b < nb; ++b) {
+    if (!g.blocks[b].reachable) continue;
+    uint32_t s = in[b];
+    for (uint32_t pc = g.blocks[b].begin; pc < g.blocks[b].end; ++pc) {
+      const Instr& instr = p.at(pc);
+      const uint32_t missing = reg_reads(instr) & ~s;
+      if (missing != 0 && seen.insert(pc).second) {
+        std::ostringstream os;
+        os << "read of never-written register";
+        for (int r = 0; r < isa::kNumRegs; ++r) {
+          if (missing & (1u << r)) os << " " << reg_name(static_cast<RegId>(r));
+        }
+        os << " in `" << isa::disasm(instr) << "`";
+        out->push_back({LintRule::kUninitRead, pc, os.str()});
+      }
+      s |= reg_writes(instr);
+    }
+  }
+}
+
+void check_sync_regions(const isa::Program& p,
+                        std::vector<LintFinding>* out) {
+  for (const SyncRegion& r : p.sync_regions()) {
+    if (r.end > p.size() || r.begin > r.end) {
+      out->push_back({LintRule::kSyncRegionWrite, r.begin,
+                      "malformed sync region `" + r.what + "`"});
+      continue;
+    }
+    bool has_pause = false;
+    for (uint32_t pc = r.begin; pc < r.end; ++pc) {
+      const Instr& instr = p.at(pc);
+      if (instr.op == Opcode::kPause) has_pause = true;
+      const uint32_t stray = reg_writes(instr) & ~r.may_write;
+      if (stray != 0) {
+        std::ostringstream os;
+        os << "`" << r.what << "` region writes register";
+        for (int reg = 0; reg < isa::kNumRegs; ++reg) {
+          if (stray & (1u << reg)) {
+            os << " " << reg_name(static_cast<RegId>(reg));
+          }
+        }
+        os << " outside its declared set (`" << isa::disasm(instr) << "`)";
+        out->push_back({LintRule::kSyncRegionWrite, pc, os.str()});
+      }
+    }
+    if (r.is_spin && r.wants_pause && !has_pause) {
+      out->push_back({LintRule::kMissingPause, r.begin,
+                      "spin region `" + r.what +
+                          "` requested SpinKind::kPause but contains no "
+                          "pause instruction"});
+    }
+  }
+}
+
+/// Lock-pairing dataflow per annotated lock word. Lattice:
+///   kBottom < {kFree, kHeld} < kConflict
+enum class LockState : uint8_t { kBottom, kFree, kHeld, kConflict };
+
+LockState meet(LockState a, LockState b) {
+  if (a == LockState::kBottom) return b;
+  if (b == LockState::kBottom) return a;
+  if (a == b) return a;
+  return LockState::kConflict;
+}
+
+void check_lock_pairing(const isa::Program& p, const Cfg& g,
+                        std::vector<LintFinding>* out) {
+  // Group ops by lock word.
+  std::map<Addr, std::vector<const LockOp*>> by_addr;
+  for (const LockOp& op : p.lock_ops()) {
+    if (op.end > p.size() || op.begin >= op.end) {
+      out->push_back({LintRule::kLockPairing, op.begin,
+                      "malformed lock-op annotation"});
+      continue;
+    }
+    by_addr[op.addr].push_back(&op);
+  }
+
+  for (const auto& [addr, ops] : by_addr) {
+    // An op's effect applies when control leaves its range through its
+    // end: on any edge from a pc inside [begin, end) to exactly `end`.
+    // Inside an acquire's spin loop the lock is still free — the retry
+    // back edge and the not-yet-taken success branch both stay at the
+    // pre-state; only reaching the instruction after the range completes
+    // the acquire. (Both emitters are structured this way: success lands
+    // on the label bound at the end of the region.)
+    std::map<uint32_t, const LockOp*> ends_at;  // op.end -> op
+    for (const LockOp* op : ops) ends_at[op->end] = op;
+
+    const size_t nb = g.blocks.size();
+    std::vector<LockState> in(nb, LockState::kBottom);
+    std::vector<LockState> outset(nb, LockState::kBottom);
+
+    // Diagnose the pre-state `s` right before `op` completes, then return
+    // the completed state.
+    auto apply = [&](const LockOp* op, LockState s,
+                     std::vector<LintFinding>* findings) {
+      if (findings != nullptr) {
+        if (s == LockState::kConflict) {
+          std::ostringstream os;
+          os << (op->acquire ? "acquire" : "release") << " of lock word 0x"
+             << std::hex << addr
+             << " with inconsistent lock state on joining paths";
+          findings->push_back({LintRule::kLockPairing, op->begin, os.str()});
+        } else if (op->acquire && s == LockState::kHeld) {
+          std::ostringstream os;
+          os << "double acquire of lock word 0x" << std::hex << addr;
+          findings->push_back({LintRule::kLockPairing, op->begin, os.str()});
+        } else if (!op->acquire && s == LockState::kFree) {
+          std::ostringstream os;
+          os << "release of lock word 0x" << std::hex << addr
+             << " that is not held";
+          findings->push_back({LintRule::kLockPairing, op->begin, os.str()});
+        }
+      }
+      return op->acquire ? LockState::kHeld : LockState::kFree;
+    };
+
+    // Walks block `b` from state `s`, applying completions that fall
+    // mid-block (sequential flow from pc-1 inside the range).
+    auto transfer = [&](size_t b, LockState s,
+                        std::vector<LintFinding>* findings) {
+      for (uint32_t pc = g.blocks[b].begin; pc < g.blocks[b].end; ++pc) {
+        if (pc != g.blocks[b].begin) {
+          auto it = ends_at.find(pc);
+          if (it != ends_at.end() && pc > it->second->begin) {
+            s = apply(it->second, s, findings);
+          }
+        }
+        if (findings != nullptr && p.at(pc).op == Opcode::kExit &&
+            (s == LockState::kHeld || s == LockState::kConflict)) {
+          std::ostringstream os;
+          os << "lock word 0x" << std::hex << addr
+             << " may still be held at exit";
+          findings->push_back({LintRule::kLockPairing, pc, os.str()});
+        }
+      }
+      return s;
+    };
+
+    // In-state of `b`: meet over reachable predecessors, applying the
+    // completion effect on edges that leave an op range into its end.
+    auto in_state = [&](size_t b, std::vector<LintFinding>* findings) {
+      LockState s = b == 0 ? LockState::kFree : LockState::kBottom;
+      const auto it = ends_at.find(g.blocks[b].begin);
+      for (uint32_t pr : g.blocks[b].preds) {
+        const BasicBlock& pb = g.blocks[pr];
+        if (!pb.reachable) continue;
+        LockState e = outset[pr];
+        if (it != ends_at.end()) {
+          const uint32_t last_pc = pb.end - 1;
+          if (last_pc >= it->second->begin && last_pc < it->second->end) {
+            e = apply(it->second, e, findings);
+          }
+        }
+        s = meet(s, e);
+      }
+      return s;
+    };
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t b = 0; b < nb; ++b) {
+        if (!g.blocks[b].reachable) continue;
+        in[b] = in_state(b, nullptr);
+        const LockState s = transfer(b, in[b], nullptr);
+        if (s != outset[b]) {
+          outset[b] = s;
+          changed = true;
+        }
+      }
+    }
+    // Reporting pass over the converged solution, with de-duplication.
+    std::vector<LintFinding> raw;
+    for (size_t b = 0; b < nb; ++b) {
+      if (!g.blocks[b].reachable) continue;
+      in_state(b, &raw);
+      transfer(b, in[b], &raw);
+    }
+    std::set<std::pair<uint32_t, std::string>> seen;
+    for (LintFinding& f : raw) {
+      if (seen.insert({f.pc, f.message}).second) out->push_back(std::move(f));
+    }
+  }
+}
+
+void check_extents(const isa::Program& p, const LintOptions& opt,
+                   std::vector<LintFinding>* out) {
+  if (!opt.extents_complete) return;
+  auto inside = [&](Addr a) {
+    for (const Extent& e : opt.extents) {
+      if (a >= e.base && a + 8 <= e.base + e.bytes) return true;
+    }
+    return false;
+  };
+  for (uint32_t pc = 0; pc < p.size(); ++pc) {
+    const Instr& in = p.at(pc);
+    if (!in.is_store()) continue;
+    // Only compile-time-constant addresses are statically checkable; the
+    // rest is covered dynamically by analysis::RaceDetector.
+    if (in.mem.base != kNoReg || in.mem.index != kNoReg) continue;
+    const Addr a = static_cast<Addr>(in.mem.disp);
+    if (!inside(a)) {
+      std::ostringstream os;
+      os << "store to 0x" << std::hex << a
+         << " outside every registered extent (`" << isa::disasm(in) << "`)";
+      out->push_back({LintRule::kOutOfExtentStore, pc, os.str()});
+    }
+  }
+}
+
+void check_reachability(const isa::Program& p, const Cfg& g,
+                        std::vector<LintFinding>* out) {
+  for (const BasicBlock& b : g.blocks) {
+    if (!b.reachable) {
+      std::ostringstream os;
+      os << "unreachable code (instructions " << b.begin << ".."
+         << b.end - 1 << ", starts `" << isa::disasm(p.at(b.begin)) << "`)";
+      out->push_back({LintRule::kUnreachable, b.begin, os.str()});
+      continue;
+    }
+    if (b.falls_off_end) {
+      out->push_back({LintRule::kFallOffEnd, b.end - 1,
+                      b.bad_target
+                          ? "branch target is unresolved or out of range"
+                          : "control can run past the end of the program"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LintFinding> lint_program(const isa::Program& p,
+                                      const LintOptions& opt) {
+  std::vector<LintFinding> findings;
+  if (p.empty()) {
+    findings.push_back({LintRule::kFallOffEnd, 0, "empty program"});
+    return findings;
+  }
+  const Cfg g = Cfg::build(p);
+  check_uninit_reads(p, g, opt.assumed_written, &findings);
+  check_sync_regions(p, &findings);
+  check_lock_pairing(p, g, &findings);
+  check_extents(p, opt, &findings);
+  check_reachability(p, g, &findings);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     return a.pc < b.pc;
+                   });
+  return findings;
+}
+
+std::string format_findings(const isa::Program& p,
+                            const std::vector<LintFinding>& findings) {
+  std::ostringstream os;
+  for (const LintFinding& f : findings) {
+    os << p.name() << ":" << f.pc << ": " << name(f.rule) << ": "
+       << f.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace smt::analysis

@@ -1,0 +1,94 @@
+// Static micro-ISA lint: CFG-based dataflow checks over an isa::Program.
+//
+// The paper's TLP/SPR variants depend on hand-emitted synchronization; a
+// single mis-emitted register silently corrupts the counter data the
+// figures are built from. lint_program catches the emitter-level mistakes
+// before a single cycle is simulated:
+//
+//   uninit-read        a path reaches a register read with no prior write
+//                      (must-dataflow over the CFG; registers listed in
+//                      LintOptions::assumed_written are exempt)
+//   sync-region-write  an instruction inside an emitter-annotated
+//                      SyncRegion writes a register outside the region's
+//                      declared may_write set (register discipline)
+//   missing-pause      a spin region emitted with SpinKind::kPause
+//                      contains no pause instruction
+//   lock-pairing       double acquire, release without acquire, lock held
+//                      at exit, or inconsistent lock state where paths
+//                      join (per annotated lock word, 4-value dataflow)
+//   out-of-extent      a store/xchg with a compile-time-constant address
+//                      outside the workload's registered array extents
+//                      (only when LintOptions::extents_complete)
+//   unreachable        code no path from the entry reaches
+//   fall-off-end       a reachable path can run past the program end, or
+//                      a branch target is unresolved / out of range
+//
+// The lint never aborts on malformed programs — every defect is returned
+// as a finding — but it does abort (SMT_CHECK) on an opcode it cannot
+// classify, so ISA additions must extend reg_reads/reg_writes before
+// they can slip past the checker (guarded by a test over all opcodes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instr.h"
+#include "isa/program.h"
+
+namespace smt::analysis {
+
+enum class LintRule : uint8_t {
+  kUninitRead,
+  kSyncRegionWrite,
+  kMissingPause,
+  kLockPairing,
+  kOutOfExtentStore,
+  kUnreachable,
+  kFallOffEnd,
+};
+const char* name(LintRule r);
+
+struct LintFinding {
+  LintRule rule;
+  uint32_t pc = 0;  // anchor instruction index
+  std::string message;
+};
+
+/// One registered guest-memory extent (a mem::MemoryLayout region).
+struct Extent {
+  Addr base = 0;
+  size_t bytes = 0;
+  std::string name;
+};
+
+struct LintOptions {
+  /// RegId bitmask of registers assumed written at program entry (an
+  /// ArchState init handed to load_program). Default: none — reads rely
+  /// on architectural zero-initialization, which is almost always an
+  /// emitter bug.
+  uint32_t assumed_written = 0;
+  /// Registered data + sync extents of the workload owning the program.
+  std::vector<Extent> extents;
+  /// The extents cover every legal guest access; enables the
+  /// out-of-extent check.
+  bool extents_complete = false;
+};
+
+/// Register-source bitmask (flat RegIds) of one instruction, per the
+/// functional interpreter's semantics (cpu/interp.cc). Aborts on an
+/// unclassifiable opcode.
+uint32_t reg_reads(const isa::Instr& in);
+/// Register-destination bitmask of one instruction.
+uint32_t reg_writes(const isa::Instr& in);
+
+/// Runs every check; findings come back in rule-then-pc order.
+std::vector<LintFinding> lint_program(const isa::Program& p,
+                                      const LintOptions& opt = {});
+
+/// Formats findings as "<program>:<pc>: <rule>: <message>" lines.
+std::string format_findings(const isa::Program& p,
+                            const std::vector<LintFinding>& findings);
+
+}  // namespace smt::analysis

@@ -26,12 +26,80 @@ void Machine::enable_telemetry(const trace::TelemetryConfig& cfg) {
 void Machine::enable_pc_profiler() {
   SMT_CHECK_MSG(pc_profiler_ == nullptr, "pc profiler already enabled");
   pc_profiler_ = std::make_shared<profile::PcProfiler>();
-  core_.set_pipeline_observer(pc_profiler_.get());
   for (int i = 0; i < kNumLogicalCpus; ++i) {
     if (programs_[i].has_value()) {
       pc_profiler_->set_program(static_cast<CpuId>(i), *programs_[i]);
     }
   }
+  attach_pipeline_observers();
+}
+
+void Machine::enable_race_detector() {
+  SMT_CHECK_MSG(race_detector_ == nullptr, "race detector already enabled");
+  race_detector_ = std::make_shared<analysis::RaceDetector>();
+  for (int i = 0; i < kNumLogicalCpus; ++i) {
+    if (programs_[i].has_value()) {
+      race_detector_->set_program(static_cast<CpuId>(i), *programs_[i]);
+    }
+  }
+  attach_pipeline_observers();
+}
+
+void Machine::attach_pipeline_observers() {
+  if (pc_profiler_ != nullptr && race_detector_ != nullptr) {
+    tee_.profiler = pc_profiler_.get();
+    tee_.detector = race_detector_.get();
+    core_.set_pipeline_observer(&tee_);
+  } else if (pc_profiler_ != nullptr) {
+    core_.set_pipeline_observer(pc_profiler_.get());
+  } else if (race_detector_ != nullptr) {
+    core_.set_pipeline_observer(race_detector_.get());
+  }
+}
+
+void Machine::ObserverTee::on_issue(CpuId cpu, cpu::IssuePort port,
+                                    uint32_t pc) {
+  if (profiler != nullptr) profiler->on_issue(cpu, port, pc);
+  if (detector != nullptr) detector->on_issue(cpu, port, pc);
+}
+
+void Machine::ObserverTee::on_block(CpuId cpu, cpu::BlockReason reason,
+                                    uint32_t pc, Cycle cycles) {
+  if (profiler != nullptr) profiler->on_block(cpu, reason, pc, cycles);
+  if (detector != nullptr) detector->on_block(cpu, reason, pc, cycles);
+}
+
+void Machine::ObserverTee::on_demand_miss(CpuId cpu, uint32_t pc,
+                                          bool l2_miss) {
+  if (profiler != nullptr) profiler->on_demand_miss(cpu, pc, l2_miss);
+  if (detector != nullptr) detector->on_demand_miss(cpu, pc, l2_miss);
+}
+
+void Machine::ObserverTee::on_retire_uop(CpuId cpu, const cpu::DynUop& uop,
+                                         int uops) {
+  if (profiler != nullptr) profiler->on_retire_uop(cpu, uop, uops);
+  if (detector != nullptr) detector->on_retire_uop(cpu, uop, uops);
+}
+
+void Machine::ObserverTee::on_guest_access(CpuId cpu, uint32_t pc, Addr addr,
+                                           cpu::GuestAccess kind,
+                                           uint64_t value) {
+  if (profiler != nullptr) {
+    profiler->on_guest_access(cpu, pc, addr, kind, value);
+  }
+  if (detector != nullptr) {
+    detector->on_guest_access(cpu, pc, addr, kind, value);
+  }
+}
+
+void Machine::ObserverTee::on_ipi_send(CpuId cpu) {
+  if (profiler != nullptr) profiler->on_ipi_send(cpu);
+  if (detector != nullptr) detector->on_ipi_send(cpu);
+}
+
+void Machine::ObserverTee::on_ipi_wake(CpuId cpu) {
+  if (profiler != nullptr) profiler->on_ipi_wake(cpu);
+  if (detector != nullptr) detector->on_ipi_wake(cpu);
 }
 
 void Machine::load_program(CpuId cpu, isa::Program prog,
@@ -41,6 +109,7 @@ void Machine::load_program(CpuId cpu, isa::Program prog,
   slot.emplace(std::move(prog));
   core_.load_program(cpu, *slot, init);
   if (pc_profiler_ != nullptr) pc_profiler_->set_program(cpu, *slot);
+  if (race_detector_ != nullptr) race_detector_->set_program(cpu, *slot);
 }
 
 }  // namespace smt::core

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 
+#include "analysis/race_detector.h"
 #include "common/types.h"
 #include "cpu/core.h"
 #include "isa/program.h"
@@ -71,6 +72,21 @@ class Machine {
     return pc_profiler_;
   }
 
+  /// Attaches the happens-before race detector (read-only pipeline
+  /// observer; see src/analysis/race_detector.h). Call before running;
+  /// enabling never perturbs any counter. Coexists with the per-PC
+  /// profiler (both observers are fanned out). Sync words and extents are
+  /// configured by the caller (core::try_run_workload feeds it the
+  /// workload's MemInfo); lock words are picked up automatically from
+  /// each loaded program's annotations.
+  void enable_race_detector();
+
+  /// The attached race detector (null when disabled). Shared so RunStats
+  /// can carry it past this machine's lifetime.
+  const std::shared_ptr<analysis::RaceDetector>& race_detector() const {
+    return race_detector_;
+  }
+
   /// Binds `prog` to `cpu` (the program is copied and kept alive by the
   /// machine). The sched_setaffinity analog: one software thread per
   /// logical processor.
@@ -98,12 +114,37 @@ class Machine {
   Cycle cycles() const { return core_.now(); }
 
  private:
+  /// Fans the single cpu::Core observer slot out to both the per-PC
+  /// profiler and the race detector when both are enabled. Raw pointers
+  /// back into the owning Machine's shared_ptrs; either may be null.
+  struct ObserverTee final : cpu::PipelineObserver {
+    profile::PcProfiler* profiler = nullptr;
+    analysis::RaceDetector* detector = nullptr;
+
+    void on_issue(CpuId cpu, cpu::IssuePort port, uint32_t pc) override;
+    void on_block(CpuId cpu, cpu::BlockReason reason, uint32_t pc,
+                  Cycle cycles) override;
+    void on_demand_miss(CpuId cpu, uint32_t pc, bool l2_miss) override;
+    void on_retire_uop(CpuId cpu, const cpu::DynUop& uop,
+                       int uops) override;
+    void on_guest_access(CpuId cpu, uint32_t pc, Addr addr,
+                         cpu::GuestAccess kind, uint64_t value) override;
+    void on_ipi_send(CpuId cpu) override;
+    void on_ipi_wake(CpuId cpu) override;
+  };
+
+  /// Points core_ at the profiler, the detector, or the tee over both
+  /// (null when neither is enabled).
+  void attach_pipeline_observers();
+
   MachineConfig cfg_;
   mem::SimMemory memory_;
   mem::CacheHierarchy hierarchy_;
   perfmon::PerfCounters counters_;
   std::shared_ptr<trace::Telemetry> telemetry_;
   std::shared_ptr<profile::PcProfiler> pc_profiler_;
+  std::shared_ptr<analysis::RaceDetector> race_detector_;
+  ObserverTee tee_;
   cpu::Core core_;
   std::array<std::optional<isa::Program>, kNumLogicalCpus> programs_;
 };

@@ -13,17 +13,32 @@ const char* name(RunStatus s) {
     case RunStatus::kCycleBudgetExceeded: return "cycle_budget_exceeded";
     case RunStatus::kVerifyFailed:        return "verify_failed";
     case RunStatus::kCancelled:           return "cancelled";
+    case RunStatus::kRaceDetected:        return "race_detected";
   }
   return "?";
 }
 
 RunOutcome try_run_workload(const MachineConfig& cfg, Workload& w,
-                            Cycle max_cycles, std::function<bool()> cancel) {
+                            Cycle max_cycles, std::function<bool()> cancel,
+                            const RunOptions& opt) {
   RunOutcome out;
 
   Machine m(cfg);
   if (cancel) m.set_cancel_check(std::move(cancel));
   w.setup(m);
+  if (opt.race_detect) {
+    m.enable_race_detector();
+    const MemInfo mi = w.mem_info();
+    analysis::RaceDetector& det = *m.race_detector();
+    for (const auto& r : mi.data) det.add_extent(r.base, r.bytes);
+    for (const auto& r : mi.sync) {
+      det.add_extent(r.base, r.bytes);
+      for (uint64_t off = 0; off + 8 <= r.bytes; off += 8) {
+        det.add_sync_word(r.base + off);
+      }
+    }
+    det.set_extents_complete(mi.complete);
+  }
   std::vector<isa::Program> progs = w.programs();
   SMT_CHECK_MSG(!progs.empty() && progs.size() <= kNumLogicalCpus,
                 "workload must provide 1 or 2 programs");
@@ -41,6 +56,7 @@ RunOutcome try_run_workload(const MachineConfig& cfg, Workload& w,
   out.stats.telemetry = m.telemetry();
   if (out.stats.telemetry != nullptr) out.stats.telemetry->finalize(m.cycles());
   out.stats.pc_profile = m.pc_profiler();
+  out.stats.race_detector = m.race_detector();
 
   switch (run.termination) {
     case cpu::RunTermination::kDeadlock:
@@ -57,9 +73,15 @@ RunOutcome try_run_workload(const MachineConfig& cfg, Workload& w,
       break;
   }
   if (!run.ok()) {
-    // Incomplete computation: don't consult the workload's verifier.
+    // Incomplete computation: don't consult the workload's verifier. A
+    // race seen before the failure rides along in the message (it often
+    // explains the deadlock) without masking the termination cause.
     out.stats.verified = false;
     out.message = run.message;
+    if (out.stats.race_detector != nullptr &&
+        !out.stats.race_detector->clean()) {
+      out.message += "; also: " + out.stats.race_detector->summary();
+    }
     return out;
   }
 
@@ -67,6 +89,13 @@ RunOutcome try_run_workload(const MachineConfig& cfg, Workload& w,
   if (!out.stats.verified) {
     out.status = RunStatus::kVerifyFailed;
     out.message = "result verification failed";
+  }
+  // A detected race outranks a verification verdict: the result may have
+  // come out right by luck of the interleaving.
+  if (out.stats.race_detector != nullptr &&
+      !out.stats.race_detector->clean()) {
+    out.status = RunStatus::kRaceDetected;
+    out.message = out.stats.race_detector->summary();
   }
   return out;
 }

@@ -31,6 +31,10 @@ struct RunStats {
   /// Per-PC attribution profile of the run, when the machine had the
   /// profiler enabled; null otherwise. Shared: outlives the machine.
   std::shared_ptr<profile::PcProfiler> pc_profile;
+  /// Happens-before race detector state of the run, when race detection
+  /// was requested (RunOptions::race_detect); null otherwise. Shared:
+  /// outlives the machine.
+  std::shared_ptr<analysis::RaceDetector> race_detector;
 
   uint64_t total(perfmon::Event e) const { return events.total(e); }
   uint64_t cpu(CpuId c, perfmon::Event e) const { return events.get(c, e); }
@@ -43,8 +47,20 @@ enum class RunStatus : uint8_t {
   kCycleBudgetExceeded,  // max_cycles elapsed before completion
   kVerifyFailed,         // completed, but the result check failed
   kCancelled,            // the host cancel predicate fired mid-run
+  kRaceDetected,         // the happens-before detector found a data race
+                         // or an out-of-extent guest access
 };
 const char* name(RunStatus s);
+
+/// Optional run-time verification knobs for try_run_workload.
+struct RunOptions {
+  /// Attach analysis::RaceDetector to the machine before running and
+  /// report any data race / out-of-extent access as kRaceDetected. The
+  /// detector is configured from the workload's mem_info() (sync words,
+  /// extents) plus the programs' own lock annotations. Detection is a
+  /// pure observer: every perf counter stays bit-identical.
+  bool race_detect = false;
+};
 
 /// Structured result of a non-aborting workload run. `stats` is always
 /// filled in — on failure it describes the partial run (cycles, counters,
@@ -71,6 +87,7 @@ RunStats run_workload(const MachineConfig& cfg, Workload& w,
 /// stats.verified == false without consulting the workload.
 RunOutcome try_run_workload(const MachineConfig& cfg, Workload& w,
                             Cycle max_cycles = 4'000'000'000ull,
-                            std::function<bool()> cancel = nullptr);
+                            std::function<bool()> cancel = nullptr,
+                            const RunOptions& opt = {});
 
 }  // namespace smt::core

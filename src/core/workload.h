@@ -7,8 +7,25 @@
 
 #include "core/machine.h"
 #include "isa/program.h"
+#include "mem/sim_memory.h"
 
 namespace smt::core {
+
+/// A workload's registered guest-memory map, for the guest-program
+/// verifier (analysis::lint_program extents; RaceDetector sync words and
+/// dynamic extent checking). Regions are mem::MemoryLayout regions so
+/// kernels can hand over their layouts verbatim.
+struct MemInfo {
+  /// Data arrays (matrices, vectors, shared result slots).
+  std::vector<mem::MemoryLayout::Region> data;
+  /// Synchronization words (barrier arrival flags, sleeper words, lock
+  /// words): every 8-byte word inside these regions is treated as a sync
+  /// variable by the race detector.
+  std::vector<mem::MemoryLayout::Region> sync;
+  /// True when data+sync cover every address the programs may touch —
+  /// enables the static and dynamic out-of-extent checks.
+  bool complete = false;
+};
 
 class Workload {
  public:
@@ -26,6 +43,11 @@ class Workload {
 
   /// Checks the computation's result against a host-side reference.
   virtual bool verify(const Machine& m) const = 0;
+
+  /// The registered memory map, valid after setup(). Default: empty and
+  /// incomplete — extent checks are skipped, sync words come only from
+  /// the programs' own lock annotations.
+  virtual MemInfo mem_info() const { return {}; }
 };
 
 }  // namespace smt::core

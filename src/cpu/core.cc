@@ -37,6 +37,15 @@ const char* name(BlockReason r) {
   return "?";
 }
 
+const char* name(GuestAccess k) {
+  switch (k) {
+    case GuestAccess::kLoad:  return "load";
+    case GuestAccess::kStore: return "store";
+    case GuestAccess::kXchg:  return "xchg";
+  }
+  return "?";
+}
+
 const char* name(RunTermination t) {
   switch (t) {
     case RunTermination::kDone:                return "done";
@@ -215,6 +224,7 @@ void Core::update_modes(Thread& t, CpuId cpu) {
         t.mode = TMode::kWaking;
         t.mode_until = now_ + cfg_.halt_wake_cost;
         if (trace_ != nullptr) trace_->on_ipi_wake(cpu, now_);
+        if (pipe_ != nullptr) pipe_->on_ipi_wake(cpu);
       }
       break;
     case TMode::kWaking:
@@ -575,6 +585,19 @@ int Core::fetch_thread(Thread& t, CpuId cpu) {
       }
     }
 
+    // Guest-access observer hook (happens-before race detection): raised
+    // here because functional execution at fetch time makes the call
+    // sequence an exact sequentially consistent interleaving of both
+    // contexts' accesses. Read-only, like the telemetry watchpoints.
+    if (pipe_ != nullptr && (u.is_load || u.is_store) && !u.is_prefetch) {
+      const GuestAccess kind = in.op == Opcode::kXchg ? GuestAccess::kXchg
+                               : u.is_store           ? GuestAccess::kStore
+                                                      : GuestAccess::kLoad;
+      const uint64_t value =
+          kind == GuestAccess::kStore ? mem_.read_u64(r.addr) : r.loaded;
+      pipe_->on_guest_access(cpu, u.pc, r.addr, kind, value);
+    }
+
     // Memory-order-violation (spin-exit) modelling.
     if (u.is_load) check_memory_order(t, cpu, r.addr, r.loaded);
     if (u.is_store) {
@@ -600,6 +623,7 @@ int Core::fetch_thread(Thread& t, CpuId cpu) {
       case ExecResult::Special::kIpi:
         ctr_.add(cpu, Event::kIpisSent);
         if (trace_ != nullptr) trace_->on_ipi_send(cpu, now_);
+        if (pipe_ != nullptr) pipe_->on_ipi_send(cpu);
         deliver_ipi(other(cpu));
         break;
       default:

@@ -132,13 +132,25 @@ struct RunResult {
   bool ok() const { return termination == RunTermination::kDone; }
 };
 
+/// Kind of a guest memory access as seen by PipelineObserver::
+/// on_guest_access (prefetches are not reported — they have no
+/// architectural effect).
+enum class GuestAccess : uint8_t {
+  kLoad,   // load / fload
+  kStore,  // store / fstore
+  kXchg,   // atomic exchange (reads and writes the word)
+};
+const char* name(GuestAccess k);
+
 /// Pure observer of the backend's issue, stall and miss activity — the
 /// attachment point of the per-PC attribution profiler
-/// (profile::PcProfiler). Like the telemetry instruments, it is read-only:
-/// attaching one never perturbs a counter, and every callback replays
-/// bit-identically under event-skip fast-forward (on_block is raised from
-/// record_cycle_counters with the frozen per-thread blocking state, so a
-/// skipped window attributes exactly like single-cycle stepping).
+/// (profile::PcProfiler) and the happens-before race detector
+/// (analysis::RaceDetector). Like the telemetry instruments, it is
+/// read-only: attaching one never perturbs a counter, and every callback
+/// replays bit-identically under event-skip fast-forward (on_block is
+/// raised from record_cycle_counters with the frozen per-thread blocking
+/// state, so a skipped window attributes exactly like single-cycle
+/// stepping; guest accesses and IPIs only ever happen in stepped cycles).
 class PipelineObserver {
  public:
   virtual ~PipelineObserver() = default;
@@ -156,6 +168,19 @@ class PipelineObserver {
   /// A uop from `pc` retired; `uops` is its retired-uop count (2 for the
   /// load+store halves of xchg), matching kUopsRetired exactly.
   virtual void on_retire_uop(CpuId cpu, const DynUop& uop, int uops) = 0;
+  /// A guest load/store/xchg executed functionally at `addr` (raised at
+  /// fetch time, where the functional interpreter runs, in exact
+  /// sequentially-consistent interleaving order). `value` is the value
+  /// read (loads, and the old word for xchg) or the value stored.
+  /// Default no-op so observers that don't track memory stay unchanged.
+  virtual void on_guest_access(CpuId cpu, uint32_t pc, Addr addr,
+                               GuestAccess kind, uint64_t value) {
+    (void)cpu, (void)pc, (void)addr, (void)kind, (void)value;
+  }
+  /// `cpu` executed an ipi instruction (wake-up sent to the sibling).
+  virtual void on_ipi_send(CpuId cpu) { (void)cpu; }
+  /// A halted `cpu` consumed a pending IPI and began waking.
+  virtual void on_ipi_wake(CpuId cpu) { (void)cpu; }
 };
 
 class Core {

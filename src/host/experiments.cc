@@ -58,6 +58,59 @@ class BudgetWorkload : public core::Workload {
   std::string name_ = "selftest.budget";
 };
 
+/// Two contexts hammering one shared word with no synchronization at all:
+/// the canonical data race the happens-before detector must flag. Runs
+/// with race_detect set, so the sweep reports it as kRaceDetected.
+class RaceWorkload : public core::Workload {
+ public:
+  static constexpr int kIters = 64;
+
+  const std::string& name() const override { return name_; }
+
+  void setup(core::Machine& m) override {
+    mem::MemoryLayout lay;
+    word_ = lay.alloc_words("shared", 1);
+    regions_ = lay.regions();
+    m.memory().write_i64(word_, 0);
+  }
+
+  std::vector<isa::Program> programs() const override {
+    using isa::IReg;
+    isa::AsmBuilder w("racer.writer");
+    w.imovi(IReg::R0, 0);
+    const isa::Label wloop = w.here();
+    w.store(IReg::R0, isa::Mem::abs(word_));  // plain store, no release
+    w.iaddi(IReg::R0, IReg::R0, 1);
+    w.bri(isa::BrCond::kLt, IReg::R0, kIters, wloop);
+    w.exit();
+
+    isa::AsmBuilder r("racer.reader");
+    r.imovi(IReg::R0, 0);
+    const isa::Label rloop = r.here();
+    r.load(IReg::R1, isa::Mem::abs(word_));  // plain load, no acquire
+    r.iaddi(IReg::R0, IReg::R0, 1);
+    r.bri(isa::BrCond::kLt, IReg::R0, kIters, rloop);
+    r.exit();
+    return {w.take(), r.take()};
+  }
+
+  bool verify(const core::Machine& m) const override {
+    const int64_t v = m.memory().read_i64(word_);
+    return v >= 0 && v <= kIters;  // any interleaving lands here
+  }
+
+  core::MemInfo mem_info() const override {
+    // The word is deliberately registered as *data*, not sync: the whole
+    // point is that these accesses carry no happens-before edges.
+    return {regions_, {}, true};
+  }
+
+ private:
+  std::string name_ = "selftest.race";
+  Addr word_ = 0;
+  std::vector<mem::MemoryLayout::Region> regions_;
+};
+
 /// Completes fine but fails its result check.
 class VerifyFailWorkload : public core::Workload {
  public:
@@ -173,6 +226,14 @@ std::vector<ExperimentDef> build_registry() {
     d.name = "selftest.verify-fail";
     d.make = [] { return std::make_unique<VerifyFailWorkload>(); };
     d.in_default_manifest = false;
+    defs.push_back(std::move(d));
+  }
+  {
+    ExperimentDef d;
+    d.name = "selftest.race";
+    d.make = [] { return std::make_unique<RaceWorkload>(); };
+    d.in_default_manifest = false;
+    d.race_detect = true;
     defs.push_back(std::move(d));
   }
 

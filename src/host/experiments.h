@@ -32,6 +32,10 @@ struct ExperimentDef {
   /// Whether the job belongs to smt_sweep's default manifest (the
   /// selftest.* jobs do not — they exist to be injected explicitly).
   bool in_default_manifest = true;
+  /// Run with the happens-before race detector attached
+  /// (core::RunOptions::race_detect); a detected race comes back as a
+  /// structured kRaceDetected outcome.
+  bool race_detect = false;
 };
 
 /// The full registry, in canonical (figure/table) order.

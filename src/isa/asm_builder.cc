@@ -174,8 +174,41 @@ void AsmBuilder::ipi() { emit(Opcode::kIpi); }
 void AsmBuilder::nop() { emit(Opcode::kNop); }
 void AsmBuilder::exit() { emit(Opcode::kExit); }
 
+void AsmBuilder::begin_sync_region(std::string what, uint32_t may_write,
+                                   bool is_spin, bool wants_pause) {
+  SMT_CHECK_MSG(!taken_, "annotating a finalized builder");
+  SyncRegion r;
+  r.begin = static_cast<uint32_t>(code_.size());
+  r.what = std::move(what);
+  r.may_write = may_write;
+  r.is_spin = is_spin;
+  r.wants_pause = wants_pause;
+  region_stack_.push_back(sync_regions_.size());
+  sync_regions_.push_back(std::move(r));
+}
+
+void AsmBuilder::end_sync_region() {
+  SMT_CHECK_MSG(!region_stack_.empty(),
+                "end_sync_region without a matching begin");
+  sync_regions_[region_stack_.back()].end =
+      static_cast<uint32_t>(code_.size());
+  region_stack_.pop_back();
+}
+
+void AsmBuilder::note_lock_op(size_t begin, uint64_t addr, bool acquire) {
+  SMT_CHECK_MSG(!taken_, "annotating a finalized builder");
+  SMT_CHECK_MSG(begin <= code_.size(), "lock op begins past the end");
+  LockOp op;
+  op.begin = static_cast<uint32_t>(begin);
+  op.end = static_cast<uint32_t>(code_.size());
+  op.addr = addr;
+  op.acquire = acquire;
+  lock_ops_.push_back(op);
+}
+
 Program AsmBuilder::take() {
   SMT_CHECK_MSG(!taken_, "take() called twice");
+  SMT_CHECK_MSG(region_stack_.empty(), "sync region left open at take()");
   taken_ = true;
   for (const auto& [instr_idx, label_id] : fixups_) {
     SMT_CHECK_MSG(label_pos_[label_id] >= 0,
@@ -188,7 +221,8 @@ Program AsmBuilder::take() {
   const Instr& last = code_.back();
   SMT_CHECK_MSG(last.op == Opcode::kExit || last.op == Opcode::kJmp,
                 "program can fall off the end; terminate with exit()");
-  return Program(std::move(name_), std::move(code_));
+  return Program(std::move(name_), std::move(code_), std::move(sync_regions_),
+                 std::move(lock_ops_));
 }
 
 }  // namespace smt::isa

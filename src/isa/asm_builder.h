@@ -25,6 +25,11 @@
 
 namespace smt::isa {
 
+/// Bit of a flat RegId in a register-set mask (SyncRegion::may_write).
+constexpr uint32_t reg_bit(RegId r) { return 1u << r; }
+constexpr uint32_t reg_bit(IReg r) { return reg_bit(id(r)); }
+constexpr uint32_t reg_bit(FReg r) { return reg_bit(id(r)); }
+
 /// Opaque label handle; created unbound, bound once, referenced anywhere.
 struct Label {
   int32_t id = -1;
@@ -129,8 +134,25 @@ class AsmBuilder {
   void nop();
   void exit();
 
+  // ---- analysis metadata ------------------------------------------------
+  /// Opens a sync-emitter region at the current position: until the
+  /// matching end_sync_region(), the emitter promises to write only the
+  /// registers in `may_write` (a reg_bit() mask). Regions may nest (a
+  /// barrier wait contains a spin wait); each is recorded independently.
+  /// `is_spin` marks a wait loop; `wants_pause` asserts it was emitted
+  /// with SpinKind::kPause and must contain a `pause`.
+  void begin_sync_region(std::string what, uint32_t may_write,
+                         bool is_spin = false, bool wants_pause = false);
+  void end_sync_region();
+
+  /// Records that [begin, pos()) is one lock acquire/release sequence on
+  /// the lock word at `addr` (called by the xchg test-and-set emitters
+  /// after emitting; consumed by the lint's lock-pairing dataflow).
+  void note_lock_op(size_t begin, uint64_t addr, bool acquire);
+
   /// Finalize: resolve all branch targets. Checks every referenced label
-  /// was bound and the program ends in a way that cannot fall off the end.
+  /// was bound, every sync region was closed, and the program ends in a
+  /// way that cannot fall off the end.
   Program take();
 
  private:
@@ -145,6 +167,9 @@ class AsmBuilder {
   std::vector<Instr> code_;
   std::vector<int32_t> label_pos_;                    // -1 while unbound
   std::vector<std::pair<size_t, int32_t>> fixups_;    // instr idx -> label
+  std::vector<SyncRegion> sync_regions_;
+  std::vector<size_t> region_stack_;                  // open-region indices
+  std::vector<LockOp> lock_ops_;
   bool taken_ = false;
 };
 

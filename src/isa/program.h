@@ -10,11 +10,42 @@
 
 namespace smt::isa {
 
+/// Emitter-declared register discipline over an instruction range
+/// [begin, end): the emitter promises to write only the registers in
+/// `may_write` (a RegId bitmask), and — when it is a spin loop emitted
+/// with SpinKind::kPause — to contain at least one `pause`. Recorded by
+/// AsmBuilder::begin_sync_region/end_sync_region (the sync primitives
+/// annotate themselves); checked by analysis::lint_program.
+struct SyncRegion {
+  uint32_t begin = 0;
+  uint32_t end = 0;        // exclusive
+  std::string what;        // emitter name, e.g. "spin_until_eq"
+  uint32_t may_write = 0;  // bitmask over flat RegIds (bit r = RegId r)
+  bool is_spin = false;    // the region loops until a memory word flips
+  bool wants_pause = false;  // emitted with SpinKind::kPause
+};
+
+/// One lock acquire/release sequence over [begin, end) on the lock word
+/// at `addr`, recorded by the xchg test-and-set emitters. The lint's
+/// lock-pairing dataflow treats the range as one atomic effect.
+struct LockOp {
+  uint32_t begin = 0;
+  uint32_t end = 0;  // exclusive
+  Addr addr = 0;
+  bool acquire = true;  // false: release
+};
+
 class Program {
  public:
   Program() = default;
   Program(std::string name, std::vector<Instr> code)
       : name_(std::move(name)), code_(std::move(code)) {}
+  Program(std::string name, std::vector<Instr> code,
+          std::vector<SyncRegion> sync_regions, std::vector<LockOp> lock_ops)
+      : name_(std::move(name)),
+        code_(std::move(code)),
+        sync_regions_(std::move(sync_regions)),
+        lock_ops_(std::move(lock_ops)) {}
 
   const std::string& name() const { return name_; }
   size_t size() const { return code_.size(); }
@@ -26,10 +57,14 @@ class Program {
   }
 
   const std::vector<Instr>& code() const { return code_; }
+  const std::vector<SyncRegion>& sync_regions() const { return sync_regions_; }
+  const std::vector<LockOp>& lock_ops() const { return lock_ops_; }
 
  private:
   std::string name_;
   std::vector<Instr> code_;
+  std::vector<SyncRegion> sync_regions_;
+  std::vector<LockOp> lock_ops_;
 };
 
 }  // namespace smt::isa

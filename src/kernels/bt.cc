@@ -218,6 +218,7 @@ void BtWorkload::setup(core::Machine& m) {
 
   mem::MemoryLayout lay(p_.mem_base);
   base_ = lay.alloc_words("lines", static_cast<size_t>(line_words) * p_.lines);
+  data_regions_ = lay.regions();
 
   Rng rng(p_.seed);
   host_solved_.clear();
@@ -346,6 +347,14 @@ bool BtWorkload::verify(const core::Machine& m) const {
     }
   }
   return true;
+}
+
+
+core::MemInfo BtWorkload::mem_info() const {
+  return {data_regions_,
+          sync_layout_ != nullptr ? sync_layout_->regions()
+                                  : std::vector<mem::MemoryLayout::Region>{},
+          /*complete=*/true};
 }
 
 }  // namespace smt::kernels

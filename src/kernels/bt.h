@@ -50,6 +50,7 @@ class BtWorkload : public core::Workload {
   void setup(core::Machine& m) override;
   std::vector<isa::Program> programs() const override;
   bool verify(const core::Machine& m) const override;
+  core::MemInfo mem_info() const override;
 
   const BtParams& params() const { return p_; }
 
@@ -57,6 +58,7 @@ class BtWorkload : public core::Workload {
   BtParams p_;
   std::string name_;
   Addr base_ = 0;
+  std::vector<mem::MemoryLayout::Region> data_regions_;
   std::vector<BtLine> host_solved_;  // reference solutions per line
   std::vector<isa::Program> programs_;
   std::unique_ptr<mem::MemoryLayout> sync_layout_;

@@ -231,6 +231,7 @@ void CgWorkload::setup(core::Machine& m) {
   r_ = lay.alloc_words("r", p_.n);
   dot_slots_ = lay.alloc_words("dot0", 1);
   const Addr slot1 = lay.alloc_words("dot1", 1);  // separate cache line
+  data_regions_ = lay.regions();
   m.memory().store_i64_array(rowptr_, matrix_.rowptr);
   m.memory().store_i64_array(colidx_, matrix_.colidx);
   m.memory().store_f64_array(vals_, matrix_.values);
@@ -447,6 +448,14 @@ bool CgWorkload::verify(const core::Machine& m) const {
   // and the residual must be at the level the reference reached after the
   // same number of iterations.
   return max_dz < 1e-5 && res2 <= 4.0 * host_rho_ + 1e-12;
+}
+
+
+core::MemInfo CgWorkload::mem_info() const {
+  return {data_regions_,
+          sync_layout_ != nullptr ? sync_layout_->regions()
+                                  : std::vector<mem::MemoryLayout::Region>{},
+          /*complete=*/true};
 }
 
 }  // namespace smt::kernels

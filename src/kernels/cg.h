@@ -57,6 +57,7 @@ class CgWorkload : public core::Workload {
   void setup(core::Machine& m) override;
   std::vector<isa::Program> programs() const override;
   bool verify(const core::Machine& m) const override;
+  core::MemInfo mem_info() const override;
 
   const CgParams& params() const { return p_; }
   size_t nnz() const { return matrix_.nnz(); }
@@ -71,6 +72,7 @@ class CgWorkload : public core::Workload {
   Addr rowptr_ = 0, colidx_ = 0, vals_ = 0;
   Addr x_ = 0, z_ = 0, p_vec_ = 0, q_ = 0, r_ = 0;
   Addr dot_slots_ = 0;  // two partial-reduction words
+  std::vector<mem::MemoryLayout::Region> data_regions_;
   std::vector<isa::Program> programs_;
   std::unique_ptr<mem::MemoryLayout> sync_layout_;
   std::unique_ptr<sync::TwoThreadBarrier> barrier_;

@@ -277,6 +277,7 @@ void LuWorkload::setup(core::Machine& m) {
   const size_t n = p_.n;
   mem::MemoryLayout mem_layout(p_.mem_base);
   base_ = mem_layout.alloc("A", n * n * 8, 64);
+  data_regions_ = mem_layout.regions();
 
   Rng rng(p_.seed);
   std::vector<double> host = random_diag_dominant_matrix(n, rng);
@@ -533,6 +534,14 @@ bool LuWorkload::verify(const core::Machine& m) const {
     if (rel_err(got, host_ref_[i]) > 1e-9) return false;
   }
   return true;
+}
+
+
+core::MemInfo LuWorkload::mem_info() const {
+  return {data_regions_,
+          sync_layout_ != nullptr ? sync_layout_->regions()
+                                  : std::vector<mem::MemoryLayout::Region>{},
+          /*complete=*/true};
 }
 
 }  // namespace smt::kernels

@@ -55,6 +55,7 @@ class LuWorkload : public core::Workload {
   void setup(core::Machine& m) override;
   std::vector<isa::Program> programs() const override;
   bool verify(const core::Machine& m) const override;
+  core::MemInfo mem_info() const override;
 
   const LuParams& params() const { return p_; }
 
@@ -62,6 +63,7 @@ class LuWorkload : public core::Workload {
   LuParams p_;
   std::string name_;
   Addr base_ = 0;
+  std::vector<mem::MemoryLayout::Region> data_regions_;
   std::vector<double> host_ref_;  // expected factorization
   std::vector<isa::Program> programs_;
   std::unique_ptr<mem::MemoryLayout> sync_layout_;

@@ -173,6 +173,13 @@ uint64_t MatMulWorkload::flops() const {
   return 2ull * p_.n * p_.n * p_.n;
 }
 
+core::MemInfo MatMulWorkload::mem_info() const {
+  return {data_regions_,
+          sync_layout_ != nullptr ? sync_layout_->regions()
+                                  : std::vector<mem::MemoryLayout::Region>{},
+          /*complete=*/true};
+}
+
 void MatMulWorkload::setup(core::Machine& m) {
   const size_t n = p_.n;
   const size_t words = n * n;
@@ -182,6 +189,7 @@ void MatMulWorkload::setup(core::Machine& m) {
   a_base_ = mem_layout.alloc("A", words * 8, words * 8);
   b_base_ = mem_layout.alloc("B", words * 8, words * 8);
   c_base_ = mem_layout.alloc("C", words * 8, words * 8);
+  data_regions_ = mem_layout.regions();
 
   Rng rng(p_.seed);
   host_a_ = random_matrix(n, rng);

@@ -61,6 +61,7 @@ class MatMulWorkload : public core::Workload {
   void setup(core::Machine& m) override;
   std::vector<isa::Program> programs() const override;
   bool verify(const core::Machine& m) const override;
+  core::MemInfo mem_info() const override;
 
   /// Useful-arithmetic count, for MFLOP-style normalization: 2*n^3.
   uint64_t flops() const;
@@ -71,6 +72,7 @@ class MatMulWorkload : public core::Workload {
   std::string name_;
   BlockedLayout layout_;
   Addr a_base_ = 0, b_base_ = 0, c_base_ = 0;
+  std::vector<mem::MemoryLayout::Region> data_regions_;
   std::vector<double> host_a_, host_b_, host_c_;  // reference data
   std::vector<isa::Program> programs_;
   std::unique_ptr<mem::MemoryLayout> sync_layout_;

@@ -9,6 +9,7 @@ using isa::BrCond;
 using isa::IReg;
 using isa::Label;
 using isa::Mem;
+using isa::reg_bit;
 
 namespace {
 
@@ -21,41 +22,61 @@ void emit_spin_body(AsmBuilder& a, SpinKind kind, Label spin) {
 
 void emit_spin_until_eq(AsmBuilder& a, Addr addr, IReg scratch, int64_t value,
                         SpinKind kind) {
+  a.begin_sync_region("spin_until_eq", reg_bit(scratch), /*is_spin=*/true,
+                      kind == SpinKind::kPause);
   Label spin = a.here();
   Label done = a.label();
   a.load(scratch, Mem::abs(addr));
   a.bri(BrCond::kEq, scratch, value, done);
   emit_spin_body(a, kind, spin);
   a.bind(done);
+  a.end_sync_region();
 }
 
 void emit_spin_until_eq_reg(AsmBuilder& a, Addr addr, IReg scratch,
                             IReg value_reg, SpinKind kind) {
+  // scratch receives every sampled flag value: aliasing it with the
+  // comparand would silently overwrite the value being waited for.
+  SMT_CHECK_MSG(scratch != value_reg,
+                "spin scratch register aliases value_reg");
+  a.begin_sync_region("spin_until_eq_reg", reg_bit(scratch), /*is_spin=*/true,
+                      kind == SpinKind::kPause);
   Label spin = a.here();
   Label done = a.label();
   a.load(scratch, Mem::abs(addr));
   a.br(BrCond::kEq, scratch, value_reg, done);
   emit_spin_body(a, kind, spin);
   a.bind(done);
+  a.end_sync_region();
 }
 
 void emit_spin_until_ge_reg(AsmBuilder& a, Addr addr, IReg scratch,
                             IReg value_reg, SpinKind kind) {
+  SMT_CHECK_MSG(scratch != value_reg,
+                "spin scratch register aliases value_reg");
+  a.begin_sync_region("spin_until_ge_reg", reg_bit(scratch), /*is_spin=*/true,
+                      kind == SpinKind::kPause);
   Label spin = a.here();
   Label done = a.label();
   a.load(scratch, Mem::abs(addr));
   a.br(BrCond::kGe, scratch, value_reg, done);
   emit_spin_body(a, kind, spin);
   a.bind(done);
+  a.end_sync_region();
 }
 
 void emit_flag_set(AsmBuilder& a, Addr addr, IReg scratch, int64_t value) {
+  a.begin_sync_region("flag_set", reg_bit(scratch));
   a.imovi(scratch, value);
   a.store(scratch, Mem::abs(addr));
+  a.end_sync_region();
 }
 
 void emit_lock_acquire(AsmBuilder& a, Addr lock_addr, IReg scratch,
                        SpinKind kind) {
+  const size_t begin = a.pos();
+  a.begin_sync_region("lock_acquire", reg_bit(scratch), /*is_spin=*/true,
+                      kind == SpinKind::kPause);
   a.imovi(scratch, 1);
   Label spin = a.here();
   Label got = a.label();
@@ -64,11 +85,17 @@ void emit_lock_acquire(AsmBuilder& a, Addr lock_addr, IReg scratch,
   // A failed attempt leaves scratch == 1, ready for the next exchange.
   emit_spin_body(a, kind, spin);
   a.bind(got);
+  a.end_sync_region();
+  a.note_lock_op(begin, lock_addr, /*acquire=*/true);
 }
 
 void emit_lock_release(AsmBuilder& a, Addr lock_addr, IReg scratch) {
+  const size_t begin = a.pos();
+  a.begin_sync_region("lock_release", reg_bit(scratch));
   a.imovi(scratch, 0);
   a.store(scratch, Mem::abs(lock_addr));
+  a.end_sync_region();
+  a.note_lock_op(begin, lock_addr, /*acquire=*/false);
 }
 
 int annotate_lock(trace::TraceRecorder& rec, Addr lock_addr,
@@ -99,7 +126,9 @@ int TwoThreadBarrier::annotate(trace::TraceRecorder& rec,
 }
 
 void TwoThreadBarrier::emit_init(AsmBuilder& a, IReg sense_reg) const {
+  a.begin_sync_region("barrier_init", reg_bit(sense_reg));
   a.imovi(sense_reg, 0);
+  a.end_sync_region();
 }
 
 // The arrival flags carry a monotonically increasing episode counter (the
@@ -110,14 +139,18 @@ void TwoThreadBarrier::emit_init(AsmBuilder& a, IReg sense_reg) const {
 // satisfied forever once reached.
 void TwoThreadBarrier::emit_wait(AsmBuilder& a, int tid, IReg sense_reg,
                                  IReg scratch, SpinKind kind) const {
+  a.begin_sync_region("barrier_wait", reg_bit(sense_reg) | reg_bit(scratch));
   a.iaddi(sense_reg, sense_reg, 1);
   a.store(sense_reg, Mem::abs(flag_addr(tid)));
   emit_spin_until_ge_reg(a, flag_addr(1 - tid), scratch, sense_reg, kind);
+  a.end_sync_region();
 }
 
 void TwoThreadBarrier::emit_wait_sleeper(AsmBuilder& a, int tid,
                                          IReg sense_reg,
                                          IReg scratch) const {
+  a.begin_sync_region("barrier_wait_sleeper",
+                      reg_bit(sense_reg) | reg_bit(scratch));
   a.iaddi(sense_reg, sense_reg, 1);
   a.store(sense_reg, Mem::abs(flag_addr(tid)));
   // Publish "about to halt", release all partitioned resources, sleep.
@@ -128,10 +161,13 @@ void TwoThreadBarrier::emit_wait_sleeper(AsmBuilder& a, int tid,
   emit_flag_set(a, sleeping_, scratch, 0);
   // The IPI is only ever sent after the sibling published its own arrival,
   // so no further wait is needed here.
+  a.end_sync_region();
 }
 
 void TwoThreadBarrier::emit_wait_waker(AsmBuilder& a, int tid, IReg sense_reg,
                                        IReg scratch, SpinKind kind) const {
+  a.begin_sync_region("barrier_wait_waker",
+                      reg_bit(sense_reg) | reg_bit(scratch));
   a.iaddi(sense_reg, sense_reg, 1);
   a.store(sense_reg, Mem::abs(flag_addr(tid)));
   // Wait for the sibling's arrival, then for it to be (about to be) asleep,
@@ -142,6 +178,7 @@ void TwoThreadBarrier::emit_wait_waker(AsmBuilder& a, int tid, IReg sense_reg,
   emit_spin_until_ge_reg(a, flag_addr(1 - tid), scratch, sense_reg, kind);
   emit_spin_until_eq(a, sleeping_, scratch, 1, kind);
   a.ipi();
+  a.end_sync_region();
 }
 
 }  // namespace smt::sync

@@ -1,0 +1,446 @@
+// Tests for the static half of the guest-program verifier: CFG
+// construction, every lint rule (positive and negative), the
+// classification guard over the full opcode set, the emitter scratch-alias
+// checks, and the registry-wide lint-clean gate.
+#include <set>
+
+#include "analysis/cfg.h"
+#include "analysis/lint.h"
+#include "core/machine.h"
+#include "gtest/gtest.h"
+#include "host/experiments.h"
+#include "isa/asm_builder.h"
+#include "isa/disasm.h"
+#include "sync/primitives.h"
+
+namespace smt {
+namespace {
+
+using analysis::Cfg;
+using analysis::LintFinding;
+using analysis::LintOptions;
+using analysis::LintRule;
+using analysis::lint_program;
+using isa::AsmBuilder;
+using isa::BrCond;
+using isa::FReg;
+using isa::IReg;
+using isa::Label;
+using isa::Mem;
+using isa::Opcode;
+using isa::reg_bit;
+
+bool has_rule(const std::vector<LintFinding>& f, LintRule r) {
+  for (const LintFinding& x : f) {
+    if (x.rule == r) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// CFG construction
+// ---------------------------------------------------------------------------
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  AsmBuilder a("straight");
+  a.imovi(IReg::R0, 1);
+  a.iaddi(IReg::R0, IReg::R0, 1);
+  a.exit();
+  const Cfg g = Cfg::build(a.take());
+  ASSERT_EQ(g.blocks.size(), 1u);
+  EXPECT_EQ(g.blocks[0].begin, 0u);
+  EXPECT_EQ(g.blocks[0].end, 3u);
+  EXPECT_TRUE(g.blocks[0].reachable);
+  EXPECT_FALSE(g.blocks[0].falls_off_end);
+  EXPECT_TRUE(g.blocks[0].succs.empty());
+}
+
+TEST(Cfg, LoopSplitsBlocksAndLinksBackEdge) {
+  AsmBuilder a("loop");
+  a.imovi(IReg::R0, 0);            // b0
+  const Label loop = a.here();     // b1: loop body
+  a.iaddi(IReg::R0, IReg::R0, 1);
+  a.bri(BrCond::kLt, IReg::R0, 8, loop);
+  a.exit();                        // b2
+  const Cfg g = Cfg::build(a.take());
+  ASSERT_EQ(g.blocks.size(), 3u);
+  // b0 -> b1; b1 -> {b1 (taken), b2 (fall)}; b2 terminal.
+  EXPECT_EQ(g.blocks[0].succs, (std::vector<uint32_t>{1}));
+  const std::set<uint32_t> s1(g.blocks[1].succs.begin(),
+                              g.blocks[1].succs.end());
+  EXPECT_EQ(s1, (std::set<uint32_t>{1, 2}));
+  EXPECT_TRUE(g.blocks[2].succs.empty());
+  for (const analysis::BasicBlock& b : g.blocks) EXPECT_TRUE(b.reachable);
+  // block_of maps every pc into its containing block.
+  EXPECT_EQ(g.block_of[0], 0u);
+  EXPECT_EQ(g.block_of[1], 1u);
+  EXPECT_EQ(g.block_of[2], 1u);
+  EXPECT_EQ(g.block_of[3], 2u);
+}
+
+TEST(Cfg, EveryInstructionBelongsToExactlyOneBlock) {
+  AsmBuilder a("cover");
+  const Label skip = a.label();
+  a.imovi(IReg::R0, 3);
+  a.bri(BrCond::kEq, IReg::R0, 0, skip);
+  a.iaddi(IReg::R0, IReg::R0, -1);
+  a.bind(skip);
+  a.exit();
+  const isa::Program p = a.take();
+  const Cfg g = Cfg::build(p);
+  std::vector<int> owners(p.size(), 0);
+  for (const analysis::BasicBlock& b : g.blocks) {
+    for (uint32_t pc = b.begin; pc < b.end; ++pc) owners[pc]++;
+  }
+  for (size_t pc = 0; pc < p.size(); ++pc) EXPECT_EQ(owners[pc], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Lint rules, one positive and one negative case each
+// ---------------------------------------------------------------------------
+
+TEST(Lint, CleanProgramHasNoFindings) {
+  AsmBuilder a("clean");
+  a.imovi(IReg::R0, 0);
+  const Label loop = a.here();
+  a.iaddi(IReg::R0, IReg::R0, 1);
+  a.bri(BrCond::kLt, IReg::R0, 4, loop);
+  a.exit();
+  EXPECT_TRUE(lint_program(a.take()).empty());
+}
+
+TEST(Lint, UninitReadCaught) {
+  AsmBuilder a("uninit");
+  a.iadd(IReg::R0, IReg::R1, IReg::R2);  // R1, R2 never written
+  a.exit();
+  const std::vector<LintFinding> f = lint_program(a.take());
+  ASSERT_TRUE(has_rule(f, LintRule::kUninitRead));
+  EXPECT_NE(f[0].message.find("r1"), std::string::npos);
+  EXPECT_NE(f[0].message.find("r2"), std::string::npos);
+}
+
+TEST(Lint, UninitReadOnOnePathOnlyIsStillCaught) {
+  // Must-analysis: a register written on only one of two joining paths is
+  // not definitely written at the join.
+  AsmBuilder a("one-path");
+  const Label join = a.label();
+  a.imovi(IReg::R0, 0);
+  a.bri(BrCond::kEq, IReg::R0, 0, join);
+  a.imovi(IReg::R1, 5);  // only the fall-through path writes R1
+  a.bind(join);
+  a.iaddi(IReg::R2, IReg::R1, 1);
+  a.exit();
+  EXPECT_TRUE(has_rule(lint_program(a.take()), LintRule::kUninitRead));
+}
+
+TEST(Lint, AssumedWrittenSuppressesUninitRead) {
+  AsmBuilder a("assumed");
+  a.iaddi(IReg::R0, IReg::R1, 1);
+  a.exit();
+  LintOptions opt;
+  opt.assumed_written = reg_bit(IReg::R1);
+  EXPECT_TRUE(lint_program(a.take(), opt).empty());
+}
+
+TEST(Lint, FpRegistersTrackedSeparatelyFromInt) {
+  AsmBuilder a("fp");
+  a.imovi(IReg::R0, 1);   // writes int r0 ...
+  a.fadd(FReg::F1, FReg::F0, FReg::F0);  // ... which must not cover fp f0
+  a.exit();
+  const std::vector<LintFinding> f = lint_program(a.take());
+  ASSERT_TRUE(has_rule(f, LintRule::kUninitRead));
+  EXPECT_NE(f[0].message.find("f0"), std::string::npos);
+}
+
+TEST(Lint, SyncRegionDisciplineViolationCaught) {
+  AsmBuilder a("discipline");
+  a.begin_sync_region("flag_set", reg_bit(IReg::R0));
+  a.imovi(IReg::R0, 1);   // declared
+  a.imovi(IReg::R7, 2);   // stray
+  a.store(IReg::R0, Mem::abs(0x8000));
+  a.end_sync_region();
+  a.exit();
+  const std::vector<LintFinding> f = lint_program(a.take());
+  ASSERT_TRUE(has_rule(f, LintRule::kSyncRegionWrite));
+  EXPECT_FALSE(has_rule(f, LintRule::kMissingPause));
+}
+
+TEST(Lint, EmitterAnnotatedSpinWithPauseIsClean) {
+  AsmBuilder a("spin-ok");
+  sync::emit_spin_until_eq(a, 0x8000, IReg::R0, 1, sync::SpinKind::kPause);
+  a.exit();
+  EXPECT_TRUE(lint_program(a.take()).empty());
+}
+
+TEST(Lint, MissingPauseCaughtAndTightSpinExempt) {
+  // kPause requested but the loop body has no pause.
+  AsmBuilder a("no-pause");
+  a.begin_sync_region("spin", reg_bit(IReg::R0), /*is_spin=*/true,
+                      /*wants_pause=*/true);
+  const Label loop = a.here();
+  a.load(IReg::R0, Mem::abs(0x8000));
+  a.bri(BrCond::kNe, IReg::R0, 1, loop);
+  a.end_sync_region();
+  a.exit();
+  EXPECT_TRUE(has_rule(lint_program(a.take()), LintRule::kMissingPause));
+
+  // An explicitly tight spin promises no pause — not a finding.
+  AsmBuilder b("tight");
+  sync::emit_spin_until_eq(b, 0x8000, IReg::R0, 1, sync::SpinKind::kTight);
+  b.exit();
+  EXPECT_TRUE(lint_program(b.take()).empty());
+}
+
+TEST(Lint, PairedLockIsCleanUnpairedCaught) {
+  {
+    AsmBuilder a("paired");
+    sync::emit_lock_acquire(a, 0x8040, IReg::R3, sync::SpinKind::kPause);
+    a.imovi(IReg::R0, 7);  // critical section
+    sync::emit_lock_release(a, 0x8040, IReg::R3);
+    a.exit();
+    EXPECT_TRUE(lint_program(a.take()).empty());
+  }
+  {
+    AsmBuilder a("unpaired");
+    sync::emit_lock_acquire(a, 0x8040, IReg::R3, sync::SpinKind::kPause);
+    a.exit();
+    const std::vector<LintFinding> f = lint_program(a.take());
+    ASSERT_TRUE(has_rule(f, LintRule::kLockPairing));
+    EXPECT_NE(f[0].message.find("held at exit"), std::string::npos);
+  }
+}
+
+TEST(Lint, DoubleAcquireAndFreeReleaseCaught) {
+  {
+    AsmBuilder a("double-acquire");
+    sync::emit_lock_acquire(a, 0x8040, IReg::R3, sync::SpinKind::kPause);
+    sync::emit_lock_acquire(a, 0x8040, IReg::R3, sync::SpinKind::kPause);
+    sync::emit_lock_release(a, 0x8040, IReg::R3);
+    a.exit();
+    const std::vector<LintFinding> f = lint_program(a.take());
+    ASSERT_TRUE(has_rule(f, LintRule::kLockPairing));
+    EXPECT_NE(f[0].message.find("double acquire"), std::string::npos);
+  }
+  {
+    AsmBuilder a("free-release");
+    sync::emit_lock_release(a, 0x8040, IReg::R3);
+    a.exit();
+    const std::vector<LintFinding> f = lint_program(a.take());
+    ASSERT_TRUE(has_rule(f, LintRule::kLockPairing));
+    EXPECT_NE(f[0].message.find("not held"), std::string::npos);
+  }
+}
+
+TEST(Lint, TwoIndependentLockWordsDoNotInterfere) {
+  AsmBuilder a("two-locks");
+  sync::emit_lock_acquire(a, 0x8040, IReg::R3, sync::SpinKind::kPause);
+  sync::emit_lock_acquire(a, 0x8080, IReg::R4, sync::SpinKind::kPause);
+  sync::emit_lock_release(a, 0x8080, IReg::R4);
+  sync::emit_lock_release(a, 0x8040, IReg::R3);
+  a.exit();
+  EXPECT_TRUE(lint_program(a.take()).empty());
+}
+
+TEST(Lint, OutOfExtentStoreCaughtOnlyWhenExtentsComplete) {
+  AsmBuilder a("oob");
+  a.imovi(IReg::R0, 1);
+  a.store(IReg::R0, Mem::abs(0x9000));
+  a.exit();
+  const isa::Program p = a.take();
+
+  LintOptions opt;
+  opt.extents.push_back({0x10000, 4096, "A"});
+  EXPECT_TRUE(lint_program(p, opt).empty());  // incomplete: check off
+
+  opt.extents_complete = true;
+  EXPECT_TRUE(
+      has_rule(lint_program(p, opt), LintRule::kOutOfExtentStore));
+
+  // In-extent store stays clean under the same complete extents.
+  AsmBuilder b("in-bounds");
+  b.imovi(IReg::R0, 1);
+  b.store(IReg::R0, Mem::abs(0x10000));
+  b.exit();
+  EXPECT_TRUE(lint_program(b.take(), opt).empty());
+}
+
+TEST(Lint, UnreachableCodeCaught) {
+  AsmBuilder a("skip");
+  const Label end = a.label();
+  a.jmp(end);
+  a.nop();
+  a.bind(end);
+  a.exit();
+  EXPECT_TRUE(has_rule(lint_program(a.take()), LintRule::kUnreachable));
+}
+
+TEST(Lint, FallOffEndCaughtOnHandBuiltProgram) {
+  std::vector<isa::Instr> code(2);
+  code[0].op = Opcode::kNop;
+  code[1].op = Opcode::kNop;  // no terminator
+  const isa::Program p("raw", std::move(code));
+  EXPECT_TRUE(has_rule(lint_program(p), LintRule::kFallOffEnd));
+}
+
+TEST(Lint, EmptyProgramIsAFinding) {
+  const isa::Program p("empty", {});
+  const std::vector<LintFinding> f = lint_program(p);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, LintRule::kFallOffEnd);
+}
+
+TEST(Lint, FormatFindingsCarriesProgramPcAndRule) {
+  AsmBuilder a("fmt");
+  a.iaddi(IReg::R0, IReg::R1, 1);
+  a.exit();
+  const isa::Program p = a.take();
+  const std::string s = analysis::format_findings(p, lint_program(p));
+  EXPECT_NE(s.find("fmt:0: uninit-read:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Opcode-set completeness: the classification guard (satellite 3)
+// ---------------------------------------------------------------------------
+
+/// A program exercising every opcode once, lint-clean by construction.
+isa::Program all_opcodes_program() {
+  AsmBuilder a("all-opcodes");
+  a.imovi(IReg::R0, 1);                      // kIMovImm
+  a.fmovi(FReg::F0, 1.0);                    // kFMovImm
+  a.iadd(IReg::R1, IReg::R0, IReg::R0);      // kIAdd
+  a.isub(IReg::R1, IReg::R1, IReg::R0);      // kISub
+  a.imov(IReg::R2, IReg::R1);                // kIMov
+  a.iand(IReg::R2, IReg::R2, IReg::R0);      // kIAnd
+  a.ior(IReg::R2, IReg::R2, IReg::R0);       // kIOr
+  a.ixor(IReg::R2, IReg::R2, IReg::R0);      // kIXor
+  a.ishli(IReg::R2, IReg::R2, 1);            // kIShl
+  a.ishri(IReg::R2, IReg::R2, 1);            // kIShr
+  a.imul(IReg::R2, IReg::R2, IReg::R0);      // kIMul
+  a.idiv(IReg::R2, IReg::R2, IReg::R0);      // kIDiv
+  a.fadd(FReg::F1, FReg::F0, FReg::F0);      // kFAdd
+  a.fsub(FReg::F1, FReg::F1, FReg::F0);      // kFSub
+  a.fmul(FReg::F1, FReg::F1, FReg::F0);      // kFMul
+  a.fdiv(FReg::F1, FReg::F1, FReg::F0);      // kFDiv
+  a.fmov(FReg::F2, FReg::F1);                // kFMov
+  a.fneg(FReg::F2, FReg::F2);                // kFNeg
+  a.store(IReg::R0, Mem::abs(0x10000));      // kStore
+  a.load(IReg::R3, Mem::abs(0x10000));       // kLoad
+  a.fstore(FReg::F0, Mem::abs(0x10008));     // kFStore
+  a.fload(FReg::F3, Mem::abs(0x10008));      // kFLoad
+  a.prefetch(Mem::abs(0x10010));             // kPrefetch
+  a.xchg(IReg::R0, Mem::abs(0x10018));       // kXchg
+  const Label over = a.label();
+  a.bri(BrCond::kEq, IReg::R0, 99, over);    // kBr
+  a.pause();                                 // kPause
+  a.ipi();                                   // kIpi
+  a.halt();                                  // kHalt
+  a.nop();                                   // kNop
+  a.bind(over);
+  const Label end = a.label();
+  a.jmp(end);                                // kJmp
+  a.bind(end);
+  a.exit();                                  // kExit
+  return a.take();
+}
+
+TEST(OpcodeCompleteness, ProgramCoversTheFullOpcodeSet) {
+  const isa::Program p = all_opcodes_program();
+  std::set<Opcode> seen;
+  for (size_t pc = 0; pc < p.size(); ++pc) seen.insert(p.at(pc).op);
+  EXPECT_EQ(seen.size(), static_cast<size_t>(Opcode::kNumOpcodes));
+}
+
+TEST(OpcodeCompleteness, DisasmRoundTripsEveryOpcode) {
+  const isa::Program p = all_opcodes_program();
+  for (size_t pc = 0; pc < p.size(); ++pc) {
+    const std::string text = isa::disasm(p.at(pc));
+    EXPECT_FALSE(text.empty()) << "pc " << pc;
+    EXPECT_EQ(text.find('?'), std::string::npos)
+        << "pc " << pc << ": " << text;
+  }
+}
+
+TEST(OpcodeCompleteness, LintClassifiesAndCfgDecodesEveryOpcode) {
+  const isa::Program p = all_opcodes_program();
+  // reg_reads / reg_writes abort on an unclassifiable opcode — walking
+  // the whole program proves the tables cover the ISA.
+  for (size_t pc = 0; pc < p.size(); ++pc) {
+    (void)analysis::reg_reads(p.at(pc));
+    (void)analysis::reg_writes(p.at(pc));
+  }
+  // The CFG must place every instruction in exactly one block.
+  const Cfg g = Cfg::build(p);
+  std::vector<int> owners(p.size(), 0);
+  for (const analysis::BasicBlock& b : g.blocks) {
+    for (uint32_t pc = b.begin; pc < b.end; ++pc) owners[pc]++;
+  }
+  for (size_t pc = 0; pc < p.size(); ++pc) {
+    EXPECT_EQ(owners[pc], 1) << "pc " << pc;
+  }
+  // And the whole thing lints clean.
+  EXPECT_TRUE(lint_program(p).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Emitter scratch-alias guards (satellite 2)
+// ---------------------------------------------------------------------------
+
+TEST(SyncEmitterDeath, SpinUntilEqRegScratchMustNotAliasValueReg) {
+  AsmBuilder a("alias");
+  EXPECT_DEATH(sync::emit_spin_until_eq_reg(a, 0x8000, IReg::R1, IReg::R1,
+                                            sync::SpinKind::kPause),
+               "alias");
+}
+
+TEST(SyncEmitterDeath, SpinUntilGeRegScratchMustNotAliasValueReg) {
+  AsmBuilder a("alias");
+  EXPECT_DEATH(sync::emit_spin_until_ge_reg(a, 0x8000, IReg::R2, IReg::R2,
+                                            sync::SpinKind::kTight),
+               "alias");
+}
+
+TEST(SyncEmitter, DistinctScratchAndValueRegsAreAccepted) {
+  AsmBuilder a("ok");
+  a.imovi(IReg::R1, 3);
+  sync::emit_spin_until_eq_reg(a, 0x8000, IReg::R0, IReg::R1,
+                               sync::SpinKind::kPause);
+  sync::emit_spin_until_ge_reg(a, 0x8000, IReg::R0, IReg::R1,
+                               sync::SpinKind::kPause);
+  a.exit();
+  EXPECT_TRUE(lint_program(a.take()).empty());
+}
+
+TEST(SyncEmitterDeath, OpenSyncRegionAbortsTake) {
+  AsmBuilder a("open-region");
+  a.begin_sync_region("spin", 0);
+  a.exit();
+  EXPECT_DEATH(a.take(), "region");
+}
+
+// ---------------------------------------------------------------------------
+// Registry-wide gate: every experiment's programs lint clean
+// ---------------------------------------------------------------------------
+
+TEST(LintRegistry, EveryExperimentProgramIsLintClean) {
+  int programs = 0;
+  for (const host::ExperimentDef& def : host::experiments()) {
+    const std::unique_ptr<core::Workload> w = def.make();
+    core::Machine m;
+    w->setup(m);
+    LintOptions opt;
+    const core::MemInfo mi = w->mem_info();
+    for (const auto& r : mi.data) opt.extents.push_back({r.base, r.bytes, r.name});
+    for (const auto& r : mi.sync) opt.extents.push_back({r.base, r.bytes, r.name});
+    opt.extents_complete = mi.complete;
+    for (const isa::Program& p : w->programs()) {
+      ++programs;
+      const std::vector<LintFinding> f = lint_program(p, opt);
+      EXPECT_TRUE(f.empty()) << def.name << ":\n"
+                             << analysis::format_findings(p, f);
+    }
+  }
+  EXPECT_GT(programs, 40);  // the registry is the full figure suite
+}
+
+}  // namespace
+}  // namespace smt

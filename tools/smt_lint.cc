@@ -1,0 +1,203 @@
+// smt_lint: the guest-program verifier's static front end.
+//
+// Usage:
+//   smt_lint [NAME...]    lint every experiment in the host registry (or
+//                         only the named ones): build each workload on a
+//                         fresh machine, then run analysis::lint_program
+//                         over every emitted program with the workload's
+//                         registered extents. Exit 0 iff no findings.
+//   smt_lint --list       print the registry and the lint rule set
+//   smt_lint --selftest   emit one deliberately broken program per lint
+//                         rule and require the lint to catch each one
+//                         (the negative-case gate CI runs)
+//
+// The dynamic half of the verifier (the happens-before race detector)
+// runs inside the simulation; see core::RunOptions::race_detect and the
+// selftest.race sweep job.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "core/machine.h"
+#include "core/workload.h"
+#include "host/experiments.h"
+#include "isa/asm_builder.h"
+#include "sync/primitives.h"
+
+namespace {
+
+using smt::analysis::Extent;
+using smt::analysis::LintFinding;
+using smt::analysis::LintOptions;
+using smt::analysis::LintRule;
+using smt::isa::AsmBuilder;
+using smt::isa::BrCond;
+using smt::isa::IReg;
+using smt::isa::Label;
+using smt::isa::Mem;
+
+LintOptions options_for(const smt::core::Workload& w) {
+  LintOptions opt;
+  const smt::core::MemInfo mi = w.mem_info();
+  for (const auto& r : mi.data) opt.extents.push_back({r.base, r.bytes, r.name});
+  for (const auto& r : mi.sync) opt.extents.push_back({r.base, r.bytes, r.name});
+  opt.extents_complete = mi.complete;
+  return opt;
+}
+
+int lint_registry(const std::vector<std::string>& names) {
+  int findings = 0;
+  int programs = 0;
+  int experiments = 0;
+  for (const smt::host::ExperimentDef& def : smt::host::experiments()) {
+    if (!names.empty() &&
+        std::find(names.begin(), names.end(), def.name) == names.end()) {
+      continue;
+    }
+    ++experiments;
+    const std::unique_ptr<smt::core::Workload> w = def.make();
+    smt::core::Machine m;
+    w->setup(m);
+    const LintOptions opt = options_for(*w);
+    for (const smt::isa::Program& p : w->programs()) {
+      ++programs;
+      const std::vector<LintFinding> f = smt::analysis::lint_program(p, opt);
+      if (!f.empty()) {
+        findings += static_cast<int>(f.size());
+        std::fputs(smt::analysis::format_findings(p, f).c_str(), stdout);
+      }
+    }
+  }
+  if (experiments == 0) {
+    std::fprintf(stderr, "smt_lint: no experiment matched\n");
+    return 2;
+  }
+  std::printf("smt_lint: %d finding(s) across %d program(s) in %d experiment(s)\n",
+              findings, programs, experiments);
+  return findings == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// --selftest: one seeded violation per rule; the lint must catch each.
+// ---------------------------------------------------------------------------
+
+bool expect_rule(const char* what, const smt::isa::Program& p,
+                 const LintOptions& opt, LintRule rule) {
+  const std::vector<LintFinding> f = smt::analysis::lint_program(p, opt);
+  for (const LintFinding& x : f) {
+    if (x.rule == rule) {
+      std::printf("caught %-18s %s\n", what,
+                  smt::analysis::format_findings(p, {x}).c_str());
+      return true;
+    }
+  }
+  std::fprintf(stderr, "MISSED %s: expected %s, got:\n%s", what,
+               smt::analysis::name(rule),
+               smt::analysis::format_findings(p, f).c_str());
+  return false;
+}
+
+int selftest() {
+  bool ok = true;
+
+  {  // Read of a never-written register.
+    AsmBuilder a("seed.uninit-read");
+    a.iaddi(IReg::R0, IReg::R1, 1);  // R1 never written
+    a.exit();
+    ok &= expect_rule("uninit-read", a.take(), {}, LintRule::kUninitRead);
+  }
+  {  // Spin region asked for pause but its loop has none.
+    AsmBuilder a("seed.missing-pause");
+    a.imovi(IReg::R1, 1);
+    a.begin_sync_region("spin", smt::isa::reg_bit(IReg::R0), /*is_spin=*/true,
+                        /*wants_pause=*/true);
+    const Label loop = a.here();
+    a.load(IReg::R0, Mem::abs(0x8000));
+    a.bri(BrCond::kNe, IReg::R0, 1, loop);  // no pause in the loop body
+    a.end_sync_region();
+    a.exit();
+    ok &= expect_rule("missing-pause", a.take(), {}, LintRule::kMissingPause);
+  }
+  {  // Lock acquired but never released on the exit path.
+    AsmBuilder a("seed.unpaired-lock");
+    smt::sync::emit_lock_acquire(a, 0x8040, IReg::R2,
+                                 smt::sync::SpinKind::kPause);
+    a.exit();  // still holding the lock
+    ok &= expect_rule("lock-pairing", a.take(), {}, LintRule::kLockPairing);
+  }
+  {  // Emitter writes a register outside its declared may_write set.
+    AsmBuilder a("seed.region-discipline");
+    a.begin_sync_region("flag_set", smt::isa::reg_bit(IReg::R0));
+    a.imovi(IReg::R0, 1);
+    a.imovi(IReg::R5, 7);  // stray write: R5 is the kernel's register
+    a.store(IReg::R0, Mem::abs(0x8000));
+    a.end_sync_region();
+    a.exit();
+    ok &= expect_rule("sync-region-write", a.take(), {},
+                      LintRule::kSyncRegionWrite);
+  }
+  {  // Absolute-address store outside every registered extent.
+    AsmBuilder a("seed.out-of-extent");
+    a.imovi(IReg::R0, 1);
+    a.store(IReg::R0, Mem::abs(0x9000));  // extents only cover 0x10000+
+    a.exit();
+    LintOptions opt;
+    opt.extents.push_back({0x10000, 4096, "A"});
+    opt.extents_complete = true;
+    ok &= expect_rule("out-of-extent", a.take(), opt,
+                      LintRule::kOutOfExtentStore);
+  }
+  {  // Code no path reaches.
+    AsmBuilder a("seed.unreachable");
+    const Label end = a.label();
+    a.jmp(end);
+    a.nop();  // skipped forever
+    a.bind(end);
+    a.exit();
+    ok &= expect_rule("unreachable", a.take(), {}, LintRule::kUnreachable);
+  }
+  {  // A reachable path runs past the end of the program. The builder's
+     // take() refuses to emit this, so construct the Program directly —
+     // exactly the hand-built corner the CFG must survive.
+    std::vector<smt::isa::Instr> code(1);
+    code[0].op = smt::isa::Opcode::kNop;
+    const smt::isa::Program p("seed.fall-off-end", std::move(code));
+    ok &= expect_rule("fall-off-end", p, {}, LintRule::kFallOffEnd);
+  }
+
+  return ok ? 0 : 1;
+}
+
+void list_registry() {
+  std::puts("lint rules:");
+  for (int r = 0; r <= static_cast<int>(LintRule::kFallOffEnd); ++r) {
+    std::printf("  %s\n", smt::analysis::name(static_cast<LintRule>(r)));
+  }
+  std::puts("experiments:");
+  for (const smt::host::ExperimentDef& def : smt::host::experiments()) {
+    std::printf("  %s\n", def.name.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selftest") == 0) return selftest();
+    if (std::strcmp(argv[i], "--list") == 0) {
+      list_registry();
+      return 0;
+    }
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "usage: smt_lint [--list | --selftest | NAME...]\n");
+      return 2;
+    }
+    names.emplace_back(argv[i]);
+  }
+  return lint_registry(names);
+}

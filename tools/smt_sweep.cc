@@ -222,7 +222,8 @@ int main(int argc, char** argv) {
       const std::unique_ptr<smt::core::Workload> w = def.make();
       smt::core::RunOutcome o = smt::core::try_run_workload(
           smt::core::MachineConfig{}, *w, budget,
-          [&token] { return token.expired(); });
+          [&token] { return token.expired(); },
+          smt::core::RunOptions{def.race_detect});
 
       // Even a failed run leaves a valid partial report — write it so the
       // surviving measurements of a broken sweep are never lost. A
