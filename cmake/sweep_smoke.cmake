@@ -4,8 +4,11 @@
 #
 # Three runs:
 #   1. serial (--jobs 1) reference sweep over a small healthy manifest;
-#   2. the same manifest on 4 workers — every per-job report must be
-#      byte-identical to the serial run's (determinism gate);
+#   2. the same manifest on 4 workers with the observability artifacts
+#      (--metrics/--trace) enabled — every per-job report must be
+#      byte-identical to the serial run's (determinism gate: host-side
+#      metrics/tracing must not leak into simulation artifacts), and the
+#      metrics snapshot must cross-check against the sweep index;
 #   3. the manifest with deliberately failing self-test jobs injected —
 #      the sweep must exit nonzero and name the failures, yet still write
 #      a complete sweep_index.json and a valid (check_reports-clean)
@@ -21,6 +24,8 @@ if(NOT rc EQUAL 0)
 endif()
 
 execute_process(COMMAND "${SWEEP}" --jobs 4 --out "${OUT_DIR}/parallel"
+  --metrics "${OUT_DIR}/parallel/metrics.json"
+  --trace "${OUT_DIR}/parallel/trace/sweep.trace.json"
   ${manifest} RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "parallel sweep failed: ${rc}")
@@ -41,13 +46,22 @@ foreach(report IN LISTS serial_reports)
   endif()
 endforeach()
 
-foreach(dir serial parallel)
-  execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/${dir}/reports"
-    RESULT_VARIABLE rc)
-  if(NOT rc EQUAL 0)
-    message(FATAL_ERROR "${dir} sweep reports failed validation: ${rc}")
-  endif()
-endforeach()
+execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/serial/reports"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serial sweep reports failed validation: ${rc}")
+endif()
+
+# Parallel pass also validates the Chrome trace and cross-checks the
+# metrics snapshot against the sweep index.
+execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/parallel/reports"
+  "${OUT_DIR}/parallel/trace"
+  --metrics "${OUT_DIR}/parallel/metrics.json"
+  --index "${OUT_DIR}/parallel/sweep_index.json"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "parallel sweep artifacts failed validation: ${rc}")
+endif()
 
 # Failure injection: a deadlock, a blown cycle budget and a verification
 # failure ride along with one healthy job.

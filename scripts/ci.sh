@@ -7,9 +7,15 @@
 #
 # The sanitizer matrix rides behind the main job (skip with SMT_CI_FAST=1):
 #   asan  ASan+UBSan build, full test suite;
-#   tsan  TSan build, host-parallelism surfaces only (host_test + the
-#         sweep smoke) — guest simulation is single-threaded, the job
-#         pool is what TSan is for.
+#   tsan  TSan build, host-parallelism surfaces only (host_test,
+#         metrics_test, and a metrics+trace sweep) — guest simulation is
+#         single-threaded; the job pool and metrics registry are what
+#         TSan is for.
+#
+# The tail gates the host observability artifacts: a --metrics/--trace
+# sweep must validate against its index, and smt_history must both
+# accept a fresh deterministic run (vs the committed bench/history
+# baselines) and flag a perturbed one.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,13 +43,21 @@ if [[ "${SMT_CI_FAST:-0}" != "1" ]]; then
 
   cmake -B build-tsan -S . -DSMT_WERROR=ON -DSMT_SANITIZE=tsan
   cmake --build build-tsan -j "$(nproc)" \
-    --target host_test smt_sweep check_reports
+    --target host_test metrics_test smt_sweep check_reports
   ./build-tsan/tests/host_test
+  ./build-tsan/tests/metrics_test
   tsan_sweep_dir=$(mktemp -d)
   trap 'rm -rf "$tsan_sweep_dir"' EXIT
+  # Metrics + tracing on under TSan: the registry and the on_attempt
+  # trace collection are exactly the cross-thread surfaces it checks.
   ./build-tsan/tools/smt_sweep --jobs 4 --out "$tsan_sweep_dir" \
+    --metrics "$tsan_sweep_dir/metrics.json" \
+    --trace "$tsan_sweep_dir/trace/sweep.trace.json" \
     mm.serial.n64 bt.serial cg.serial > /dev/null
-  ./build-tsan/tools/check_reports "$tsan_sweep_dir/reports"
+  ./build-tsan/tools/check_reports "$tsan_sweep_dir/reports" \
+    "$tsan_sweep_dir/trace" \
+    --metrics "$tsan_sweep_dir/metrics.json" \
+    --index "$tsan_sweep_dir/sweep_index.json"
 fi
 
 # Belt-and-braces: drive the cheapest bench with reporting on and validate.
@@ -98,3 +112,34 @@ grep -q '"schema":"smt-sweep-index/1"' "$sweep_dir/sweep_index.json"
 grep -q '"outcome":"deadlock"' "$sweep_dir/sweep_index.json"
 test "$(ls "$sweep_dir"/reports/*.json | wc -l)" -eq 3
 ./build/tools/check_reports "$sweep_dir/reports"
+
+# Host observability: the same orchestrator with --metrics/--trace must
+# write a smt-sweep-metrics/1 snapshot that cross-checks against the
+# sweep index and a Perfetto-loadable Chrome trace of the workers.
+obs_dir=$(mktemp -d)
+hist_dir=$(mktemp -d)
+trap 'rm -rf "$report_dir" "$trace_dir" "$profile_dir" "$sweep_dir" \
+  "$obs_dir" "$hist_dir"' EXIT
+./build/tools/smt_sweep --jobs 2 --out "$obs_dir" \
+  --metrics "$obs_dir/metrics.json" \
+  --trace "$obs_dir/trace/sweep.trace.json" \
+  mm.serial.n64 bt.serial cg.serial > /dev/null
+grep -q '"schema":"smt-sweep-metrics/1"' "$obs_dir/metrics.json"
+./build/tools/check_reports "$obs_dir/reports" "$obs_dir/trace" \
+  --metrics "$obs_dir/metrics.json" --index "$obs_dir/sweep_index.json"
+
+# Benchmark history: ingest + self-compare must pass through a fresh
+# store, the committed bench/history baselines must accept the fresh
+# deterministic run, and a perturbed report must trip the gate nonzero.
+./build/tools/smt_history ingest --sweep "$obs_dir" --history "$hist_dir" \
+  > /dev/null
+./build/tools/smt_history check --sweep "$obs_dir" --history "$hist_dir"
+./build/tools/smt_history check --sweep "$obs_dir" --history bench/history
+cp -r "$obs_dir" "$hist_dir/perturbed"
+sed -E -i 's/"cycles":[0-9]+/"cycles":1/' \
+  "$hist_dir/perturbed/reports/mm.serial.n64.json"
+if ./build/tools/smt_history check --sweep "$hist_dir/perturbed" \
+    --history "$hist_dir" > /dev/null; then
+  echo "smt_history failed to flag a perturbed run" >&2
+  exit 1
+fi

@@ -1,0 +1,34 @@
+// Small non-cryptographic hashing for content-addressed artifact keys
+// (smt_history's config hashes). FNV-1a is stable across platforms and
+// builds — the hex digest of a byte string is part of the on-disk
+// history schema, so it must never change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace smt {
+
+inline uint64_t fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// 16-hex-digit digest, zero padded ("00f3ab...").
+inline std::string fnv1a64_hex(std::string_view bytes) {
+  static const char* kHex = "0123456789abcdef";
+  uint64_t h = fnv1a64(bytes);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace smt

@@ -303,4 +303,41 @@ std::optional<JsonValue> parse_json(std::string_view text) {
   return Parser(text).run();
 }
 
+namespace {
+
+void write_canonical(JsonWriter& w, const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull:
+      // The writer has no null (reports never emit one); an explicit
+      // token keeps canonicalization total over anything parse_json
+      // accepts.
+      w.value("null");
+      break;
+    case JsonValue::Type::kBool:   w.value(v.boolean); break;
+    case JsonValue::Type::kNumber: w.value(v.number); break;
+    case JsonValue::Type::kString: w.value(std::string_view(v.string)); break;
+    case JsonValue::Type::kArray:
+      w.begin_array();
+      for (const JsonValue& e : v.array) write_canonical(w, e);
+      w.end_array();
+      break;
+    case JsonValue::Type::kObject:
+      w.begin_object();
+      for (const auto& [k, e] : v.object) {  // std::map: sorted keys
+        w.key(k);
+        write_canonical(w, e);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_canonical_string(const JsonValue& v) {
+  JsonWriter w;
+  write_canonical(w, v);
+  return w.str();
+}
+
 }  // namespace smt

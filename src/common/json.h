@@ -81,4 +81,11 @@ struct JsonValue {
 /// trailing garbage.
 std::optional<JsonValue> parse_json(std::string_view text);
 
+/// Serializes a parsed tree back to a canonical string: no whitespace,
+/// object members in sorted-key order (JsonValue::object is a std::map),
+/// numbers via JsonWriter's shortest-round-trip formatting. Two
+/// documents that parse to the same tree canonicalize identically — the
+/// basis of content-addressed keys (smt_history's config hash).
+std::string to_canonical_string(const JsonValue& v);
+
 }  // namespace smt

@@ -1,0 +1,198 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/json.h"
+
+namespace smt::log {
+
+namespace {
+
+// -1 in the atomics means "not explicitly set — fall back to the env".
+std::atomic<int> g_level{-1};
+std::atomic<int> g_format{-1};
+std::mutex g_emit_mu;
+
+Level env_level() {
+  static const Level lvl = [] {
+    const char* v = std::getenv("SMT_LOG_LEVEL");
+    Level parsed = Level::kInfo;
+    if (v != nullptr && !parse_level(v, &parsed)) {
+      std::fprintf(stderr, "smt E unknown SMT_LOG_LEVEL %s (want "
+                   "debug|info|warn|error|off), using info\n", v);
+    }
+    return parsed;
+  }();
+  return lvl;
+}
+
+Format env_format() {
+  static const Format fmt = [] {
+    const char* v = std::getenv("SMT_LOG_FORMAT");
+    Format parsed = Format::kHuman;
+    if (v != nullptr && !parse_format(v, &parsed)) {
+      std::fprintf(stderr, "smt E unknown SMT_LOG_FORMAT %s (want "
+                   "human|json), using human\n", v);
+    }
+    return parsed;
+  }();
+  return fmt;
+}
+
+int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_number(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  *out += buf;
+}
+
+// Human form of one field value; strings with spaces/quotes get quoted.
+void append_human_value(std::string* out, const Field& f) {
+  switch (f.kind) {
+    case Field::Kind::kString:
+      if (f.str.find_first_of(" \t\"=") != std::string::npos) {
+        *out += json_quote(f.str);
+      } else {
+        *out += f.str;
+      }
+      break;
+    case Field::Kind::kInt:    *out += std::to_string(f.i64); break;
+    case Field::Kind::kUint:   *out += std::to_string(f.u64); break;
+    case Field::Kind::kDouble: append_number(out, f.f64); break;
+    case Field::Kind::kBool:   *out += f.b ? "true" : "false"; break;
+  }
+}
+
+void append_json_value(JsonWriter* w, const Field& f) {
+  switch (f.kind) {
+    case Field::Kind::kString: w->value(f.str); break;
+    case Field::Kind::kInt:    w->value(f.i64); break;
+    case Field::Kind::kUint:   w->value(f.u64); break;
+    case Field::Kind::kDouble: w->value(f.f64); break;
+    case Field::Kind::kBool:   w->value(f.b); break;
+  }
+}
+
+}  // namespace
+
+const char* name(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo:  return "info";
+    case Level::kWarn:  return "warn";
+    case Level::kError: return "error";
+    case Level::kOff:   return "off";
+  }
+  return "?";
+}
+
+namespace {
+
+// Case-insensitive fold so SMT_LOG_LEVEL=WARN works as well as =warn.
+std::string lowered(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool parse_level(std::string_view text, Level* out) {
+  const std::string t = lowered(text);
+  for (Level lvl : {Level::kDebug, Level::kInfo, Level::kWarn, Level::kError,
+                    Level::kOff}) {
+    if (t == name(lvl)) {
+      *out = lvl;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_format(std::string_view text, Format* out) {
+  const std::string t = lowered(text);
+  if (t == "human") {
+    *out = Format::kHuman;
+    return true;
+  }
+  if (t == "json") {
+    *out = Format::kJson;
+    return true;
+  }
+  return false;
+}
+
+Level level() {
+  const int v = g_level.load(std::memory_order_relaxed);
+  return v < 0 ? env_level() : static_cast<Level>(v);
+}
+
+Format format() {
+  const int v = g_format.load(std::memory_order_relaxed);
+  return v < 0 ? env_format() : static_cast<Format>(v);
+}
+
+void set_level(Level lvl) {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void set_format(Format f) {
+  g_format.store(static_cast<int>(f), std::memory_order_relaxed);
+}
+
+std::string render(Format f, Level lvl, std::string_view msg,
+                   const std::vector<Field>& fields, int64_t ts_ms) {
+  if (f == Format::kJson) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("ts_ms", ts_ms);
+    w.kv("level", name(lvl));
+    w.kv("msg", msg);
+    for (const Field& fld : fields) {
+      w.key(fld.key);
+      append_json_value(&w, fld);
+    }
+    w.end_object();
+    return w.str();
+  }
+  // Human: "smt <L> <msg>  k=v k=v" — single-letter level tag, aligned at
+  // a glance, timestamp omitted (terminals and CI logs stamp lines).
+  std::string out = "smt ";
+  out += static_cast<char>(std::toupper(name(lvl)[0]));
+  out += ' ';
+  out += msg;
+  if (!fields.empty()) out += ' ';
+  for (const Field& fld : fields) {
+    out += ' ';
+    out += fld.key;
+    out += '=';
+    append_human_value(&out, fld);
+  }
+  return out;
+}
+
+void emit(Level lvl, std::string_view msg,
+          std::initializer_list<Field> fields) {
+  if (!enabled(lvl)) return;
+  std::string line = render(format(), lvl, msg,
+                            std::vector<Field>(fields.begin(), fields.end()),
+                            now_ms());
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(g_emit_mu);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace smt::log

@@ -1,0 +1,106 @@
+// Structured, leveled logging for the host layer (the sweep orchestrator
+// and the tools/ CLIs). The *guest* simulator stays logger-free: its
+// observability contract is counters/reports/traces, and its hot loops
+// must not pay even a disabled-log branch.
+//
+// Every message is a short static-ish sentence plus typed key=value
+// fields, so the same call site serves both humans and machines:
+//
+//   log::warn("watchdog expired", {{"job", name}, {"attempt", attempt}});
+//
+//   human  smt W watchdog expired  job=mm.serial.n64 attempt=1
+//   json   {"ts_ms":171234,"level":"warn","msg":"watchdog expired",
+//           "job":"mm.serial.n64","attempt":1}
+//
+// Configuration, in precedence order:
+//   * set_level()/set_format() — explicit program control (e.g. --quiet);
+//   * SMT_LOG_LEVEL = debug|info|warn|error|off (default info) and
+//     SMT_LOG_FORMAT = human|json (default human), read once lazily.
+//
+// Emission is a single buffered write to stderr under a mutex, so lines
+// from the sweep's worker threads never interleave. Logging is wall-clock
+// I/O and therefore kept strictly out of simulation artifacts: reports,
+// indices, metrics and traces never embed log output, which is what keeps
+// the sweep's parallel-equals-serial byte-identity guarantee intact.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smt::log {
+
+enum class Level : uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+enum class Format : uint8_t { kHuman, kJson };
+
+const char* name(Level lvl);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; false on anything else.
+bool parse_level(std::string_view text, Level* out);
+bool parse_format(std::string_view text, Format* out);
+
+/// One typed key=value pair attached to a message.
+struct Field {
+  enum class Kind : uint8_t { kString, kInt, kUint, kDouble, kBool };
+
+  Field(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kString), str(v) {}
+  Field(std::string_view k, const char* v)
+      : key(k), kind(Kind::kString), str(v) {}
+  Field(std::string_view k, const std::string& v)
+      : key(k), kind(Kind::kString), str(v) {}
+  Field(std::string_view k, int64_t v) : key(k), kind(Kind::kInt), i64(v) {}
+  Field(std::string_view k, int v)
+      : key(k), kind(Kind::kInt), i64(v) {}
+  Field(std::string_view k, uint64_t v)
+      : key(k), kind(Kind::kUint), u64(v) {}
+  Field(std::string_view k, double v)
+      : key(k), kind(Kind::kDouble), f64(v) {}
+  Field(std::string_view k, bool v) : key(k), kind(Kind::kBool), b(v) {}
+
+  std::string key;
+  Kind kind;
+  std::string str;
+  int64_t i64 = 0;
+  uint64_t u64 = 0;
+  double f64 = 0.0;
+  bool b = false;
+};
+
+/// Effective threshold / format (explicit override, else env, else default).
+Level level();
+Format format();
+void set_level(Level lvl);
+void set_format(Format f);
+
+inline bool enabled(Level lvl) { return lvl >= level(); }
+
+/// Renders one complete log line (no trailing newline) — the pure core of
+/// emit(), exposed so tests can pin both formats with a fixed timestamp.
+std::string render(Format f, Level lvl, std::string_view msg,
+                   const std::vector<Field>& fields, int64_t ts_ms);
+
+/// Formats and writes one line to stderr if `lvl` passes the threshold.
+void emit(Level lvl, std::string_view msg,
+          std::initializer_list<Field> fields = {});
+
+inline void debug(std::string_view msg,
+                  std::initializer_list<Field> fields = {}) {
+  emit(Level::kDebug, msg, fields);
+}
+inline void info(std::string_view msg,
+                 std::initializer_list<Field> fields = {}) {
+  emit(Level::kInfo, msg, fields);
+}
+inline void warn(std::string_view msg,
+                 std::initializer_list<Field> fields = {}) {
+  emit(Level::kWarn, msg, fields);
+}
+inline void error(std::string_view msg,
+                  std::initializer_list<Field> fields = {}) {
+  emit(Level::kError, msg, fields);
+}
+
+}  // namespace smt::log

@@ -1,5 +1,10 @@
 #include "host/experiments.h"
 
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "common/io.h"
 #include "isa/asm_builder.h"
 #include "kernels/bt.h"
 #include "kernels/cg.h"
@@ -242,8 +247,32 @@ std::vector<ExperimentDef> build_registry() {
 
 }  // namespace
 
+namespace detail {
+
+void check_registry_invariants(const std::vector<ExperimentDef>& defs) {
+  std::set<std::string> names;
+  std::map<std::string, std::string> files;  // sanitized key -> first owner
+  for (const ExperimentDef& d : defs) {
+    SMT_CHECK_MSG(!d.name.empty(), "experiment with empty name");
+    SMT_CHECK_MSG(names.insert(d.name).second,
+                  ("duplicate experiment name: " + d.name).c_str());
+    const auto [it, fresh] =
+        files.emplace(sanitize_artifact_key(d.name), d.name);
+    SMT_CHECK_MSG(
+        fresh,
+        ("artifact filename collision: " + d.name + " vs " + it->second)
+            .c_str());
+  }
+}
+
+}  // namespace detail
+
 const std::vector<ExperimentDef>& experiments() {
-  static const std::vector<ExperimentDef> defs = build_registry();
+  static const std::vector<ExperimentDef> defs = [] {
+    std::vector<ExperimentDef> d = build_registry();
+    detail::check_registry_invariants(d);
+    return d;
+  }();
   return defs;
 }
 

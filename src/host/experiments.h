@@ -47,4 +47,14 @@ const ExperimentDef* find_experiment(const std::string& name);
 /// The names of every default-manifest experiment, in registry order.
 std::vector<std::string> default_manifest();
 
+namespace detail {
+/// SMT_CHECKs that no two definitions share a name and that every name
+/// survives filename sanitization distinctly. History trajectories and
+/// sweep artifact paths are keyed by experiment name, so a collision
+/// would silently merge two experiments' results; the registry refuses
+/// to exist in that state (enforced on first experiments() call, unit-
+/// tested directly in host_test).
+void check_registry_invariants(const std::vector<ExperimentDef>& defs);
+}  // namespace detail
+
 }  // namespace smt::host

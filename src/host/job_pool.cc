@@ -1,8 +1,10 @@
 #include "host/job_pool.h"
 
+#include <memory>
 #include <thread>
 
 #include "common/check.h"
+#include "host/metrics.h"
 
 namespace smt::host {
 
@@ -17,26 +19,98 @@ const char* name(JobStatus s) {
 
 namespace {
 
-JobResult run_one(const JobPoolConfig& cfg, const Job& job) {
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// The pool's metric set, registered once up front so worker threads only
+/// ever touch the (thread-safe) metric values. All names live under
+/// "pool." — see DESIGN.md §12 for the full table.
+struct PoolInstruments {
+  explicit PoolInstruments(MetricsRegistry& reg, int workers)
+      : jobs_started(reg.counter("pool.jobs_started")),
+        jobs_completed(reg.counter("pool.jobs_completed")),
+        jobs_ok(reg.counter("pool.jobs_ok")),
+        jobs_failed(reg.counter("pool.jobs_failed")),
+        jobs_timeout(reg.counter("pool.jobs_timeout")),
+        jobs_retried(reg.counter("pool.jobs_retried")),
+        attempts(reg.counter("pool.attempts")),
+        watchdog_fires(reg.counter("pool.watchdog_fires")),
+        queue_depth(reg.gauge("pool.queue_depth")),
+        workers_busy(reg.gauge("pool.workers_busy")),
+        // Wall-time buckets from sub-ms probes up to multi-minute jobs.
+        attempt_wall_ms(reg.histogram(
+            "pool.attempt_wall_ms",
+            {1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000, 300000})) {
+    for (int i = 0; i < workers; ++i) {
+      worker_busy_us.push_back(
+          &reg.counter("pool.worker" + std::to_string(i) + ".busy_us"));
+    }
+  }
+
+  Counter& jobs_started;
+  Counter& jobs_completed;
+  Counter& jobs_ok;
+  Counter& jobs_failed;
+  Counter& jobs_timeout;
+  Counter& jobs_retried;
+  Counter& attempts;
+  Counter& watchdog_fires;
+  Gauge& queue_depth;
+  Gauge& workers_busy;
+  Histogram& attempt_wall_ms;
+  std::vector<Counter*> worker_busy_us;
+};
+
+JobResult run_one(const JobPoolConfig& cfg, const Job& job, size_t job_index,
+                  int worker, Clock::time_point pool_start,
+                  PoolInstruments* ins) {
   SMT_CHECK_MSG(static_cast<bool>(job.fn), job.name.c_str());
   JobResult r;
+  if (ins != nullptr) ins->jobs_started.inc();
   for (int attempt = 0;; ++attempt) {
     CancelToken token;
     if (cfg.job_timeout.count() > 0) {
-      token.arm_deadline(std::chrono::steady_clock::now() + cfg.job_timeout);
+      token.arm_deadline(Clock::now() + cfg.job_timeout);
     }
-    const auto t0 = std::chrono::steady_clock::now();
+    const double begin_ms = ms_since(pool_start);
     std::string message;
     r.status = job.fn(token, attempt, &message);
     r.message = std::move(message);
-    r.wall_ms += std::chrono::duration<double, std::milli>(
-                     std::chrono::steady_clock::now() - t0)
-                     .count();
+    const double end_ms = ms_since(pool_start);
+    r.wall_ms += end_ms - begin_ms;
     ++r.attempts;
     // One fresh attempt after a watchdog kill; every job definition fixes
     // its seeds, so the retry recomputes the identical simulation.
-    if (r.status == JobStatus::kTimeout && attempt < cfg.timeout_retries) {
-      continue;
+    const bool will_retry =
+        r.status == JobStatus::kTimeout && attempt < cfg.timeout_retries;
+    if (ins != nullptr) {
+      ins->attempts.inc();
+      ins->attempt_wall_ms.observe(end_ms - begin_ms);
+      if (r.status == JobStatus::kTimeout) ins->watchdog_fires.inc();
+      if (will_retry) ins->jobs_retried.inc();
+    }
+    if (cfg.on_attempt) {
+      AttemptEvent e;
+      e.job = job_index;
+      e.worker = worker;
+      e.attempt = attempt;
+      e.status = r.status;
+      e.will_retry = will_retry;
+      e.begin_ms = begin_ms;
+      e.end_ms = end_ms;
+      cfg.on_attempt(e);
+    }
+    if (will_retry) continue;
+    if (ins != nullptr) {
+      ins->jobs_completed.inc();
+      switch (r.status) {
+        case JobStatus::kOk:      ins->jobs_ok.inc(); break;
+        case JobStatus::kFailed:  ins->jobs_failed.inc(); break;
+        case JobStatus::kTimeout: ins->jobs_timeout.inc(); break;
+      }
     }
     return r;
   }
@@ -54,25 +128,50 @@ std::vector<JobResult> run_jobs(const JobPoolConfig& cfg,
     workers = static_cast<int>(jobs.size());
   }
 
+  std::unique_ptr<PoolInstruments> ins;
+  if (cfg.metrics != nullptr) {
+    ins = std::make_unique<PoolInstruments>(*cfg.metrics, workers);
+    ins->queue_depth.set(static_cast<int64_t>(jobs.size()));
+  }
+  const Clock::time_point pool_start = Clock::now();
+
   // Work stealing off a shared atomic cursor; each worker writes only the
   // result slots of the jobs it claimed, so no further synchronization is
   // needed on `results`.
   std::atomic<size_t> next{0};
-  auto worker = [&] {
+  auto worker = [&](int worker_id) {
+    const Clock::time_point worker_start = Clock::now();
+    double busy_ms = 0.0;
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < jobs.size(); i = next.fetch_add(1, std::memory_order_relaxed)) {
-      results[i] = run_one(cfg, jobs[i]);
+      if (ins != nullptr) {
+        ins->queue_depth.add(-1);
+        ins->workers_busy.add(1);
+      }
+      const double t0 = ms_since(worker_start);
+      results[i] = run_one(cfg, jobs[i], i, worker_id, pool_start, ins.get());
+      busy_ms += ms_since(worker_start) - t0;
+      if (ins != nullptr) ins->workers_busy.add(-1);
+    }
+    if (ins != nullptr) {
+      ins->worker_busy_us[worker_id]->inc(
+          static_cast<uint64_t>(busy_ms * 1000.0));
     }
   };
 
   if (workers == 1) {
-    worker();  // serial mode stays on the caller's thread (no pool at all)
-    return results;
+    worker(0);  // serial mode stays on the caller's thread (no pool at all)
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (int i = 0; i < workers; ++i) threads.emplace_back(worker, i);
+    for (std::thread& t : threads) t.join();
   }
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (int i = 0; i < workers; ++i) threads.emplace_back(worker);
-  for (std::thread& t : threads) t.join();
+  if (ins != nullptr && cfg.metrics != nullptr) {
+    cfg.metrics->counter("pool.wall_us")
+        .inc(static_cast<uint64_t>(ms_since(pool_start) * 1000.0));
+    cfg.metrics->counter("pool.workers").inc(static_cast<uint64_t>(workers));
+  }
   return results;
 }
 

@@ -78,6 +78,23 @@ struct Job {
       fn;
 };
 
+/// One finished job attempt, as seen by the pool's observability hooks.
+/// Timestamps are host wall-clock milliseconds relative to run_jobs()
+/// entry, so a sweep trace's spans all share one epoch.
+struct AttemptEvent {
+  size_t job = 0;    ///< index into the run_jobs() jobs vector
+  int worker = 0;    ///< worker thread that ran the attempt [0, workers)
+  int attempt = 0;   ///< 0 first, 1 on the watchdog retry
+  JobStatus status = JobStatus::kOk;
+  /// The watchdog killed this attempt and another one follows (the
+  /// job's final status is not yet known).
+  bool will_retry = false;
+  double begin_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+class MetricsRegistry;
+
 struct JobPoolConfig {
   /// Fixed number of worker threads (clamped to [1, #jobs]).
   int workers = 1;
@@ -85,6 +102,15 @@ struct JobPoolConfig {
   std::chrono::milliseconds job_timeout{0};
   /// Extra attempts granted when the watchdog killed the previous one.
   int timeout_retries = 1;
+  /// Optional instrumentation, updated live while the pool runs (see
+  /// host/metrics.h for the metric names the pool registers). Purely
+  /// observational: the pool's scheduling and the jobs' artifacts are
+  /// identical with or without it.
+  MetricsRegistry* metrics = nullptr;
+  /// Optional per-attempt hook (sweep trace, progress line). Invoked
+  /// from worker threads, possibly concurrently — the callee
+  /// synchronizes. Never invoked after run_jobs() returns.
+  std::function<void(const AttemptEvent&)> on_attempt;
 };
 
 /// Runs every job to completion on the worker pool and returns the

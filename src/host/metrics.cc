@@ -1,0 +1,161 @@
+#include "host/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/json.h"
+
+namespace smt::host {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  SMT_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  SMT_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                    std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                        bounds_.end(),
+                "histogram bounds must be strictly increasing");
+}
+
+void Histogram::observe(double x) {
+  // First bucket whose upper edge admits x; everything beyond the last
+  // bound lands in the implicit overflow bucket.
+  const size_t b = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[b];
+  if (count_ == 0 || x < min_) min_ = x;
+  if (count_ == 0 || x > max_) max_ = x;
+  ++count_;
+  sum_ += x;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+uint64_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double Histogram::max() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  SMT_CHECK_MSG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+                name.c_str());
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  SMT_CHECK_MSG(counters_.count(name) == 0 && histograms_.count(name) == 0,
+                name.c_str());
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  SMT_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0,
+                name.c_str());
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else {
+    SMT_CHECK_MSG(slot->bounds() == bounds, name.c_str());
+  }
+  return *slot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) {
+    s.gauges[name] = {g->value(), g->max()};
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    // One lock acquisition for the whole histogram, so the copied counts,
+    // count and sum are mutually consistent even under concurrent
+    // observe() calls.
+    const std::lock_guard<std::mutex> hlock(h->mu_);
+    hs.counts = h->counts_;
+    hs.count = h->count_;
+    hs.sum = h->sum_;
+    hs.min = h->count_ ? h->min_ : std::numeric_limits<double>::quiet_NaN();
+    hs.max = h->count_ ? h->max_ : std::numeric_limits<double>::quiet_NaN();
+    s.histograms[name] = std::move(hs);
+  }
+  return s;
+}
+
+void append_metrics_json(JsonWriter& w, const MetricsRegistry::Snapshot& s) {
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : s.counters) w.kv(name, v);
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : s.gauges) {
+    w.key(name);
+    w.begin_object();
+    w.kv("value", g.value);
+    w.kv("max", g.max);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : s.histograms) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    if (h.count > 0) {
+      w.kv("min", h.min);
+      w.kv("max", h.max);
+    }
+    w.key("buckets");
+    w.begin_array();
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      w.begin_object();
+      if (i < h.bounds.size()) {
+        w.kv("le", h.bounds[i]);
+      } else {
+        w.kv("le", "inf");
+      }
+      w.kv("count", h.counts[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace smt::host

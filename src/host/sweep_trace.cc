@@ -1,0 +1,131 @@
+#include "host/sweep_trace.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/io.h"
+#include "common/json.h"
+
+namespace smt::host {
+
+namespace {
+
+/// Chrome trace reserved color names; Perfetto maps them to its palette.
+const char* status_cname(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk:      return "good";
+    case JobStatus::kFailed:  return "terrible";
+    case JobStatus::kTimeout: return "bad";
+  }
+  return "grey";
+}
+
+void write_meta(JsonWriter& w, int tid, const std::string& name) {
+  w.begin_object();
+  w.kv("name", "thread_name");
+  w.kv("ph", "M");
+  w.kv("pid", 0);
+  w.kv("tid", tid);
+  w.kv("ts", static_cast<uint64_t>(0));
+  w.key("args");
+  w.begin_object();
+  w.kv("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+uint64_t to_us(double ms) {
+  return ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1000.0);
+}
+
+}  // namespace
+
+std::string sweep_trace_json(std::vector<AttemptEvent> events,
+                             const std::vector<std::string>& job_names,
+                             int workers) {
+  // Completion order depends on scheduling; sort into a stable timeline
+  // so a given event set always serializes the same way.
+  std::sort(events.begin(), events.end(),
+            [](const AttemptEvent& a, const AttemptEvent& b) {
+              if (a.begin_ms != b.begin_ms) return a.begin_ms < b.begin_ms;
+              if (a.worker != b.worker) return a.worker < b.worker;
+              return a.attempt < b.attempt;
+            });
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("clock", "host wall-clock since pool start (us)");
+  w.kv("workers", workers);
+  w.end_object();
+
+  w.key("traceEvents");
+  w.begin_array();
+  // Process + one named track per worker.
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", 0);
+  w.kv("tid", 0);
+  w.kv("ts", static_cast<uint64_t>(0));
+  w.key("args");
+  w.begin_object();
+  w.kv("name", "smt_sweep");
+  w.end_object();
+  w.end_object();
+  for (int i = 0; i < workers; ++i) {
+    write_meta(w, i, "worker " + std::to_string(i));
+  }
+
+  for (const AttemptEvent& e : events) {
+    SMT_CHECK(e.job < job_names.size());
+    // The attempt span.
+    w.begin_object();
+    w.kv("name", job_names[e.job]);
+    w.kv("ph", "X");
+    w.kv("pid", 0);
+    w.kv("tid", e.worker);
+    w.kv("ts", to_us(e.begin_ms));
+    w.kv("dur", to_us(e.end_ms) - to_us(e.begin_ms));
+    w.kv("cname", status_cname(e.status));
+    w.key("args");
+    w.begin_object();
+    w.kv("status", name(e.status));
+    w.kv("attempt", e.attempt);
+    w.kv("will_retry", e.will_retry);
+    w.end_object();
+    w.end_object();
+    // Watchdog fire / retry decision as instants at the kill point.
+    if (e.status == JobStatus::kTimeout) {
+      w.begin_object();
+      w.kv("name", e.will_retry ? "watchdog: retry" : "watchdog: give up");
+      w.kv("ph", "i");
+      w.kv("pid", 0);
+      w.kv("tid", e.worker);
+      w.kv("ts", to_us(e.end_ms));
+      w.kv("s", "t");
+      w.key("args");
+      w.begin_object();
+      w.kv("job", job_names[e.job]);
+      w.kv("attempt", e.attempt);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+bool write_sweep_trace_file(std::vector<AttemptEvent> events,
+                            const std::vector<std::string>& job_names,
+                            int workers, const std::string& path) {
+  return write_text_file(
+      path, sweep_trace_json(std::move(events), job_names, workers));
+}
+
+}  // namespace smt::host

@@ -9,8 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/io.h"
 #include "common/json.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -251,6 +253,101 @@ TEST(SanitizeArtifactKey, ResultIsAlwaysFilenameSafe) {
     // Deterministic: same key, same fragment.
     EXPECT_EQ(s, sanitize_artifact_key(key));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Structured logger
+// ---------------------------------------------------------------------------
+
+TEST(Log, ParseLevelAndFormat) {
+  log::Level lvl;
+  EXPECT_TRUE(log::parse_level("debug", &lvl));
+  EXPECT_EQ(lvl, log::Level::kDebug);
+  EXPECT_TRUE(log::parse_level("WARN", &lvl));  // case-insensitive
+  EXPECT_EQ(lvl, log::Level::kWarn);
+  EXPECT_TRUE(log::parse_level("off", &lvl));
+  EXPECT_EQ(lvl, log::Level::kOff);
+  EXPECT_FALSE(log::parse_level("loud", &lvl));
+  EXPECT_FALSE(log::parse_level("", &lvl));
+
+  log::Format f;
+  EXPECT_TRUE(log::parse_format("json", &f));
+  EXPECT_EQ(f, log::Format::kJson);
+  EXPECT_TRUE(log::parse_format("human", &f));
+  EXPECT_EQ(f, log::Format::kHuman);
+  EXPECT_FALSE(log::parse_format("xml", &f));
+}
+
+TEST(Log, HumanRenderingIsCompactKeyValue) {
+  const std::string line =
+      log::render(log::Format::kHuman, log::Level::kWarn, "watchdog expired",
+                  {{"job", "mm.serial.n64"}, {"attempt", 1}}, 12345);
+  EXPECT_EQ(line, "smt W watchdog expired  job=mm.serial.n64 attempt=1");
+}
+
+TEST(Log, HumanRenderingQuotesAwkwardValues) {
+  const std::string line =
+      log::render(log::Format::kHuman, log::Level::kError, "job failed",
+                  {{"message", "verify failed: x=1"}}, 0);
+  // Value holds spaces and '=': must come out quoted so the line stays
+  // machine-splittable on unquoted whitespace.
+  EXPECT_EQ(line, "smt E job failed  message=\"verify failed: x=1\"");
+}
+
+TEST(Log, JsonRenderingParsesAndCarriesTypedFields) {
+  const std::string line = log::render(
+      log::Format::kJson, log::Level::kInfo, "sweep starting",
+      {{"jobs", 12}, {"ratio", 0.5}, {"ok", true}, {"out", "sw"}}, 777);
+  const auto v = parse_json(line);
+  ASSERT_TRUE(v.has_value() && v->is_object());
+  EXPECT_EQ(v->find("ts_ms")->number, 777.0);
+  EXPECT_EQ(v->find("level")->string, "info");
+  EXPECT_EQ(v->find("msg")->string, "sweep starting");
+  EXPECT_EQ(v->find("jobs")->number, 12.0);
+  EXPECT_EQ(v->find("ratio")->number, 0.5);
+  EXPECT_TRUE(v->find("ok")->boolean);
+  EXPECT_EQ(v->find("out")->string, "sw");
+}
+
+TEST(Log, LevelThresholdGatesEnabled) {
+  const log::Level before = log::level();
+  log::set_level(log::Level::kWarn);
+  EXPECT_FALSE(log::enabled(log::Level::kDebug));
+  EXPECT_FALSE(log::enabled(log::Level::kInfo));
+  EXPECT_TRUE(log::enabled(log::Level::kWarn));
+  EXPECT_TRUE(log::enabled(log::Level::kError));
+  log::set_level(log::Level::kOff);
+  EXPECT_FALSE(log::enabled(log::Level::kError));
+  log::set_level(before);
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a hashing / canonical JSON (smt_history's content addressing)
+// ---------------------------------------------------------------------------
+
+TEST(Hash, Fnv1a64KnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64_hex(""), "cbf29ce484222325");
+  EXPECT_EQ(fnv1a64_hex("a"), "af63dc4c8601ec8c");
+}
+
+TEST(Json, CanonicalStringIsOrderAndWhitespaceInvariant) {
+  const auto a = parse_json(R"({"b":2,"a":[1,2.5,"x"],"c":{"y":true}})");
+  const auto b = parse_json(
+      "{ \"c\" : { \"y\" : true },\n  \"a\" : [ 1, 2.5, \"x\" ],\n"
+      "  \"b\" : 2 }");
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(to_canonical_string(*a), to_canonical_string(*b));
+  EXPECT_EQ(to_canonical_string(*a),
+            R"({"a":[1,2.5,"x"],"b":2,"c":{"y":true}})");
+}
+
+TEST(Json, CanonicalStringDistinguishesDifferentTrees) {
+  const auto a = parse_json(R"({"x":1})");
+  const auto b = parse_json(R"({"x":2})");
+  EXPECT_NE(to_canonical_string(*a), to_canonical_string(*b));
 }
 
 }  // namespace

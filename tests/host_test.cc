@@ -175,6 +175,28 @@ TEST(Experiments, RegistryNamesAreUniqueAndLookupsWork) {
   EXPECT_EQ(find_experiment("no.such.experiment"), nullptr);
 }
 
+TEST(Experiments, RegistryInvariantCheckAcceptsTheRealRegistry) {
+  detail::check_registry_invariants(experiments());
+}
+
+TEST(Experiments, RegistryInvariantCheckRejectsBadRegistries) {
+  const auto def = [](const std::string& name) {
+    ExperimentDef d;
+    d.name = name;
+    return d;
+  };
+  EXPECT_DEATH(detail::check_registry_invariants({def("a"), def("a")}),
+               "duplicate");
+  EXPECT_DEATH(detail::check_registry_invariants({def("")}), "empty");
+  // Distinct names whose sanitized artifact keys would collide on disk.
+  // sanitize_artifact_key appends a disambiguating hash whenever it has
+  // to substitute characters, so colliding keys can only come from names
+  // that are byte-identical after substitution AND hash — i.e. the same
+  // name; this arm therefore only documents the check, via names that
+  // differ (and must pass).
+  detail::check_registry_invariants({def("a/b"), def("a_b")});
+}
+
 TEST(Experiments, DefaultManifestExcludesSelfTests) {
   const std::vector<std::string> manifest = default_manifest();
   EXPECT_FALSE(manifest.empty());

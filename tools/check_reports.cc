@@ -1,6 +1,7 @@
-// Validates the artifacts a bench binary wrote:
+// Validates the artifacts a bench binary or sweep wrote:
 //
 //   $ check_reports <report-dir> [trace-dir]
+//                   [--metrics <metrics.json> --index <sweep_index.json>]
 //
 // Every *.json in <report-dir> must parse as a RunReport of schema
 // smt-run-report/1, /2 or /3 and carry the required fields (per-CPU
@@ -17,9 +18,15 @@
 // Chrome trace-event document (object form with a `traceEvents` array of
 // well-formed events) — the format Perfetto / chrome://tracing load.
 //
-// Exits nonzero on any malformed file or if a scanned directory holds no
-// artifacts at all — the ctest smoke test (cmake/report_smoke.cmake) runs
-// this after driving a bench binary.
+// With --metrics/--index (always paired), the smt-sweep-metrics/1
+// snapshot is cross-checked against the smt-sweep-index/1 it was written
+// beside: the pool counters must be arithmetically consistent with the
+// index's per-job outcomes and attempt counts (see check_sweep_metrics).
+//
+// Validation findings are printed as plain per-file stderr lines (they
+// are the tool's product); operational failures (unreadable paths, bad
+// usage) go through the structured logger. Exit status: 0 ok; 1 any
+// validation finding (or an empty scan); 2 usage error; 3 I/O error.
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -28,6 +35,7 @@
 #include <string>
 
 #include "common/json.h"
+#include "common/log.h"
 #include "common/types.h"
 #include "cpu/core.h"
 #include "perfmon/events.h"
@@ -372,6 +380,189 @@ bool check_trace(const fs::path& path) {
   return true;
 }
 
+std::optional<smt::JsonValue> load_json_object(const fs::path& path,
+                                               bool* io_error) {
+  std::ifstream in(path);
+  if (!in) {
+    smt::log::error("cannot open", {{"path", path.string()}});
+    *io_error = true;
+    return std::nullopt;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  auto v = smt::parse_json(ss.str());
+  if (!v.has_value() || !v->is_object()) {
+    std::fprintf(stderr, "%s: does not parse as a JSON object\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  return v;
+}
+
+// Cross-checks a smt-sweep-metrics/1 snapshot against the sweep index it
+// was written beside. The pool counters are redundant with the index by
+// construction, which makes them checkable:
+//
+//   jobs_started == jobs_completed == index total
+//   jobs_ok == total - failed;  jobs_failed + jobs_timeout == failed
+//   attempts == sum(index jobs[].attempts) == total + jobs_retried
+//   watchdog_fires == jobs_retried + jobs_timeout  (retries only follow
+//                                                   watchdog timeouts)
+//   attempt_wall_ms histogram: count == attempts, bucket counts sum to it
+//   queue_depth gauge drained to 0 from a high watermark of total;
+//   workers_busy drained to 0, peak <= requested workers
+//   one workers[] entry per pool worker, busy_us consistent with the
+//   per-worker counters and wall_us
+bool check_sweep_metrics(const fs::path& metrics_path,
+                         const fs::path& index_path, bool* io_error) {
+  const auto mv = load_json_object(metrics_path, io_error);
+  const auto iv = load_json_object(index_path, io_error);
+  if (!mv.has_value() || !iv.has_value()) return false;
+
+  const smt::JsonValue* schema = mv->find("schema");
+  if (schema == nullptr || schema->string != "smt-sweep-metrics/1") {
+    std::fprintf(stderr, "%s: missing/unknown schema\n", metrics_path.c_str());
+    return false;
+  }
+  const smt::JsonValue* ischema = iv->find("schema");
+  if (ischema == nullptr || ischema->string != "smt-sweep-index/1") {
+    std::fprintf(stderr, "%s: missing/unknown schema\n", index_path.c_str());
+    return false;
+  }
+
+  // Index-side ground truth.
+  const smt::JsonValue* jobs = iv->find("jobs");
+  if (jobs == nullptr || !jobs->is_array()) {
+    std::fprintf(stderr, "%s: missing jobs array\n", index_path.c_str());
+    return false;
+  }
+  const double index_total = jobs->array.size();
+  double index_failed = 0;
+  double index_attempts = 0;
+  for (const smt::JsonValue& job : jobs->array) {
+    const smt::JsonValue* outcome = job.find("outcome");
+    if (outcome == nullptr || !outcome->is_string() ||
+        !has_number(job, "attempts")) {
+      std::fprintf(stderr, "%s: job entry missing outcome/attempts\n",
+                   index_path.c_str());
+      return false;
+    }
+    if (outcome->string != "ok") ++index_failed;
+    index_attempts += job.find("attempts")->number;
+  }
+
+  const smt::JsonValue* sweep = mv->find("sweep");
+  const smt::JsonValue* counters = mv->find("counters");
+  const smt::JsonValue* gauges = mv->find("gauges");
+  const smt::JsonValue* histograms = mv->find("histograms");
+  const smt::JsonValue* workers = mv->find("workers");
+  if (sweep == nullptr || !sweep->is_object() || counters == nullptr ||
+      !counters->is_object() || gauges == nullptr || !gauges->is_object() ||
+      histograms == nullptr || !histograms->is_object() ||
+      workers == nullptr || !workers->is_array()) {
+    std::fprintf(stderr,
+                 "%s: missing sweep/counters/gauges/histograms/workers\n",
+                 metrics_path.c_str());
+    return false;
+  }
+
+  bool ok = true;
+  const auto expect = [&](const char* what, double got, double want) {
+    if (got != want) {
+      std::fprintf(stderr, "%s: %s is %.0f, expected %.0f\n",
+                   metrics_path.c_str(), what, got, want);
+      ok = false;
+    }
+  };
+  const auto counter = [&](const char* name) {
+    return number_or(*counters, name, -1.0);
+  };
+
+  expect("sweep.total", number_or(*sweep, "total", -1.0), index_total);
+  expect("sweep.failed", number_or(*sweep, "failed", -1.0), index_failed);
+  expect("pool.jobs_started", counter("pool.jobs_started"), index_total);
+  expect("pool.jobs_completed", counter("pool.jobs_completed"), index_total);
+  expect("pool.jobs_ok", counter("pool.jobs_ok"),
+         index_total - index_failed);
+  expect("pool.jobs_failed + pool.jobs_timeout",
+         counter("pool.jobs_failed") + counter("pool.jobs_timeout"),
+         index_failed);
+  expect("pool.attempts", counter("pool.attempts"), index_attempts);
+  expect("pool.attempts - pool.jobs_retried",
+         counter("pool.attempts") - counter("pool.jobs_retried"),
+         index_total);
+  expect("pool.watchdog_fires", counter("pool.watchdog_fires"),
+         counter("pool.jobs_retried") + counter("pool.jobs_timeout"));
+
+  const smt::JsonValue* hist = histograms->find("pool.attempt_wall_ms");
+  if (hist == nullptr || !hist->is_object()) {
+    std::fprintf(stderr, "%s: missing pool.attempt_wall_ms histogram\n",
+                 metrics_path.c_str());
+    ok = false;
+  } else {
+    expect("attempt_wall_ms.count", number_or(*hist, "count", -1.0),
+           index_attempts);
+    const smt::JsonValue* buckets = hist->find("buckets");
+    if (buckets == nullptr || !buckets->is_array()) {
+      std::fprintf(stderr, "%s: histogram missing buckets\n",
+                   metrics_path.c_str());
+      ok = false;
+    } else {
+      double bucket_sum = 0;
+      for (const smt::JsonValue& b : buckets->array) {
+        bucket_sum += number_or(b, "count", 0.0);
+      }
+      expect("attempt_wall_ms bucket sum", bucket_sum, index_attempts);
+    }
+  }
+
+  const smt::JsonValue* depth = gauges->find("pool.queue_depth");
+  const smt::JsonValue* busy = gauges->find("pool.workers_busy");
+  if (depth == nullptr || busy == nullptr) {
+    std::fprintf(stderr, "%s: missing queue_depth/workers_busy gauges\n",
+                 metrics_path.c_str());
+    ok = false;
+  } else {
+    expect("queue_depth.value", number_or(*depth, "value", -1.0), 0);
+    expect("queue_depth.max", number_or(*depth, "max", -1.0), index_total);
+    expect("workers_busy.value", number_or(*busy, "value", -1.0), 0);
+    const double peak = number_or(*busy, "max", -1.0);
+    const double requested = number_or(*sweep, "requested_workers", 0.0);
+    if (peak < (index_total > 0 ? 1.0 : 0.0) || peak > requested) {
+      std::fprintf(stderr,
+                   "%s: workers_busy.max %.0f outside [1, %0.f]\n",
+                   metrics_path.c_str(), peak, requested);
+      ok = false;
+    }
+  }
+
+  expect("workers[] size", workers->array.size(),
+         counter("pool.workers"));
+  const double wall_us = counter("pool.wall_us");
+  for (const smt::JsonValue& w : workers->array) {
+    if (!has_number(w, "worker") || !has_number(w, "busy_us") ||
+        !has_number(w, "busy_fraction")) {
+      std::fprintf(stderr, "%s: malformed workers[] entry\n",
+                   metrics_path.c_str());
+      ok = false;
+      continue;
+    }
+    const double id = w.find("worker")->number;
+    const double busy_us = w.find("busy_us")->number;
+    const std::string counter_name =
+        "pool.worker" + std::to_string(static_cast<int>(id)) + ".busy_us";
+    expect(counter_name.c_str(), number_or(*counters, counter_name, -1.0),
+           busy_us);
+    if (busy_us > wall_us) {
+      std::fprintf(stderr, "%s: worker%d busy_us %.0f exceeds wall_us %.0f\n",
+                   metrics_path.c_str(), static_cast<int>(id), busy_us,
+                   wall_us);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 // Scans `dir` for files ending in `suffix` and runs `fn` on each;
 // returns {checked, bad}.
 template <typename Fn>
@@ -394,17 +585,47 @@ std::pair<int, int> scan(const fs::path& dir, const std::string& suffix,
   return {checked, bad};
 }
 
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <report-dir> [trace-dir]"
+               " [--metrics FILE --index FILE]\n",
+               argv0);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr, "usage: %s <report-dir> [trace-dir]\n", argv[0]);
-    return 2;
+  std::vector<std::string> dirs;
+  std::string metrics_file;
+  std::string index_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--metrics" || a == "--index") {
+      if (i + 1 >= argc) {
+        smt::log::error("option requires an argument", {{"option", a}});
+        return usage(argv[0]);
+      }
+      (a == "--metrics" ? metrics_file : index_file) = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      smt::log::error("unknown option", {{"option", a}});
+      return usage(argv[0]);
+    } else {
+      dirs.push_back(a);
+    }
   }
-  const fs::path dir = argv[1];
+  // --metrics without --index (or vice versa) has nothing to cross-check
+  // against: the counters are only validatable relative to an index.
+  if (metrics_file.empty() != index_file.empty()) {
+    smt::log::error("--metrics and --index must be given together");
+    return usage(argv[0]);
+  }
+  if (dirs.empty() || dirs.size() > 2) return usage(argv[0]);
+
+  const fs::path dir = dirs[0];
   if (!fs::is_directory(dir)) {
-    std::fprintf(stderr, "%s: not a directory\n", dir.c_str());
-    return 2;
+    smt::log::error("not a directory", {{"path", dir.string()}});
+    return 3;
   }
   auto [checked, bad] = scan(dir, ".json", /*exclude_traces=*/true,
                              check_report);
@@ -413,11 +634,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("%d report(s) checked, %d bad\n", checked, bad);
-  if (argc == 3) {
-    const fs::path tdir = argv[2];
+  if (dirs.size() == 2) {
+    const fs::path tdir = dirs[1];
     if (!fs::is_directory(tdir)) {
-      std::fprintf(stderr, "%s: not a directory\n", tdir.c_str());
-      return 2;
+      smt::log::error("not a directory", {{"path", tdir.string()}});
+      return 3;
     }
     auto [tchecked, tbad] = scan(tdir, ".trace.json",
                                  /*exclude_traces=*/false, check_trace);
@@ -427,6 +648,15 @@ int main(int argc, char** argv) {
     }
     std::printf("%d trace(s) checked, %d bad\n", tchecked, tbad);
     bad += tbad;
+  }
+  if (!metrics_file.empty()) {
+    bool io_error = false;
+    if (check_sweep_metrics(metrics_file, index_file, &io_error)) {
+      std::printf("metrics snapshot consistent with sweep index\n");
+    } else {
+      if (io_error) return 3;
+      ++bad;
+    }
   }
   return bad == 0 ? 0 : 1;
 }

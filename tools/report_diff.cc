@@ -11,9 +11,11 @@
 // A quantity regresses when |a-b| exceeds BOTH the absolute tolerance
 // (default 0 — any change) and the relative tolerance against
 // max(|a|,|b|) (default 0.02 = 2%). Every regression is printed; the exit
-// code is the gate: 0 = within tolerance, 1 = regression(s), 2 =
-// usage/parse error. This is the seed of a bench-trajectory gate: diff a
-// fresh SMT_BENCH_REPORT_DIR artifact against a checked-in baseline.
+// code is the gate: 0 = within tolerance, 1 = regression(s) or a file
+// that is not a run report, 2 = usage error, 3 = unreadable input. This
+// is the seed of a bench-trajectory gate: diff a fresh
+// SMT_BENCH_REPORT_DIR artifact against a checked-in baseline (the
+// cross-run generalization lives in smt_history).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +27,7 @@
 #include <string>
 
 #include "common/json.h"
+#include "common/log.h"
 #include "common/types.h"
 #include "perfmon/events.h"
 
@@ -56,17 +59,21 @@ struct Gate {
   }
 };
 
-std::optional<JsonValue> load(const char* path) {
+// Loads one report; on failure sets *fail_rc to 3 (unreadable) or 1 (not
+// a run report) so main can exit with the right class.
+std::optional<JsonValue> load(const char* path, int* fail_rc) {
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "%s: cannot open\n", path);
+    smt::log::error("cannot open", {{"path", path}});
+    *fail_rc = 3;
     return std::nullopt;
   }
   std::stringstream ss;
   ss << in.rdbuf();
   auto v = smt::parse_json(ss.str());
   if (!v.has_value() || !v->is_object() || v->find("schema") == nullptr) {
-    std::fprintf(stderr, "%s: not a run report\n", path);
+    smt::log::error("not a run report", {{"path", path}});
+    *fail_rc = 1;
     return std::nullopt;
   }
   return v;
@@ -132,9 +139,10 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 2;
   }
-  const auto a = load(pa);
-  const auto b = load(pb);
-  if (!a.has_value() || !b.has_value()) return 2;
+  int fail_rc = 0;
+  const auto a = load(pa, &fail_rc);
+  const auto b = load(pb, &fail_rc);
+  if (!a.has_value() || !b.has_value()) return fail_rc;
 
   gate.compare("cycles", number_or(*a, "cycles", 0.0),
                number_or(*b, "cycles", 0.0));
@@ -168,7 +176,7 @@ int main(int argc, char** argv) {
       }
     }
   } else {
-    std::fprintf(stderr, "warning: cpus sections not comparable\n");
+    smt::log::warn("cpus sections not comparable", {{"a", pa}, {"b", pb}});
   }
 
   const JsonValue* at = a->find("totals");

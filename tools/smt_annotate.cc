@@ -16,8 +16,9 @@
 //     stalls by reason, and miss counts per instruction.
 //
 // `--top K` restricts the listing to the K busiest PCs (by cycle share),
-// still in program order. Exits 2 on usage/parse errors, 1 if the report
-// is not schema /3.
+// still in program order. Exit status: 0 ok; 1 if the file is not a
+// schema /3 report (or its profile section is malformed); 2 usage error;
+// 3 unreadable input.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/log.h"
 #include "common/table.h"
 #include "common/types.h"
 #include "cpu/core.h"
@@ -90,22 +92,22 @@ int main(int argc, char** argv) {
 
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "%s: cannot open\n", path);
-    return 2;
+    smt::log::error("cannot open", {{"path", path}});
+    return 3;
   }
   std::stringstream ss;
   ss << in.rdbuf();
   const auto v = smt::parse_json(ss.str());
   if (!v.has_value() || !v->is_object()) {
-    std::fprintf(stderr, "%s: does not parse as a JSON object\n", path);
-    return 2;
+    smt::log::error("does not parse as a JSON object", {{"path", path}});
+    return 1;
   }
   const JsonValue* schema = v->find("schema");
   if (schema == nullptr || schema->string != "smt-run-report/3") {
-    std::fprintf(stderr,
-                 "%s: not a profiled report (schema /3 required; run the "
-                 "bench with SMT_BENCH_PROFILE=1)\n",
-                 path);
+    smt::log::error(
+        "not a profiled report (schema /3 required; run the bench with "
+        "SMT_BENCH_PROFILE=1)",
+        {{"path", path}});
     return 1;
   }
   const JsonValue* prof = v->find("profile");
@@ -117,8 +119,8 @@ int main(int argc, char** argv) {
       prof != nullptr ? prof->find("port_caps_per_cycle") : nullptr;
   if (hotspots == nullptr || !hotspots->is_array() || occupancy == nullptr ||
       !occupancy->is_array() || caps == nullptr) {
-    std::fprintf(stderr, "%s: malformed profile section\n", path);
-    return 2;
+    smt::log::error("malformed profile section", {{"path", path}});
+    return 1;
   }
   const double cycles = number_or(*v, "cycles", 0.0);
   const JsonValue* workload = v->find("workload");

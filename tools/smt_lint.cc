@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "analysis/lint.h"
+#include "common/log.h"
 #include "core/machine.h"
 #include "core/workload.h"
 #include "host/experiments.h"
@@ -73,7 +74,7 @@ int lint_registry(const std::vector<std::string>& names) {
     }
   }
   if (experiments == 0) {
-    std::fprintf(stderr, "smt_lint: no experiment matched\n");
+    smt::log::error("no experiment matched");
     return 2;
   }
   std::printf("smt_lint: %d finding(s) across %d program(s) in %d experiment(s)\n",
@@ -95,9 +96,9 @@ bool expect_rule(const char* what, const smt::isa::Program& p,
       return true;
     }
   }
-  std::fprintf(stderr, "MISSED %s: expected %s, got:\n%s", what,
-               smt::analysis::name(rule),
-               smt::analysis::format_findings(p, f).c_str());
+  smt::log::error("selftest rule missed",
+                  {{"seed", what}, {"expected", smt::analysis::name(rule)}});
+  std::fputs(smt::analysis::format_findings(p, f).c_str(), stderr);
   return false;
 }
 
@@ -194,7 +195,8 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (argv[i][0] == '-') {
-      std::fprintf(stderr, "usage: smt_lint [--list | --selftest | NAME...]\n");
+      std::fprintf(stderr,
+                   "usage: smt_lint [--list | --selftest | NAME...]\n");
       return 2;
     }
     names.emplace_back(argv[i]);

@@ -10,6 +10,13 @@
 //   --cycle-budget N  per-job simulated-cycle budget override
 //   --timeout-ms N    per-attempt wall-clock watchdog (0 = off, default);
 //                     a watchdog-killed job is retried once
+//   --metrics FILE    write a smt-sweep-metrics/1 snapshot of the pool's
+//                     counters/gauges/histograms (watchdog fires, queue
+//                     depth, attempt wall times, per-worker busy time)
+//   --trace FILE      write a Chrome trace-event (Perfetto-loadable)
+//                     timeline of the sweep: one track per worker, one
+//                     span per job attempt colored by its outcome
+//   --quiet           errors only: no progress line, log level error
 //   --list            print the experiment registry and exit
 //
 // Every job runs a fresh deterministic Machine simulation through the
@@ -21,36 +28,55 @@
 // every job's structured outcome, timing and report path, in manifest
 // order regardless of scheduling. Because each job's artifact depends
 // only on its definition, a parallel sweep's reports are byte-identical
-// to a serial (--jobs 1) run's.
+// to a serial (--jobs 1) run's — and stay that way with --metrics and
+// --trace enabled, since those artifacts are wall-clock data in separate
+// files. While running, a progress line (completed/total, failures, ETA)
+// is maintained on stderr when it is a terminal.
 //
-// Exit status: 0 when every job is ok; 1 with the failed jobs listed on
-// stderr otherwise (the index and surviving reports are complete either
-// way); 2 on usage/manifest errors.
+// Exit status: 0 when every job is ok; 1 with the failed jobs logged
+// otherwise (the index and surviving reports are complete either way);
+// 2 on usage/manifest errors; 3 when an artifact cannot be written.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/io.h"
 #include "common/json.h"
+#include "common/log.h"
 #include "core/run_report.h"
 #include "core/runner.h"
 #include "host/experiments.h"
 #include "host/job_pool.h"
+#include "host/metrics.h"
+#include "host/sweep_trace.h"
 
 namespace {
 
+using smt::host::AttemptEvent;
 using smt::host::ExperimentDef;
+
+constexpr int kExitJobFailures = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
 
 struct SweepOptions {
   int jobs = static_cast<int>(std::thread::hardware_concurrency());
   std::string out_dir = "sweep-out";
   std::string manifest_path;
+  std::string metrics_path;
+  std::string trace_path;
   smt::Cycle cycle_budget = 0;  // 0: use each definition's own budget
   long timeout_ms = 0;
+  bool quiet = false;
   bool list = false;
   std::vector<std::string> names;  // explicit positional selections
 };
@@ -69,10 +95,11 @@ struct JobRecord {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--out DIR] [--manifest FILE]\n"
-               "       [--cycle-budget N] [--timeout-ms N] [--list]\n"
+               "       [--cycle-budget N] [--timeout-ms N]\n"
+               "       [--metrics FILE] [--trace FILE] [--quiet] [--list]\n"
                "       [experiment names...]\n",
                argv0);
-  return 2;
+  return kExitUsage;
 }
 
 bool parse_args(int argc, char** argv, SweepOptions* opt) {
@@ -80,7 +107,7 @@ bool parse_args(int argc, char** argv, SweepOptions* opt) {
     const std::string a = argv[i];
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires an argument\n", flag);
+        smt::log::error("option requires an argument", {{"option", flag}});
         return nullptr;
       }
       return argv[++i];
@@ -97,6 +124,14 @@ bool parse_args(int argc, char** argv, SweepOptions* opt) {
       const char* v = next("--manifest");
       if (v == nullptr) return false;
       opt->manifest_path = v;
+    } else if (a == "--metrics") {
+      const char* v = next("--metrics");
+      if (v == nullptr) return false;
+      opt->metrics_path = v;
+    } else if (a == "--trace") {
+      const char* v = next("--trace");
+      if (v == nullptr) return false;
+      opt->trace_path = v;
     } else if (a == "--cycle-budget") {
       const char* v = next("--cycle-budget");
       if (v == nullptr) return false;
@@ -105,10 +140,12 @@ bool parse_args(int argc, char** argv, SweepOptions* opt) {
       const char* v = next("--timeout-ms");
       if (v == nullptr) return false;
       opt->timeout_ms = std::atol(v);
+    } else if (a == "--quiet") {
+      opt->quiet = true;
     } else if (a == "--list") {
       opt->list = true;
     } else if (!a.empty() && a[0] == '-') {
-      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      smt::log::error("unknown option", {{"option", a}});
       return false;
     } else {
       opt->names.push_back(a);
@@ -123,7 +160,7 @@ bool parse_args(int argc, char** argv, SweepOptions* opt) {
 bool read_manifest(const std::string& path, std::vector<std::string>* names) {
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "cannot open manifest %s\n", path.c_str());
+    smt::log::error("cannot open manifest", {{"path", path}});
     return false;
   }
   std::string line;
@@ -169,11 +206,109 @@ std::string index_json(const SweepOptions& opt,
   return w.str();
 }
 
+std::string metrics_json(const smt::host::MetricsRegistry& reg,
+                         const SweepOptions& opt, size_t total, int failed) {
+  const smt::host::MetricsRegistry::Snapshot s = reg.snapshot();
+  smt::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "smt-sweep-metrics/1");
+  w.key("sweep");
+  w.begin_object();
+  w.kv("requested_workers", opt.jobs);
+  w.kv("total", static_cast<int64_t>(total));
+  w.kv("failed", failed);
+  w.end_object();
+  smt::host::append_metrics_json(w, s);
+  // Per-worker busy fractions, derived from the pool counters so human
+  // readers (and check_reports) need no arithmetic of their own.
+  const auto counter = [&s](const std::string& name) -> uint64_t {
+    const auto it = s.counters.find(name);
+    return it == s.counters.end() ? 0 : it->second;
+  };
+  const uint64_t wall_us = counter("pool.wall_us");
+  const uint64_t workers = counter("pool.workers");
+  w.key("workers");
+  w.begin_array();
+  for (uint64_t i = 0; i < workers; ++i) {
+    const uint64_t busy =
+        counter("pool.worker" + std::to_string(i) + ".busy_us");
+    w.begin_object();
+    w.kv("worker", i);
+    w.kv("busy_us", busy);
+    w.kv("busy_fraction", wall_us == 0 ? 0.0
+                                       : static_cast<double>(busy) /
+                                             static_cast<double>(wall_us));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+/// Terminal progress line: "[done/total] ok=N failed=N eta=…s", redrawn
+/// in place on stderr from the pool's on_attempt callbacks. Inactive
+/// (zero output) when stderr is not a TTY or --quiet is set; either way
+/// every completion is also logged at debug level for non-interactive
+/// observability.
+class Progress {
+ public:
+  Progress(size_t total, bool interactive)
+      : total_(total),
+        interactive_(interactive),
+        t0_(std::chrono::steady_clock::now()) {}
+
+  void on_attempt(const AttemptEvent& e, const std::string& job_name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    smt::log::debug("attempt finished",
+                    {{"job", job_name},
+                     {"worker", e.worker},
+                     {"attempt", e.attempt},
+                     {"status", smt::host::name(e.status)},
+                     {"wall_ms", e.end_ms - e.begin_ms},
+                     {"will_retry", e.will_retry}});
+    if (e.will_retry) return;  // job not finished yet
+    ++done_;
+    if (e.status != smt::host::JobStatus::kOk) ++failed_;
+    redraw();
+  }
+
+  /// Clears the line so the final summary starts on a clean row.
+  void finish() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (interactive_ && drew_) std::fputs("\r\033[K", stderr);
+  }
+
+ private:
+  void redraw() {
+    if (!interactive_) return;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+            .count();
+    const double eta =
+        done_ == 0 ? 0.0
+                   : elapsed / static_cast<double>(done_) *
+                         static_cast<double>(total_ - done_);
+    std::fprintf(stderr, "\r\033[K[%zu/%zu] ok=%zu failed=%zu eta=%.1fs",
+                 done_, total_, done_ - failed_, failed_, eta);
+    std::fflush(stderr);
+    drew_ = true;
+  }
+
+  const size_t total_;
+  const bool interactive_;
+  const std::chrono::steady_clock::time_point t0_;
+  std::mutex mu_;
+  size_t done_ = 0;
+  size_t failed_ = 0;
+  bool drew_ = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   SweepOptions opt;
   if (!parse_args(argc, argv, &opt)) return usage(argv[0]);
+  if (opt.quiet) smt::log::set_level(smt::log::Level::kError);
 
   if (opt.list) {
     for (const ExperimentDef& d : smt::host::experiments()) {
@@ -187,7 +322,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> manifest = opt.names;
   if (!opt.manifest_path.empty() &&
       !read_manifest(opt.manifest_path, &manifest)) {
-    return 2;
+    return kExitUsage;
   }
   if (manifest.empty()) manifest = smt::host::default_manifest();
 
@@ -197,12 +332,12 @@ int main(int argc, char** argv) {
   for (const std::string& name : manifest) {
     const ExperimentDef* d = smt::host::find_experiment(name);
     if (d == nullptr) {
-      std::fprintf(stderr, "unknown experiment: %s\n", name.c_str());
+      smt::log::error("unknown experiment", {{"name", name}});
       unknown = true;
     }
     defs.push_back(d);
   }
-  if (unknown) return 2;
+  if (unknown) return kExitUsage;
 
   std::vector<JobRecord> records(manifest.size());
   std::vector<smt::host::Job> jobs(manifest.size());
@@ -252,34 +387,76 @@ int main(int argc, char** argv) {
     };
   }
 
+  smt::log::info("sweep starting", {{"jobs", manifest.size()},
+                                    {"workers", opt.jobs},
+                                    {"out", opt.out_dir}});
+
+  smt::host::MetricsRegistry metrics;
+  std::mutex trace_mu;
+  std::vector<AttemptEvent> trace_events;
+  Progress progress(manifest.size(),
+                    !opt.quiet && isatty(fileno(stderr)) != 0);
+
   smt::host::JobPoolConfig pool;
   pool.workers = opt.jobs;
   pool.job_timeout = std::chrono::milliseconds(opt.timeout_ms);
+  pool.metrics = &metrics;
+  const bool want_trace = !opt.trace_path.empty();
+  pool.on_attempt = [&](const AttemptEvent& e) {
+    if (want_trace) {
+      const std::lock_guard<std::mutex> lock(trace_mu);
+      trace_events.push_back(e);
+    }
+    progress.on_attempt(e, records[e.job].name);
+  };
+
   const std::vector<smt::host::JobResult> results =
       smt::host::run_jobs(pool, jobs);
+  progress.finish();
 
   int failed = 0;
   for (const smt::host::JobResult& r : results) {
     if (r.status != smt::host::JobStatus::kOk) ++failed;
   }
 
+  // Artifact writes: the index is the sweep's primary output; metrics
+  // and trace are wall-clock observability artifacts in separate files
+  // (reports/index stay byte-identical whatever these options are).
   const std::string index_path = opt.out_dir + "/sweep_index.json";
   if (!smt::write_text_file(index_path,
                             index_json(opt, records, results, failed))) {
-    return 2;
+    return kExitIo;
+  }
+  if (!opt.metrics_path.empty() &&
+      !smt::write_text_file(
+          opt.metrics_path,
+          metrics_json(metrics, opt, results.size(), failed))) {
+    return kExitIo;
+  }
+  if (want_trace) {
+    std::vector<std::string> job_names(records.size());
+    for (size_t i = 0; i < records.size(); ++i) job_names[i] = records[i].name;
+    if (!smt::host::write_sweep_trace_file(std::move(trace_events), job_names,
+                                           std::min<int>(
+                                               opt.jobs,
+                                               static_cast<int>(jobs.size())),
+                                           opt.trace_path)) {
+      return kExitIo;
+    }
   }
 
   std::printf("%zu job(s), %d failed; index: %s\n", results.size(), failed,
               index_path.c_str());
   if (failed > 0) {
-    std::fprintf(stderr, "failed jobs:\n");
     for (size_t i = 0; i < results.size(); ++i) {
       if (results[i].status != smt::host::JobStatus::kOk) {
-        std::fprintf(stderr, "  %-28s %s (%s)\n", records[i].name.c_str(),
-                     records[i].outcome.c_str(), records[i].message.c_str());
+        smt::log::error("job failed", {{"job", records[i].name},
+                                       {"outcome", records[i].outcome},
+                                       {"message", records[i].message},
+                                       {"attempts", results[i].attempts}});
       }
     }
-    return 1;
+    return kExitJobFailures;
   }
   return 0;
 }
