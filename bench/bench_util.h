@@ -20,6 +20,16 @@
 //                             every run: reports gain a `profile` section
 //                             (hotspots + port occupancy, schema
 //                             smt-run-report/3; see tools/smt_annotate)
+//   SMT_BENCH_INTERFERENCE=1  enable the SMT interference profiler on
+//                             every run: reports gain an `interference`
+//                             section (self- vs sibling-blamed stall
+//                             cycles per resource, schema
+//                             smt-run-report/4; see tools/smt_explain)
+//   SMT_BENCH_PIPEVIEW=1      enable per-uop pipeline lifetime traces: a
+//                             Kanata file *.kanata — loadable in the
+//                             Konata viewer — lands beside each report
+//   SMT_BENCH_PIPEVIEW_WINDOW=B:E  (or just E) bound the pipeview capture
+//                             to cycles [B, E] (default 0:100000)
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -38,6 +48,7 @@
 #include "core/run_report.h"
 #include "core/runner.h"
 #include "perfmon/counters.h"
+#include "trace/pipeview.h"
 #include "trace/telemetry.h"
 
 namespace smt::bench {
@@ -55,6 +66,35 @@ inline bool csv_mode() {
 inline bool profile_mode() {
   const char* v = std::getenv("SMT_BENCH_PROFILE");
   return v != nullptr && v[0] == '1';
+}
+
+inline bool interference_mode() {
+  const char* v = std::getenv("SMT_BENCH_INTERFERENCE");
+  return v != nullptr && v[0] == '1';
+}
+
+inline bool pipeview_mode() {
+  const char* v = std::getenv("SMT_BENCH_PIPEVIEW");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Parses SMT_BENCH_PIPEVIEW_WINDOW ("begin:end" or just "end") into the
+/// capture bounds; leaves the defaults untouched when unset or malformed.
+inline void pipeview_window(Cycle* begin, Cycle* end) {
+  const char* v = std::getenv("SMT_BENCH_PIPEVIEW_WINDOW");
+  if (v == nullptr || v[0] == '\0') return;
+  char* rest = nullptr;
+  const unsigned long long a = std::strtoull(v, &rest, 10);
+  if (rest == v) return;
+  if (*rest == ':') {
+    const char* second = rest + 1;
+    const unsigned long long b = std::strtoull(second, &rest, 10);
+    if (rest == second || b <= a) return;
+    *begin = static_cast<Cycle>(a);
+    *end = static_cast<Cycle>(b);
+  } else if (*rest == '\0') {
+    *end = static_cast<Cycle>(a);
+  }
 }
 
 /// Directory for RunReport JSON artifacts, or "" when reporting is off.
@@ -105,6 +145,9 @@ inline core::RunStats stats_from(const core::Machine& m, std::string name,
   s.telemetry = m.telemetry();
   if (s.telemetry != nullptr) s.telemetry->finalize(m.cycles());
   s.pc_profile = m.pc_profiler();
+  m.finalize_interference();
+  s.interference = m.interference();
+  s.pipeview = m.pipeview();
   return s;
 }
 
@@ -138,6 +181,18 @@ class Results {
                                sanitize_key(key) + ".trace.json";
       if (!trace::write_chrome_trace_file(*stats.telemetry, path)) {
         std::fprintf(stderr, "warning: could not write trace %s\n",
+                     path.c_str());
+      }
+    }
+    // Kanata pipeline traces land beside the reports (or the traces when
+    // only tracing is on).
+    const std::string& kanata_dir =
+        !report_dir().empty() ? report_dir() : trace_dir();
+    if (!kanata_dir.empty() && stats.pipeview != nullptr) {
+      const std::string path = kanata_dir + "/" + report_prefix() + "." +
+                               sanitize_key(key) + ".kanata";
+      if (!trace::write_kanata_file(*stats.pipeview, path)) {
+        std::fprintf(stderr, "warning: could not write pipeview %s\n",
                      path.c_str());
       }
     }
@@ -206,10 +261,14 @@ inline int bench_main(int argc, char** argv, std::function<void()> register_all,
     if (slash != std::string::npos) base = base.substr(slash + 1);
     if (!base.empty()) report_prefix() = base;
   }
-  if (!trace_dir().empty() || profile_mode()) {
+  if (!trace_dir().empty() || profile_mode() || interference_mode() ||
+      pipeview_mode()) {
     trace::TelemetryConfig cfg;
     cfg.enabled = !trace_dir().empty();
     cfg.pc_profile = profile_mode();
+    cfg.interference = interference_mode();
+    cfg.pipeview = pipeview_mode();
+    pipeview_window(&cfg.pipeview_begin, &cfg.pipeview_end);
     trace::set_global_telemetry(cfg);
   }
   benchmark::Initialize(&argc, argv);

@@ -11,16 +11,28 @@
 #      metrics snapshot must cross-check against the sweep index;
 #   3. the manifest with deliberately failing self-test jobs injected —
 #      the sweep must exit nonzero and name the failures, yet still write
-#      a complete sweep_index.json and a valid (check_reports-clean)
-#      report for every job, including the failed ones.
+#      a complete sweep_index.json, a valid (check_reports-clean) report
+#      for every job including the failed ones, and an smt-core-dump/1
+#      under dumps/ for every job that died diagnosably;
+#   4. the manifest again with --pipeview — Kanata artifacts must appear
+#      per job while every report stays byte-identical to the serial
+#      reference (pipeline tracing must not leak into measurements).
 set(manifest mm.serial.n64 mm.tlp-fine.n64 lu.serial.n64 bt.serial)
 
 file(REMOVE_RECURSE "${OUT_DIR}")
 
 execute_process(COMMAND "${SWEEP}" --jobs 1 --out "${OUT_DIR}/serial"
-  ${manifest} RESULT_VARIABLE rc)
+  ${manifest} RESULT_VARIABLE rc ERROR_VARIABLE serial_err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "serial sweep failed: ${rc}")
+endif()
+
+# Regression gate for the progress line: when stderr is a pipe (as here),
+# the interactive \r-redrawn progress display must stay silent.
+string(ASCII 13 CR)
+string(FIND "${serial_err}" "${CR}" cr_pos)
+if(NOT cr_pos EQUAL -1)
+  message(FATAL_ERROR "sweep emitted a \\r progress line on piped stderr")
 endif()
 
 execute_process(COMMAND "${SWEEP}" --jobs 4 --out "${OUT_DIR}/parallel"
@@ -95,8 +107,53 @@ list(LENGTH injected_reports n)
 if(NOT n EQUAL 4)
   message(FATAL_ERROR "injected sweep wrote ${n} reports, expected 4")
 endif()
-execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/injected/reports"
-  RESULT_VARIABLE rc)
-if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "injected sweep reports failed validation: ${rc}")
+
+# The diagnosably-dead jobs (deadlock, blown budget) must have left core
+# dumps that the index references; the healthy and verify-failed jobs
+# must not (there is no post-mortem state worth dumping for a wrong
+# answer). check_reports --dumps validates the dump schema.
+foreach(needle
+    "\"dump\":\"dumps/selftest.deadlock.dump.json\""
+    "\"dump\":\"dumps/selftest.budget.dump.json\"")
+  string(FIND "${index}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "sweep_index.json lacks ${needle}")
+  endif()
+endforeach()
+file(GLOB injected_dumps "${OUT_DIR}/injected/dumps/*.json")
+list(LENGTH injected_dumps n)
+if(NOT n EQUAL 2)
+  message(FATAL_ERROR "injected sweep wrote ${n} dumps, expected 2")
 endif()
+execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/injected/reports"
+  --dumps "${OUT_DIR}/injected/dumps" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "injected sweep artifacts failed validation: ${rc}")
+endif()
+
+# --pipeview: Kanata traces appear per job, reports stay byte-identical.
+execute_process(COMMAND "${SWEEP}" --jobs 2 --pipeview
+  --out "${OUT_DIR}/pipeview" ${manifest} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pipeview sweep failed: ${rc}")
+endif()
+foreach(report IN LISTS serial_reports)
+  get_filename_component(fname "${report}" NAME)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${report}" "${OUT_DIR}/pipeview/reports/${fname}" RESULT_VARIABLE cmp)
+  if(NOT cmp EQUAL 0)
+    message(FATAL_ERROR "pipeview report ${fname} differs from serial run")
+  endif()
+endforeach()
+file(GLOB kanata_files "${OUT_DIR}/pipeview/pipeview/*.kanata")
+list(LENGTH kanata_files n)
+if(NOT n EQUAL expected)
+  message(FATAL_ERROR "pipeview sweep wrote ${n} Kanata files, "
+    "expected ${expected}")
+endif()
+foreach(kf IN LISTS kanata_files)
+  file(READ "${kf}" head LIMIT 16)
+  if(NOT head MATCHES "^Kanata")
+    message(FATAL_ERROR "${kf} does not start with a Kanata header")
+  endif()
+endforeach()

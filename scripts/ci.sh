@@ -143,3 +143,46 @@ if ./build/tools/smt_history check --sweep "$hist_dir/perturbed" \
   echo "smt_history failed to flag a perturbed run" >&2
   exit 1
 fi
+
+# Interference attribution: a /4 report whose self+sibling sums must
+# reproduce the stall counters bit-exactly (validated by check_reports),
+# and report_diff must accept a self-diff of the interference section.
+inter_dir=$(mktemp -d)
+trap 'rm -rf "$report_dir" "$trace_dir" "$profile_dir" "$sweep_dir" \
+  "$obs_dir" "$hist_dir" "$inter_dir"' EXIT
+SMT_BENCH_REPORT_DIR="$inter_dir" SMT_BENCH_INTERFERENCE=1 \
+  ./build/bench/ablation_sync > /dev/null
+grep -q '"schema":"smt-run-report/4"' "$inter_dir"/*.json
+./build/tools/check_reports "$inter_dir"
+inter_report=$(ls "$inter_dir"/*.json | head -1)
+./build/tools/report_diff "$inter_report" "$inter_report"
+
+# Pipeline lifetime traces: a pipeview'd fig3 matmul run must drop a
+# non-empty, window-bounded Kanata file beside each report (the C/C=
+# cycle advances must sum to no more than the configured window).
+pview_dir=$(mktemp -d)
+trap 'rm -rf "$report_dir" "$trace_dir" "$profile_dir" "$sweep_dir" \
+  "$obs_dir" "$hist_dir" "$inter_dir" "$pview_dir"' EXIT
+SMT_BENCH_REPORT_DIR="$pview_dir" SMT_BENCH_PIPEVIEW=1 \
+  SMT_BENCH_PIPEVIEW_WINDOW=0:20000 \
+  ./build/bench/fig3_matmul > /dev/null
+mm_kanata="$pview_dir/fig3_matmul.mm.serial.n64.kanata"
+head -1 "$mm_kanata" | grep -q "Kanata"
+test "$(wc -l < "$mm_kanata")" -gt 10
+awk -F'\t' '/^C=/{start=$2} /^C\t/{adv+=$2}
+  END{exit (start+adv <= 20000) ? 0 : 1}' "$mm_kanata"
+
+# Post-mortem flight recorder: an injected deadlock must leave a core
+# dump the smt_explain diagnoser renders into an explanation naming the
+# actual death cycle and the lost wake-up.
+explain_dir=$(mktemp -d)
+trap 'rm -rf "$report_dir" "$trace_dir" "$profile_dir" "$sweep_dir" \
+  "$obs_dir" "$hist_dir" "$inter_dir" "$pview_dir" "$explain_dir"' EXIT
+./build/tools/smt_sweep --quiet --out "$explain_dir" selftest.deadlock \
+  || true
+dump="$explain_dir/dumps/selftest.deadlock.dump.json"
+./build/tools/check_reports "$explain_dir/reports" --dumps "$explain_dir/dumps"
+death_cycle=$(grep -o '"cycle":[0-9]*' "$dump" | head -1 | cut -d: -f2)
+./build/tools/smt_explain "$dump" > "$explain_dir/diagnosis.txt"
+grep -q "deadlock at cycle $death_cycle" "$explain_dir/diagnosis.txt"
+grep -q "awaiting IPI" "$explain_dir/diagnosis.txt"

@@ -13,6 +13,11 @@ Machine::Machine(const MachineConfig& cfg)
   } else if (trace::global_telemetry().pc_profile) {
     enable_pc_profiler();
   }
+  if (trace::global_telemetry().interference) enable_interference();
+  if (trace::global_telemetry().pipeview) {
+    enable_pipeview({.begin = trace::global_telemetry().pipeview_begin,
+                     .end = trace::global_telemetry().pipeview_end});
+  }
 }
 
 void Machine::enable_telemetry(const trace::TelemetryConfig& cfg) {
@@ -45,61 +50,116 @@ void Machine::enable_race_detector() {
   attach_pipeline_observers();
 }
 
+void Machine::enable_interference() {
+  SMT_CHECK_MSG(interference_ == nullptr,
+                "interference profiler already enabled");
+  interference_ = std::make_shared<profile::InterferenceProfiler>();
+  hierarchy_.set_track_interference(true);
+  attach_pipeline_observers();
+}
+
+void Machine::finalize_interference() const {
+  if (interference_ == nullptr) return;
+  for (int i = 0; i < kNumLogicalCpus; ++i) {
+    const CpuId cpu = static_cast<CpuId>(i);
+    interference_->set_l2_sibling_evictions(
+        cpu, hierarchy_.sibling_eviction_misses(cpu));
+  }
+}
+
+void Machine::enable_pipeview(const trace::PipeViewConfig& cfg) {
+  SMT_CHECK_MSG(pipeview_ == nullptr, "pipeview recorder already enabled");
+  pipeview_ = std::make_shared<trace::PipeViewRecorder>(cfg);
+  for (int i = 0; i < kNumLogicalCpus; ++i) {
+    if (programs_[i].has_value()) {
+      pipeview_->set_program(static_cast<CpuId>(i), *programs_[i]);
+    }
+  }
+  core_.set_pipeview(pipeview_.get());
+}
+
+void Machine::enable_flight_recorder() {
+  SMT_CHECK_MSG(flight_recorder_ == nullptr,
+                "flight recorder already enabled");
+  flight_recorder_ = std::make_shared<FlightRecorder>(core_);
+  for (int i = 0; i < kNumLogicalCpus; ++i) {
+    if (programs_[i].has_value()) {
+      flight_recorder_->set_program(static_cast<CpuId>(i), *programs_[i]);
+    }
+  }
+  attach_pipeline_observers();
+}
+
 void Machine::attach_pipeline_observers() {
-  if (pc_profiler_ != nullptr && race_detector_ != nullptr) {
-    tee_.profiler = pc_profiler_.get();
-    tee_.detector = race_detector_.get();
+  tee_.children.clear();
+  if (pc_profiler_ != nullptr) tee_.children.push_back(pc_profiler_.get());
+  if (race_detector_ != nullptr) tee_.children.push_back(race_detector_.get());
+  if (interference_ != nullptr) tee_.children.push_back(interference_.get());
+  if (flight_recorder_ != nullptr) {
+    tee_.children.push_back(flight_recorder_.get());
+  }
+  if (tee_.children.empty()) {
+    core_.set_pipeline_observer(nullptr);
+  } else if (tee_.children.size() == 1) {
+    core_.set_pipeline_observer(tee_.children.front());
+  } else {
     core_.set_pipeline_observer(&tee_);
-  } else if (pc_profiler_ != nullptr) {
-    core_.set_pipeline_observer(pc_profiler_.get());
-  } else if (race_detector_ != nullptr) {
-    core_.set_pipeline_observer(race_detector_.get());
   }
 }
 
 void Machine::ObserverTee::on_issue(CpuId cpu, cpu::IssuePort port,
                                     uint32_t pc) {
-  if (profiler != nullptr) profiler->on_issue(cpu, port, pc);
-  if (detector != nullptr) detector->on_issue(cpu, port, pc);
+  for (cpu::PipelineObserver* c : children) c->on_issue(cpu, port, pc);
 }
 
 void Machine::ObserverTee::on_block(CpuId cpu, cpu::BlockReason reason,
                                     uint32_t pc, Cycle cycles) {
-  if (profiler != nullptr) profiler->on_block(cpu, reason, pc, cycles);
-  if (detector != nullptr) detector->on_block(cpu, reason, pc, cycles);
+  for (cpu::PipelineObserver* c : children) {
+    c->on_block(cpu, reason, pc, cycles);
+  }
+}
+
+void Machine::ObserverTee::on_interference(CpuId cpu, cpu::BlockReason reason,
+                                           bool sibling, int port,
+                                           Cycle cycles) {
+  for (cpu::PipelineObserver* c : children) {
+    c->on_interference(cpu, reason, sibling, port, cycles);
+  }
+}
+
+bool Machine::ObserverTee::wants_issue_blocks() const {
+  for (const cpu::PipelineObserver* c : children) {
+    if (c->wants_issue_blocks()) return true;
+  }
+  return false;
 }
 
 void Machine::ObserverTee::on_demand_miss(CpuId cpu, uint32_t pc,
                                           bool l2_miss) {
-  if (profiler != nullptr) profiler->on_demand_miss(cpu, pc, l2_miss);
-  if (detector != nullptr) detector->on_demand_miss(cpu, pc, l2_miss);
+  for (cpu::PipelineObserver* c : children) {
+    c->on_demand_miss(cpu, pc, l2_miss);
+  }
 }
 
 void Machine::ObserverTee::on_retire_uop(CpuId cpu, const cpu::DynUop& uop,
                                          int uops) {
-  if (profiler != nullptr) profiler->on_retire_uop(cpu, uop, uops);
-  if (detector != nullptr) detector->on_retire_uop(cpu, uop, uops);
+  for (cpu::PipelineObserver* c : children) c->on_retire_uop(cpu, uop, uops);
 }
 
 void Machine::ObserverTee::on_guest_access(CpuId cpu, uint32_t pc, Addr addr,
                                            cpu::GuestAccess kind,
                                            uint64_t value) {
-  if (profiler != nullptr) {
-    profiler->on_guest_access(cpu, pc, addr, kind, value);
-  }
-  if (detector != nullptr) {
-    detector->on_guest_access(cpu, pc, addr, kind, value);
+  for (cpu::PipelineObserver* c : children) {
+    c->on_guest_access(cpu, pc, addr, kind, value);
   }
 }
 
 void Machine::ObserverTee::on_ipi_send(CpuId cpu) {
-  if (profiler != nullptr) profiler->on_ipi_send(cpu);
-  if (detector != nullptr) detector->on_ipi_send(cpu);
+  for (cpu::PipelineObserver* c : children) c->on_ipi_send(cpu);
 }
 
 void Machine::ObserverTee::on_ipi_wake(CpuId cpu) {
-  if (profiler != nullptr) profiler->on_ipi_wake(cpu);
-  if (detector != nullptr) detector->on_ipi_wake(cpu);
+  for (cpu::PipelineObserver* c : children) c->on_ipi_wake(cpu);
 }
 
 void Machine::load_program(CpuId cpu, isa::Program prog,
@@ -110,6 +170,8 @@ void Machine::load_program(CpuId cpu, isa::Program prog,
   core_.load_program(cpu, *slot, init);
   if (pc_profiler_ != nullptr) pc_profiler_->set_program(cpu, *slot);
   if (race_detector_ != nullptr) race_detector_->set_program(cpu, *slot);
+  if (pipeview_ != nullptr) pipeview_->set_program(cpu, *slot);
+  if (flight_recorder_ != nullptr) flight_recorder_->set_program(cpu, *slot);
 }
 
 }  // namespace smt::core

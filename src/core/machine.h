@@ -12,15 +12,19 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "analysis/race_detector.h"
 #include "common/types.h"
+#include "core/flight_recorder.h"
 #include "cpu/core.h"
 #include "isa/program.h"
 #include "mem/hierarchy.h"
 #include "mem/sim_memory.h"
 #include "perfmon/counters.h"
+#include "profile/interference.h"
 #include "profile/pc_profiler.h"
+#include "trace/pipeview.h"
 #include "trace/telemetry.h"
 
 namespace smt::core {
@@ -87,6 +91,51 @@ class Machine {
     return race_detector_;
   }
 
+  /// Attaches the SMT interference profiler (read-only pipeline observer;
+  /// see src/profile/interference.h) and turns on the hierarchy's L2
+  /// eviction bookkeeping. The constructor calls this automatically when
+  /// the process-global telemetry default has `interference` set (bench
+  /// binaries with SMT_BENCH_INTERFERENCE=1). Call before running;
+  /// enabling never perturbs any counter. Coexists with every other
+  /// observer (fanned out through the tee).
+  void enable_interference();
+
+  /// Copies the hierarchy's L2 sibling-eviction counts into the
+  /// interference profiler (idempotent assignment; call at any
+  /// stats-collection point). No-op when interference is disabled.
+  /// Const: it only updates the shared profiler object, never the
+  /// machine itself (report_from_machine works on a const Machine&).
+  void finalize_interference() const;
+
+  /// The attached interference profiler (null when disabled). Shared so
+  /// RunStats can carry it past this machine's lifetime.
+  const std::shared_ptr<profile::InterferenceProfiler>& interference() const {
+    return interference_;
+  }
+
+  /// Attaches the pipeline-lifetime (Kanata) recorder; see
+  /// src/trace/pipeview.h. The constructor calls this automatically when
+  /// the process-global telemetry default has `pipeview` set (bench
+  /// binaries with SMT_BENCH_PIPEVIEW=1). Call before running; recording
+  /// never perturbs any counter.
+  void enable_pipeview(const trace::PipeViewConfig& cfg);
+
+  /// The attached pipeline-lifetime recorder (null when disabled).
+  const std::shared_ptr<trace::PipeViewRecorder>& pipeview() const {
+    return pipeview_;
+  }
+
+  /// Attaches the post-mortem flight recorder (read-only pipeline
+  /// observer; see src/core/flight_recorder.h). Call before running;
+  /// enabling never perturbs any counter — it skips the issue-block scan
+  /// entirely unless another attached observer wants it.
+  void enable_flight_recorder();
+
+  /// The attached flight recorder (null when disabled).
+  const std::shared_ptr<FlightRecorder>& flight_recorder() const {
+    return flight_recorder_;
+  }
+
   /// Binds `prog` to `cpu` (the program is copied and kept alive by the
   /// machine). The sched_setaffinity analog: one software thread per
   /// logical processor.
@@ -114,16 +163,19 @@ class Machine {
   Cycle cycles() const { return core_.now(); }
 
  private:
-  /// Fans the single cpu::Core observer slot out to both the per-PC
-  /// profiler and the race detector when both are enabled. Raw pointers
-  /// back into the owning Machine's shared_ptrs; either may be null.
+  /// Fans the single cpu::Core observer slot out to every enabled
+  /// observer (per-PC profiler, race detector, interference profiler,
+  /// flight recorder). Raw pointers back into the owning Machine's
+  /// shared_ptrs.
   struct ObserverTee final : cpu::PipelineObserver {
-    profile::PcProfiler* profiler = nullptr;
-    analysis::RaceDetector* detector = nullptr;
+    std::vector<cpu::PipelineObserver*> children;
 
     void on_issue(CpuId cpu, cpu::IssuePort port, uint32_t pc) override;
     void on_block(CpuId cpu, cpu::BlockReason reason, uint32_t pc,
                   Cycle cycles) override;
+    void on_interference(CpuId cpu, cpu::BlockReason reason, bool sibling,
+                         int port, Cycle cycles) override;
+    bool wants_issue_blocks() const override;
     void on_demand_miss(CpuId cpu, uint32_t pc, bool l2_miss) override;
     void on_retire_uop(CpuId cpu, const cpu::DynUop& uop,
                        int uops) override;
@@ -133,8 +185,8 @@ class Machine {
     void on_ipi_wake(CpuId cpu) override;
   };
 
-  /// Points core_ at the profiler, the detector, or the tee over both
-  /// (null when neither is enabled).
+  /// Points core_ at the single enabled observer, or at the tee over all
+  /// of them (null when none is enabled).
   void attach_pipeline_observers();
 
   MachineConfig cfg_;
@@ -144,6 +196,9 @@ class Machine {
   std::shared_ptr<trace::Telemetry> telemetry_;
   std::shared_ptr<profile::PcProfiler> pc_profiler_;
   std::shared_ptr<analysis::RaceDetector> race_detector_;
+  std::shared_ptr<profile::InterferenceProfiler> interference_;
+  std::shared_ptr<trace::PipeViewRecorder> pipeview_;
+  std::shared_ptr<FlightRecorder> flight_recorder_;
   ObserverTee tee_;
   cpu::Core core_;
   std::array<std::optional<isa::Program>, kNumLogicalCpus> programs_;

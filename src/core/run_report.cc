@@ -205,6 +205,45 @@ void write_profile(JsonWriter& w, const profile::PcProfiler& prof,
   w.end_object();
 }
 
+void write_interference_ports(
+    JsonWriter& w,
+    const std::array<uint64_t, cpu::kNumIssuePorts + 1>& ports) {
+  w.begin_object();
+  for (int p = 0; p < cpu::kNumIssuePorts; ++p) {
+    w.kv(cpu::name(static_cast<cpu::IssuePort>(p)), ports[p]);
+  }
+  // Lost to raw issue-slot exhaustion rather than a specific port.
+  w.kv("issue_bandwidth", ports[profile::CpuInterference::kIssueBandwidth]);
+  w.end_object();
+}
+
+void write_interference(JsonWriter& w,
+                        const profile::InterferenceProfiler& prof) {
+  w.begin_array();
+  for (int i = 0; i < kNumLogicalCpus; ++i) {
+    const profile::CpuInterference& s =
+        prof.stats(static_cast<CpuId>(i));
+    w.begin_object();
+    w.kv("cpu", i);
+    // Invariant checked by check_reports: self + sibling per reason
+    // equals the corresponding stall counter of this CPU bit-exactly.
+    w.key("self");
+    write_block_reason_map(w, s.self);
+    w.key("sibling");
+    write_block_reason_map(w, s.sibling);
+    w.key("port_conflict");
+    w.begin_object();
+    w.key("self");
+    write_interference_ports(w, s.port_self);
+    w.key("sibling");
+    write_interference_ports(w, s.port_sibling);
+    w.end_object();
+    w.kv("l2_sibling_evictions", s.l2_sibling_evictions);
+    w.end_object();
+  }
+  w.end_array();
+}
+
 }  // namespace
 
 RunReport RunReport::from(const RunStats& stats) {
@@ -218,13 +257,17 @@ std::string RunReport::to_json() const {
   // Reports from telemetry-enabled runs carry the windowed counter
   // time-series and advertise schema /2; plain runs stay on /1 so
   // existing artifact consumers are unaffected. Profiled runs carry a
-  // `profile` section and advertise /3 (timeseries optional there).
+  // `profile` section and advertise /3 (timeseries optional there);
+  // interference-attributed runs carry an `interference` section and
+  // advertise /4 (profile and timeseries both optional there).
   const bool timeseries = stats.telemetry != nullptr &&
                           !stats.telemetry->sampler().windows().empty();
   const bool profiled = stats.pc_profile != nullptr;
+  const bool interference = stats.interference != nullptr;
   JsonWriter w;
   w.begin_object();
-  w.kv("schema", profiled      ? "smt-run-report/3"
+  w.kv("schema", interference  ? "smt-run-report/4"
+                 : profiled    ? "smt-run-report/3"
                  : timeseries  ? "smt-run-report/2"
                                : "smt-run-report/1");
   w.kv("workload", stats.workload);
@@ -278,6 +321,11 @@ std::string RunReport::to_json() const {
     write_profile(w, *stats.pc_profile, stats.config.core);
   }
 
+  if (interference) {
+    w.key("interference");
+    write_interference(w, *stats.interference);
+  }
+
   w.end_object();
   return w.str();
 }
@@ -302,6 +350,9 @@ RunReport report_from_machine(const Machine& m, std::string workload,
   s.telemetry = m.telemetry();
   if (s.telemetry != nullptr) s.telemetry->finalize(m.cycles());
   s.pc_profile = m.pc_profiler();
+  m.finalize_interference();
+  s.interference = m.interference();
+  s.pipeview = m.pipeview();
   return RunReport::from(s);
 }
 

@@ -39,6 +39,7 @@ RunOutcome try_run_workload(const MachineConfig& cfg, Workload& w,
     }
     det.set_extents_complete(mi.complete);
   }
+  if (opt.flight_recorder) m.enable_flight_recorder();
   std::vector<isa::Program> progs = w.programs();
   SMT_CHECK_MSG(!progs.empty() && progs.size() <= kNumLogicalCpus,
                 "workload must provide 1 or 2 programs");
@@ -57,6 +58,18 @@ RunOutcome try_run_workload(const MachineConfig& cfg, Workload& w,
   if (out.stats.telemetry != nullptr) out.stats.telemetry->finalize(m.cycles());
   out.stats.pc_profile = m.pc_profiler();
   out.stats.race_detector = m.race_detector();
+  m.finalize_interference();
+  out.stats.interference = m.interference();
+  out.stats.pipeview = m.pipeview();
+
+  // Post-mortem core dump for the failure outcomes, built once the final
+  // status (and message) is known.
+  const auto build_dump = [&m, &w, &out]() {
+    if (m.flight_recorder() == nullptr) return;
+    out.core_dump =
+        core_dump_json(m, *m.flight_recorder(), w.mem_info(),
+                       out.stats.workload, name(out.status), out.message);
+  };
 
   switch (run.termination) {
     case cpu::RunTermination::kDeadlock:
@@ -82,6 +95,10 @@ RunOutcome try_run_workload(const MachineConfig& cfg, Workload& w,
         !out.stats.race_detector->clean()) {
       out.message += "; also: " + out.stats.race_detector->summary();
     }
+    if (out.status == RunStatus::kDeadlock ||
+        out.status == RunStatus::kCycleBudgetExceeded) {
+      build_dump();
+    }
     return out;
   }
 
@@ -96,6 +113,7 @@ RunOutcome try_run_workload(const MachineConfig& cfg, Workload& w,
       !out.stats.race_detector->clean()) {
     out.status = RunStatus::kRaceDetected;
     out.message = out.stats.race_detector->summary();
+    build_dump();
   }
   return out;
 }

@@ -35,6 +35,13 @@ struct RunStats {
   /// was requested (RunOptions::race_detect); null otherwise. Shared:
   /// outlives the machine.
   std::shared_ptr<analysis::RaceDetector> race_detector;
+  /// SMT interference attribution of the run (L2 dimension already
+  /// finalized), when the machine had the profiler enabled; null
+  /// otherwise. Shared: outlives the machine.
+  std::shared_ptr<profile::InterferenceProfiler> interference;
+  /// Pipeline-lifetime (Kanata) recorder of the run, when the machine had
+  /// it enabled; null otherwise. Shared: outlives the machine.
+  std::shared_ptr<trace::PipeViewRecorder> pipeview;
 
   uint64_t total(perfmon::Event e) const { return events.total(e); }
   uint64_t cpu(CpuId c, perfmon::Event e) const { return events.get(c, e); }
@@ -60,6 +67,12 @@ struct RunOptions {
   /// extents) plus the programs' own lock annotations. Detection is a
   /// pure observer: every perf counter stays bit-identical.
   bool race_detect = false;
+  /// Attach core::FlightRecorder to the machine before running; when the
+  /// run dies (deadlock, exhausted cycle budget, detected race) the
+  /// post-mortem state is serialized into RunOutcome::core_dump as an
+  /// `smt-core-dump/1` document (the smt_explain input). Pure observer:
+  /// every perf counter stays bit-identical.
+  bool flight_recorder = false;
 };
 
 /// Structured result of a non-aborting workload run. `stats` is always
@@ -70,6 +83,11 @@ struct RunOutcome {
   RunStatus status = RunStatus::kOk;
   RunStats stats;
   std::string message;  // empty on kOk, human-readable failure otherwise
+  /// `smt-core-dump/1` JSON of the post-mortem machine state, when the
+  /// flight recorder was attached (RunOptions::flight_recorder) and the
+  /// run ended in kDeadlock / kCycleBudgetExceeded / kRaceDetected;
+  /// empty otherwise.
+  std::string core_dump;
 
   bool ok() const { return status == RunStatus::kOk; }
 };

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "trace/pipeview.h"
 #include "trace/recorder.h"
 #include "trace/sampler.h"
 
@@ -54,6 +55,33 @@ const char* name(RunTermination t) {
     case RunTermination::kCancelled:           return "cancelled";
   }
   return "?";
+}
+
+const char* Core::mode_name(TMode m) {
+  switch (m) {
+    case TMode::kIdle:      return "idle";
+    case TMode::kRunning:   return "running";
+    case TMode::kHalting:   return "halting";
+    case TMode::kEnterHalt: return "enter_halt";
+    case TMode::kHalted:    return "halted";
+    case TMode::kWaking:    return "waking";
+    case TMode::kExiting:   return "exiting";
+    case TMode::kDone:      return "done";
+  }
+  return "?";
+}
+
+Core::ThreadSnapshot Core::snapshot_thread(CpuId cpu) const {
+  const Thread& t = threads_[idx(cpu)];
+  ThreadSnapshot s;
+  s.mode = mode_name(t.mode);
+  s.next_pc = t.arch.pc;
+  s.rob_occupancy = t.rob_occupancy();
+  s.uq_occupancy = t.uq.size();
+  s.lq_used = t.lq_used;
+  s.sb_used = t.sb_used;
+  s.ipi_pending = t.ipi_pending;
+  return s;
 }
 
 Core::Core(const CoreConfig& cfg, mem::CacheHierarchy& hierarchy,
@@ -293,6 +321,7 @@ int Core::retire_thread(Thread& t, CpuId cpu) {
     if (pipe_ != nullptr) {
       pipe_->on_retire_uop(cpu, u, u.op == Opcode::kXchg ? 2 : 1);
     }
+    if (pview_ != nullptr) pview_->on_retire(cpu, u.uid, now_);
 
     ++t.head;
     ++retired;
@@ -363,7 +392,10 @@ bool Core::try_issue_one(Thread& t, CpuId cpu, int& budget) {
         --cap_fp_port_;
         port = IssuePort::kFp;
         done = now_ + cfg_.latency(u.op);
-        if (cfg_.idiv_unpipelined) idiv_busy_until_ = done;
+        if (cfg_.idiv_unpipelined) {
+          idiv_busy_until_ = done;
+          idiv_owner_ = static_cast<int>(idx(cpu));
+        }
         break;
       case UnitClass::kFpAdd:
       case UnitClass::kFpMul:
@@ -378,7 +410,10 @@ bool Core::try_issue_one(Thread& t, CpuId cpu, int& budget) {
         --cap_fp_port_;
         port = IssuePort::kFp;
         done = now_ + cfg_.latency(u.op);
-        if (cfg_.fdiv_unpipelined) fdiv_busy_until_ = done;
+        if (cfg_.fdiv_unpipelined) {
+          fdiv_busy_until_ = done;
+          fdiv_owner_ = static_cast<int>(idx(cpu));
+        }
         break;
       case UnitClass::kFpMove:
         if (cap_fpmov_ <= 0) continue;
@@ -417,7 +452,17 @@ bool Core::try_issue_one(Thread& t, CpuId cpu, int& budget) {
     e.issued = true;
     e.done_at = done;
     ctr_.add(cpu, Event::kIssuedUops);
+    // Interference bookkeeping: who took which port this cycle (consumed
+    // by scan_issue_blocks; simulation state is never read from these).
+    ++uops_issued_[idx(cpu)];
+    if (has_port) {
+      ++port_issued_[idx(cpu)][static_cast<int>(port)];
+    }
     if (pipe_ != nullptr && has_port) pipe_->on_issue(cpu, port, u.pc);
+    if (pview_ != nullptr) {
+      pview_->on_issue(cpu, u.uid, has_port ? static_cast<int>(port) : -1,
+                       now_, done);
+    }
     --budget;
     return true;
   }
@@ -433,10 +478,13 @@ void Core::scan_issue_blocks() {
   // writes only the Thread attribution fields, so the simulation itself is
   // unperturbed. In an event-skip window nothing issues and no divider or
   // dependency deadline expires mid-window, so the fields stay constant and
-  // record_cycle_counters can replay them exactly over n cycles.
+  // record_cycle_counters can replay them exactly over n cycles (a frozen
+  // cycle leaves every cap full and port_issued_ all-zero, so the only
+  // reachable block there is kDividerBusy — whose owner is also frozen).
   for (int i = 0; i < kNumLogicalCpus; ++i) {
     Thread& t = threads_[i];
     const CpuId cpu = static_cast<CpuId>(i);
+    const int sib = 1 - i;
     t.issue_blocked = false;
     const int window = sched_window_limit(cpu);
     int examined = 0;
@@ -453,16 +501,71 @@ void Core::scan_issue_blocks() {
       }
       if (!ready) continue;
       BlockReason reason = BlockReason::kPortConflict;
+      bool sibling = false;
+      int port = -1;
       if (e.uop.unit == UnitClass::kIntDiv && cap_fp_port_ > 0 &&
           cfg_.idiv_unpipelined && idiv_busy_until_ > now_) {
         reason = BlockReason::kDividerBusy;
+        sibling = idiv_owner_ == sib;
       } else if (e.uop.unit == UnitClass::kFpDiv && cap_fp_port_ > 0 &&
                  cfg_.fdiv_unpipelined && fdiv_busy_until_ > now_) {
         reason = BlockReason::kDividerBusy;
+        sibling = fdiv_owner_ == sib;
+      } else {
+        // Port conflict: name the exhausted candidate port, preferring
+        // one the sibling actually issued onto this cycle; with no
+        // candidate exhausted the uop lost to raw issue-width, blamed on
+        // the sibling when it consumed any of the shared slots.
+        int candidates[2];
+        int ncand = 0;
+        switch (e.uop.unit) {
+          case UnitClass::kAlu:
+            candidates[ncand++] = static_cast<int>(IssuePort::kAlu1);
+            candidates[ncand++] = static_cast<int>(IssuePort::kAlu0);
+            break;
+          case UnitClass::kAlu0:
+          case UnitClass::kBranch:
+            candidates[ncand++] = static_cast<int>(IssuePort::kAlu0);
+            break;
+          case UnitClass::kIntMul:
+          case UnitClass::kIntDiv:
+          case UnitClass::kFpAdd:
+          case UnitClass::kFpMul:
+          case UnitClass::kFpDiv:
+            candidates[ncand++] = static_cast<int>(IssuePort::kFp);
+            break;
+          case UnitClass::kFpMove:
+            candidates[ncand++] = static_cast<int>(IssuePort::kFpMove);
+            break;
+          case UnitClass::kLoad:
+            candidates[ncand++] = static_cast<int>(IssuePort::kLoad);
+            break;
+          case UnitClass::kStore:
+            candidates[ncand++] = static_cast<int>(IssuePort::kStore);
+            break;
+          case UnitClass::kNone:
+            break;  // consumed issue bandwidth only
+        }
+        const int caps[kNumIssuePorts] = {cap_alu0_, cap_alu1_, cap_fp_port_,
+                                          cap_fpmov_, cap_load_, cap_store_};
+        for (int c = 0; c < ncand && port < 0; ++c) {
+          const int p = candidates[c];
+          if (caps[p] <= 0 && port_issued_[sib][p] > 0) {
+            port = p;
+            sibling = true;
+          }
+        }
+        for (int c = 0; c < ncand && port < 0; ++c) {
+          const int p = candidates[c];
+          if (caps[p] <= 0) port = p;  // exhausted by this context alone
+        }
+        if (port < 0) sibling = uops_issued_[sib] > 0;
       }
       t.issue_blocked = true;
       t.issue_block_reason = reason;
       t.issue_block_pc = e.uop.pc;
+      t.issue_block_sibling = sibling;
+      t.issue_block_port = port;
       break;
     }
   }
@@ -481,16 +584,20 @@ int Core::dispatch_thread(Thread& t, CpuId cpu) {
     if (t.rob_occupancy() >= static_cast<size_t>(rob_limit(cpu))) {
       t.stall = StallReason::kRob;
       t.stall_pc = u.pc;
+      t.stall_sibling = partitioned(cpu) &&
+                        t.rob_occupancy() < static_cast<size_t>(cfg_.rob_size);
       break;
     }
     if (u.is_load && !u.is_prefetch && t.lq_used >= lq_limit(cpu)) {
       t.stall = StallReason::kLoadQueue;
       t.stall_pc = u.pc;
+      t.stall_sibling = partitioned(cpu) && t.lq_used < cfg_.load_queue_size;
       break;
     }
     if (u.is_store && t.sb_used >= sb_limit(cpu)) {
       t.stall = StallReason::kStoreBuffer;
       t.stall_pc = u.pc;
+      t.stall_sibling = partitioned(cpu) && t.sb_used < cfg_.store_buffer_size;
       break;
     }
 
@@ -525,6 +632,7 @@ int Core::dispatch_thread(Thread& t, CpuId cpu) {
     t.uq.pop_front();
     ++dispatched;
     ctr_.add(cpu, Event::kDispatchedUops);
+    if (pview_ != nullptr) pview_->on_dispatch(cpu, e.uop.uid, now_);
   }
   return dispatched;
 }
@@ -548,6 +656,7 @@ int Core::fetch_thread(Thread& t, CpuId cpu) {
     }
 
     DynUop u;
+    u.uid = uop_uid_next_++;
     u.pc = static_cast<uint32_t>(&in - t.prog->code().data());
     u.op = in.op;
     u.unit = isa::unit_class(in.op);
@@ -609,6 +718,7 @@ int Core::fetch_thread(Thread& t, CpuId cpu) {
 
     t.uq.push_back(u);
     ++fetched;
+    if (pview_ != nullptr) pview_->on_fetch(cpu, u.uid, u.pc, now_);
 
     switch (r.special) {
       case ExecResult::Special::kPause:
@@ -673,6 +783,8 @@ bool Core::step_cycle() {
   cap_fpmov_ = 1;
   cap_load_ = 1;
   cap_store_ = 1;
+  port_issued_ = {};
+  uops_issued_ = {};
   {
     int budget = cfg_.issue_width;
     bool progress = true;
@@ -694,7 +806,7 @@ bool Core::step_cycle() {
   }
   // Attribution-only: find which PC (if any) is issue-blocked this cycle.
   // Must run after the issue stage so the result reflects final port state.
-  if (pipe_ != nullptr) scan_issue_blocks();
+  if (pipe_ != nullptr && pipe_->wants_issue_blocks()) scan_issue_blocks();
 
   // Dispatch: the allocator serves one context per cycle (alternating); a
   // context that has nothing queued — or whose next uop cannot allocate
@@ -737,12 +849,18 @@ bool Core::step_cycle() {
       if (t.rob_occupancy() >= static_cast<size_t>(rob_limit(cpu))) {
         t.stall = StallReason::kRob;
         t.stall_pc = u.pc;
+        t.stall_sibling =
+            partitioned(cpu) &&
+            t.rob_occupancy() < static_cast<size_t>(cfg_.rob_size);
       } else if (u.is_load && !u.is_prefetch && t.lq_used >= lq_limit(cpu)) {
         t.stall = StallReason::kLoadQueue;
         t.stall_pc = u.pc;
+        t.stall_sibling = partitioned(cpu) && t.lq_used < cfg_.load_queue_size;
       } else if (u.is_store && t.sb_used >= sb_limit(cpu)) {
         t.stall = StallReason::kStoreBuffer;
         t.stall_pc = u.pc;
+        t.stall_sibling =
+            partitioned(cpu) && t.sb_used < cfg_.store_buffer_size;
       }
     }
   }
@@ -762,6 +880,9 @@ bool Core::step_cycle() {
         // replays exactly across event-skip windows.
         t.uq_full = true;
         t.uq_full_pc = t.arch.pc;
+        t.uq_full_sibling =
+            partitioned(static_cast<CpuId>(ti)) &&
+            t.uq.size() < static_cast<size_t>(cfg_.uop_queue_size);
         continue;
       }
       const TMode mode_before = t.mode;
@@ -807,6 +928,8 @@ void Core::record_cycle_counters(Cycle first, Cycle n) {
       ctr_.add(cpu, Event::kUopQueueFullCycles, n);
       if (pipe_ != nullptr) {
         pipe_->on_block(cpu, BlockReason::kUopQueueFull, t.uq_full_pc, n);
+        pipe_->on_interference(cpu, BlockReason::kUopQueueFull,
+                               t.uq_full_sibling, -1, n);
       }
     }
     switch (t.stall) {
@@ -815,6 +938,8 @@ void Core::record_cycle_counters(Cycle first, Cycle n) {
         ctr_.add(cpu, Event::kRobStallCycles, n);
         if (pipe_ != nullptr) {
           pipe_->on_block(cpu, BlockReason::kRob, t.stall_pc, n);
+          pipe_->on_interference(cpu, BlockReason::kRob, t.stall_sibling, -1,
+                                 n);
         }
         break;
       case StallReason::kLoadQueue:
@@ -822,6 +947,8 @@ void Core::record_cycle_counters(Cycle first, Cycle n) {
         ctr_.add(cpu, Event::kLoadQueueStallCycles, n);
         if (pipe_ != nullptr) {
           pipe_->on_block(cpu, BlockReason::kLoadQueue, t.stall_pc, n);
+          pipe_->on_interference(cpu, BlockReason::kLoadQueue,
+                                 t.stall_sibling, -1, n);
         }
         break;
       case StallReason::kStoreBuffer:
@@ -829,6 +956,8 @@ void Core::record_cycle_counters(Cycle first, Cycle n) {
         ctr_.add(cpu, Event::kStoreBufferStallCycles, n);
         if (pipe_ != nullptr) {
           pipe_->on_block(cpu, BlockReason::kStoreBuffer, t.stall_pc, n);
+          pipe_->on_interference(cpu, BlockReason::kStoreBuffer,
+                                 t.stall_sibling, -1, n);
         }
         break;
       default:
@@ -836,6 +965,8 @@ void Core::record_cycle_counters(Cycle first, Cycle n) {
     }
     if (pipe_ != nullptr && t.issue_blocked) {
       pipe_->on_block(cpu, t.issue_block_reason, t.issue_block_pc, n);
+      pipe_->on_interference(cpu, t.issue_block_reason, t.issue_block_sibling,
+                             t.issue_block_port, n);
     }
   }
 }

@@ -47,6 +47,7 @@
 
 namespace smt::trace {
 class CounterSampler;
+class PipeViewRecorder;
 class TraceRecorder;
 }  // namespace smt::trace
 
@@ -54,6 +55,10 @@ namespace smt::cpu {
 
 /// One dynamic uop flowing through the backend.
 struct DynUop {
+  // Monotonic per-core id, assigned at fetch in program order across both
+  // contexts (deterministic: the counter advances whether or not any
+  // observer is attached). Keys the pipeline-lifetime trace.
+  uint64_t uid = 0;
   uint32_t pc = 0;
   isa::Opcode op = isa::Opcode::kNop;
   isa::UnitClass unit = isa::UnitClass::kNone;
@@ -162,6 +167,25 @@ class PipelineObserver {
   /// blocked for `reason` (bulk-reported across event-skip windows).
   virtual void on_block(CpuId cpu, BlockReason reason, uint32_t pc,
                         Cycle cycles) = 0;
+  /// Interference attribution twin of on_block: raised at the exact same
+  /// points with the same `cycles`, plus the self-vs-sibling classification
+  /// — `sibling` is true when the stall would not have happened without the
+  /// other context (a partitioned structure the uop would fit into at full
+  /// size, a port the sibling reserved this cycle, a divider mid-operation
+  /// on a sibling divide). For kPortConflict `port` names the contended
+  /// IssuePort (as an int), or -1 when the uop lost to issue-bandwidth
+  /// exhaustion rather than a specific port; -1 for every other reason.
+  /// Summing self+sibling per reason therefore reproduces the stall
+  /// counters bit-exactly, under both event_skip modes. Default no-op.
+  virtual void on_interference(CpuId cpu, BlockReason reason, bool sibling,
+                               int port, Cycle cycles) {
+    (void)cpu, (void)reason, (void)sibling, (void)port, (void)cycles;
+  }
+  /// Observers that never consume on_block/on_interference for the
+  /// issue-stage reasons may return false to skip the per-cycle
+  /// scan_issue_blocks pass (the flight recorder does; attribution
+  /// observers keep the default).
+  virtual bool wants_issue_blocks() const { return true; }
   /// A demand access by `pc` missed L1 (`l2_miss` = it also missed L2).
   /// Raised at the same points as the kL1Misses/kL2Misses counters.
   virtual void on_demand_miss(CpuId cpu, uint32_t pc, bool l2_miss) = 0;
@@ -233,6 +257,11 @@ class Core {
   /// and no counter or simulation state is ever perturbed when attached.
   void set_pipeline_observer(PipelineObserver* obs) { pipe_ = obs; }
 
+  /// Attaches the pipeline-lifetime trace recorder (may be null to
+  /// detach). Pure observer: uop ids advance deterministically whether or
+  /// not a recorder is attached, so recording never perturbs a counter.
+  void set_pipeview(trace::PipeViewRecorder* pv) { pview_ = pv; }
+
   /// Attaches the optional telemetry instruments (either may be null).
   /// Both are pure observers: with them attached, every perf counter stays
   /// bit-identical to an un-instrumented run — the sampler only makes the
@@ -248,6 +277,19 @@ class Core {
   const ArchState& arch(CpuId cpu) const { return threads_[idx(cpu)].arch; }
 
   const CoreConfig& config() const { return cfg_; }
+
+  /// Read-only occupancy/run-state snapshot of one context, for the
+  /// flight recorder's periodic samples and the post-mortem core dump.
+  struct ThreadSnapshot {
+    const char* mode = "idle";  // TMode name ("running", "halted", ...)
+    uint32_t next_pc = 0;       // next instruction the frontend would fetch
+    size_t rob_occupancy = 0;
+    size_t uq_occupancy = 0;
+    int lq_used = 0;
+    int sb_used = 0;
+    bool ipi_pending = false;
+  };
+  ThreadSnapshot snapshot_thread(CpuId cpu) const;
 
  private:
   enum class TMode : uint8_t {
@@ -293,6 +335,11 @@ class Core {
     // (the oldest blocked uop, always uq.front()); consumed by
     // record_cycle_counters for per-PC stall attribution.
     uint32_t stall_pc = 0;
+    // Sibling-blame bit for the allocation stall: the uop would have fit
+    // into the full (unpartitioned) structure, so only the sibling's
+    // half-share made it stall. Constant within an event-skip window
+    // (occupancies and partitioning are frozen), so it replays exactly.
+    bool stall_sibling = false;
     // Set by the fetch stage when this context donated its slot because
     // the uop queue was full; consumed by record_cycle_counters so the
     // attribution replays exactly across event-skip windows.
@@ -300,6 +347,9 @@ class Core {
     // PC of the next instruction to fetch when uq_full was set (the
     // oldest instruction blocked at the frontend).
     uint32_t uq_full_pc = 0;
+    // Sibling-blame bit for the frontend stall (queue would accept the
+    // fetch group at full size).
+    bool uq_full_sibling = false;
     // Issue-stage blocking state, recomputed after the issue stage of
     // every stepped cycle (only while a PipelineObserver is attached):
     // the oldest dependence-ready but unissued uop in the scheduler
@@ -310,6 +360,11 @@ class Core {
     bool issue_blocked = false;
     BlockReason issue_block_reason = BlockReason::kPortConflict;
     uint32_t issue_block_pc = 0;
+    // Interference classification of the issue block: did the sibling
+    // cause it (port it reserved this cycle, divider running its divide),
+    // and which port was contended (-1 = divider or raw issue bandwidth).
+    bool issue_block_sibling = false;
+    int issue_block_port = -1;
     // Recent-load/-store rings for memory-order-violation detection.
     static constexpr int kRlSize = 8;
     static constexpr int kRsSize = 16;
@@ -376,6 +431,7 @@ class Core {
   std::function<bool()> cancel_;  // host cancellation predicate (may be empty)
   RetireObserver* observer_ = nullptr;
   PipelineObserver* pipe_ = nullptr;
+  trace::PipeViewRecorder* pview_ = nullptr;
   trace::TraceRecorder* trace_ = nullptr;
   trace::CounterSampler* sampler_ = nullptr;
 
@@ -386,6 +442,12 @@ class Core {
   // Shared execution-unit state.
   Cycle fdiv_busy_until_ = 0;
   Cycle idiv_busy_until_ = 0;
+  // Which context reserved the (unpipelined) divider currently busy —
+  // the interference attribution for kDividerBusy blocks. Constant while
+  // the divide is in flight, so it replays exactly across event-skip
+  // windows.
+  int fdiv_owner_ = -1;
+  int idiv_owner_ = -1;
   Cycle store_commit_port_free_ = 0;
 
   // Issue-priority rotation (round-robin between contexts).
@@ -396,6 +458,20 @@ class Core {
   // multiplier; FP_MOVE has its own path (port 0).
   int cap_alu0_ = 0, cap_alu1_ = 0, cap_fp_port_ = 0, cap_fpmov_ = 0,
       cap_load_ = 0, cap_store_ = 0;
+
+  // Per-cycle issue bookkeeping for interference attribution: which
+  // context issued onto which port this cycle (reset with the caps;
+  // all-zero in event-skip frozen cycles, where nothing issues). Written
+  // unconditionally — two array stores per issued uop — and consumed only
+  // by scan_issue_blocks, so detached runs stay unperturbed.
+  std::array<std::array<uint16_t, kNumIssuePorts>, kNumLogicalCpus>
+      port_issued_{};
+  std::array<uint16_t, kNumLogicalCpus> uops_issued_{};
+
+  // Monotonic fetch-order uop id source (see DynUop::uid).
+  uint64_t uop_uid_next_ = 1;
+
+  static const char* mode_name(TMode m);
 };
 
 }  // namespace smt::cpu

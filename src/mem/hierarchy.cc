@@ -41,6 +41,7 @@ void CacheHierarchy::hw_stream_observe(CpuId cpu, Addr line, Cycle now) {
       const Cycle l2_start = std::max(now, l2_free_);
       l2_free_ = l2_start + cfg_.l2_cycles_per_access;
       const Cache::AccessResult r2 = l2_.access(ahead, /*is_write=*/false);
+      note_l2_eviction(r2, cpu);
       if (r2.writeback) writeback(l2_start);
       fetch_from_memory(ahead, l2_start);
     }
@@ -57,6 +58,14 @@ void CacheHierarchy::hw_stream_observe(CpuId cpu, Addr line, Cycle now) {
 void CacheHierarchy::reset_stats() {
   stats_ = {};
   for (auto& m : pc_misses_) m.clear();
+  l2_evictor_.clear();
+  sibling_eviction_misses_ = {};
+}
+
+void CacheHierarchy::note_l2_eviction(const Cache::AccessResult& r,
+                                      CpuId cpu) {
+  if (!track_interference_ || !r.evicted) return;
+  l2_evictor_[r.evicted_line] = idx(cpu);
 }
 
 void CacheHierarchy::writeback(Cycle now) {
@@ -126,7 +135,7 @@ AccessOutcome CacheHierarchy::access(Addr a, bool is_write, CpuId cpu,
   ++st.l1_misses;
   if (r1.writeback) {
     // L1 victim written back into L2 (state only; no requester delay).
-    l2_.access(r1.evicted_line, /*is_write=*/true);
+    note_l2_eviction(l2_.access(r1.evicted_line, /*is_write=*/true), cpu);
   }
 
   ++st.l2_accesses;
@@ -144,6 +153,16 @@ AccessOutcome CacheHierarchy::access(Addr a, bool is_write, CpuId cpu,
   ++st.l2_misses;
   if (!is_write) ++st.l2_read_misses;
   if (track_pc_misses_) ++pc_misses_[idx(cpu)][pc];
+  if (track_interference_) {
+    // Was this miss manufactured by the sibling evicting the line?
+    const Addr l2_line = l2_.line_of(a);
+    const auto it = l2_evictor_.find(l2_line);
+    if (it != l2_evictor_.end()) {
+      if (it->second != idx(cpu)) ++sibling_eviction_misses_[idx(cpu)];
+      l2_evictor_.erase(it);
+    }
+    note_l2_eviction(r2, cpu);
+  }
   if (r2.writeback) writeback(l2_start);
 
   const Cycle ready = fetch_from_memory(line, l2_start);
@@ -168,6 +187,7 @@ Cycle CacheHierarchy::prefetch(Addr a, bool to_l1, CpuId cpu, Cycle now) {
     const Cycle l2_start = std::max(now, l2_free_);
     l2_free_ = l2_start + cfg_.l2_cycles_per_access;
     const Cache::AccessResult r2 = l2_.access(a, /*is_write=*/false);
+    note_l2_eviction(r2, cpu);
     if (r2.writeback) writeback(l2_start);
     ready = fetch_from_memory(line, l2_start);
   } else {
@@ -175,7 +195,9 @@ Cycle CacheHierarchy::prefetch(Addr a, bool to_l1, CpuId cpu, Cycle now) {
   }
   if (to_l1) {
     const Cache::AccessResult r1 = l1_.access(a, /*is_write=*/false);
-    if (r1.writeback) l2_.access(r1.evicted_line, /*is_write=*/true);
+    if (r1.writeback) {
+      note_l2_eviction(l2_.access(r1.evicted_line, /*is_write=*/true), cpu);
+    }
   }
   return ready;
 }

@@ -96,6 +96,17 @@ class CacheHierarchy {
     return pc_misses_[idx(cpu)];
   }
 
+  /// L2 capacity-interference tracking (the interference profiler's cache
+  /// dimension): when on, every L2 fill records which logical CPU's fill
+  /// displaced the victim line, and a later demand L2 miss on a line the
+  /// *sibling* evicted counts toward sibling_eviction_misses. Pure
+  /// bookkeeping on the side — no timing, placement, or CpuStats field is
+  /// affected, so enabling it never perturbs a counter.
+  void set_track_interference(bool on) { track_interference_ = on; }
+  uint64_t sibling_eviction_misses(CpuId cpu) const {
+    return sibling_eviction_misses_[idx(cpu)];
+  }
+
   const Cache& l1() const { return l1_; }
   const Cache& l2() const { return l2_; }
   const HierConfig& config() const { return cfg_; }
@@ -116,6 +127,10 @@ class CacheHierarchy {
   /// Feeds the stream-prefetch engine with a demand L1 miss.
   void hw_stream_observe(CpuId cpu, Addr line, Cycle now);
 
+  /// Records the victim of an L2 fill performed on behalf of `cpu`
+  /// (demand fill, software/hardware prefetch, or L1 writeback allocate).
+  void note_l2_eviction(const Cache::AccessResult& r, CpuId cpu);
+
   HierConfig cfg_;
   Cache l1_;
   Cache l2_;
@@ -133,6 +148,11 @@ class CacheHierarchy {
   bool track_pc_misses_ = false;
   std::array<CpuStats, kNumLogicalCpus> stats_{};
   std::array<std::unordered_map<uint32_t, uint64_t>, kNumLogicalCpus> pc_misses_;
+  bool track_interference_ = false;
+  // evicted L2 line -> idx of the CPU whose fill displaced it (entries
+  // consumed by the next demand miss on that line).
+  std::unordered_map<Addr, int> l2_evictor_;
+  std::array<uint64_t, kNumLogicalCpus> sibling_eviction_misses_{};
 };
 
 }  // namespace smt::mem

@@ -36,6 +36,17 @@ struct TelemetryConfig {
   /// run reports gain a `profile` section and move to schema /3).
   /// Independent of `enabled`: profiling without time-series is valid.
   bool pc_profile = false;
+  /// Attach the SMT interference profiler (src/profile/interference.h;
+  /// run reports gain an `interference` section and move to schema /4).
+  /// Independent of `enabled`, like pc_profile. Wired to
+  /// SMT_BENCH_INTERFERENCE by bench/bench_util.h.
+  bool interference = false;
+  /// Attach the pipeline-lifetime recorder (src/trace/pipeview.h; bench
+  /// drivers write a Kanata .kanata file beside each report). Wired to
+  /// SMT_BENCH_PIPEVIEW / SMT_BENCH_PIPEVIEW_WINDOW by bench/bench_util.h.
+  bool pipeview = false;
+  Cycle pipeview_begin = 0;
+  Cycle pipeview_end = 100'000;
 };
 
 /// Process-global default consulted by Machine's constructor; disabled

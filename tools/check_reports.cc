@@ -4,7 +4,7 @@
 //                   [--metrics <metrics.json> --index <sweep_index.json>]
 //
 // Every *.json in <report-dir> must parse as a RunReport of schema
-// smt-run-report/1, /2 or /3 and carry the required fields (per-CPU
+// smt-run-report/1, /2, /3 or /4 and carry the required fields (per-CPU
 // events + cycle breakdown). Schema /2 reports additionally carry a
 // `timeseries` section whose per-window counter deltas are checked to sum
 // exactly to the end-of-run per-CPU totals — the key invariant of the
@@ -13,6 +13,16 @@
 // checked to sum exactly to the counter totals (retired instrs/uops,
 // L1/L2 misses, the four counter-backed stall reasons) and whose port
 // occupancy is bounded by the per-cycle port caps times run cycles.
+// Schema /4 reports carry an `interference` section (profile/timeseries
+// optional) whose self+sibling stall attributions are checked to sum
+// exactly to the four counter-backed stall counters, whose port-conflict
+// decomposition must sum to the port_conflict reason totals, and whose
+// per-port blame is bounded by the run cycle count (one blocked uop is
+// tracked per context per cycle).
+//
+// With --dumps <dir>, every *.json there must parse as an
+// smt-core-dump/1 post-mortem document (per-CPU architectural state,
+// monotonic retirement ring, well-formed wait states and wait-for edges).
 //
 // When <trace-dir> is given, every *.trace.json there must parse as a
 // Chrome trace-event document (object form with a `traceEvents` array of
@@ -249,6 +259,100 @@ bool check_profile(const fs::path& path, const smt::JsonValue& prof,
   return true;
 }
 
+// Checks the /4 `interference` section: per reason, self + sibling cycles
+// must reproduce the corresponding stall counter exactly (the tentpole
+// invariant of the interference profiler); the port-conflict decomposition
+// must sum to the port_conflict reason totals; and no single port's blame
+// can exceed the run cycle count (at most one blocked uop is tracked per
+// context per cycle).
+bool check_interference(const fs::path& path, const smt::JsonValue& inter,
+                        const smt::JsonValue& cpus, double cycles) {
+  if (!inter.is_array() ||
+      inter.array.size() != static_cast<size_t>(smt::kNumLogicalCpus)) {
+    std::fprintf(stderr, "%s: \"interference\" is not a %d-entry array\n",
+                 path.c_str(), smt::kNumLogicalCpus);
+    return false;
+  }
+  // The counter backing each counter-backed BlockReason (the issue-stage
+  // reasons port_conflict/divider_busy have no per-CPU counter).
+  const struct {
+    smt::cpu::BlockReason reason;
+    const char* counter;
+  } backed[] = {
+      {smt::cpu::BlockReason::kStoreBuffer, "store_buffer_stall_cycles"},
+      {smt::cpu::BlockReason::kRob, "rob_stall_cycles"},
+      {smt::cpu::BlockReason::kLoadQueue, "load_queue_stall_cycles"},
+      {smt::cpu::BlockReason::kUopQueueFull, "uop_queue_full_cycles"},
+  };
+  for (size_t i = 0; i < inter.array.size(); ++i) {
+    const smt::JsonValue& entry = inter.array[i];
+    const smt::JsonValue* self = entry.find("self");
+    const smt::JsonValue* sibling = entry.find("sibling");
+    const smt::JsonValue* pc = entry.find("port_conflict");
+    if (self == nullptr || !self->is_object() || sibling == nullptr ||
+        !sibling->is_object() || pc == nullptr || !pc->is_object() ||
+        !has_number(entry, "l2_sibling_evictions")) {
+      std::fprintf(stderr,
+                   "%s: interference cpu%zu missing self/sibling/"
+                   "port_conflict/l2_sibling_evictions\n",
+                   path.c_str(), i);
+      return false;
+    }
+    const smt::JsonValue* events = cpus.array[i].find("events");
+    for (const auto& [reason, counter] : backed) {
+      const char* rname = smt::cpu::name(reason);
+      const double sum =
+          map_value(self, rname) + map_value(sibling, rname);
+      const double total = number_or(*events, counter, 0.0);
+      if (sum != total) {
+        std::fprintf(stderr,
+                     "%s: cpu%zu %s: self+sibling sum %.0f != counter %.0f\n",
+                     path.c_str(), i, counter, sum, total);
+        return false;
+      }
+    }
+    // The port decomposition (ports + the issue_bandwidth bucket) must
+    // account for every port_conflict cycle, side by side.
+    const char* conflict = smt::cpu::name(smt::cpu::BlockReason::kPortConflict);
+    const struct {
+      const char* side;
+      const smt::JsonValue* map;
+      const smt::JsonValue* reasons;  // map whose port_conflict is the total
+    } sides[] = {{"self", pc->find("self"), self},
+                 {"sibling", pc->find("sibling"), sibling}};
+    for (const auto& [side, map, reasons] : sides) {
+      if (map == nullptr || !map->is_object()) {
+        std::fprintf(stderr, "%s: cpu%zu port_conflict missing %s map\n",
+                     path.c_str(), i, side);
+        return false;
+      }
+      double sum = map_value(map, "issue_bandwidth");
+      for (int p = 0; p < smt::cpu::kNumIssuePorts; ++p) {
+        const char* pname =
+            smt::cpu::name(static_cast<smt::cpu::IssuePort>(p));
+        const double v = map_value(map, pname);
+        if (v > cycles) {
+          std::fprintf(stderr,
+                       "%s: cpu%zu %s port %s blame %.0f exceeds %.0f "
+                       "cycles\n",
+                       path.c_str(), i, side, pname, v, cycles);
+          return false;
+        }
+        sum += v;
+      }
+      const double total = map_value(reasons, conflict);
+      if (sum != total) {
+        std::fprintf(stderr,
+                     "%s: cpu%zu port_conflict %s sums to %.0f, reason "
+                     "total %.0f\n",
+                     path.c_str(), i, side, sum, total);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 bool check_report(const fs::path& path) {
   std::ifstream in(path);
   std::stringstream ss;
@@ -262,12 +366,14 @@ bool check_report(const fs::path& path) {
   const smt::JsonValue* schema = v->find("schema");
   if (schema == nullptr || (schema->string != "smt-run-report/1" &&
                             schema->string != "smt-run-report/2" &&
-                            schema->string != "smt-run-report/3")) {
+                            schema->string != "smt-run-report/3" &&
+                            schema->string != "smt-run-report/4")) {
     std::fprintf(stderr, "%s: missing/unknown schema\n", path.c_str());
     return false;
   }
   const bool v2 = schema->string == "smt-run-report/2";
   const bool v3 = schema->string == "smt-run-report/3";
+  const bool v4 = schema->string == "smt-run-report/4";
   for (const char* key : {"workload", "cycles", "verified", "config",
                           "cpus", "totals"}) {
     if (v->find(key) == nullptr) {
@@ -316,9 +422,9 @@ bool check_report(const fs::path& path) {
                  path.c_str());
     return false;
   }
-  // /2 requires timeseries; /3 may carry it (profiled + traced run); /1
-  // must not.
-  if (!v2 && !v3 && ts != nullptr) {
+  // /2 requires timeseries; /3 and /4 may carry it (profiled/attributed +
+  // traced run); /1 must not.
+  if (!v2 && !v3 && !v4 && ts != nullptr) {
     std::fprintf(stderr, "%s: schema /1 must not carry timeseries\n",
                  path.c_str());
     return false;
@@ -330,14 +436,135 @@ bool check_report(const fs::path& path) {
                  path.c_str());
     return false;
   }
-  if (!v3 && prof != nullptr) {
+  // /3 requires profile; /4 may carry it; /1 and /2 must not.
+  if (!v3 && !v4 && prof != nullptr) {
     std::fprintf(stderr, "%s: schema /%s must not carry profile\n",
                  path.c_str(), v2 ? "2" : "1");
     return false;
   }
-  if (v3 &&
+  if (prof != nullptr &&
       !check_profile(path, *prof, *cpus, number_or(*v, "cycles", 0.0))) {
     return false;
+  }
+  const smt::JsonValue* inter = v->find("interference");
+  if (v4 && inter == nullptr) {
+    std::fprintf(stderr, "%s: schema /4 but no interference section\n",
+                 path.c_str());
+    return false;
+  }
+  if (!v4 && inter != nullptr) {
+    std::fprintf(stderr, "%s: only schema /4 may carry interference\n",
+                 path.c_str());
+    return false;
+  }
+  if (v4 && !check_interference(path, *inter, *cpus,
+                                number_or(*v, "cycles", 0.0))) {
+    return false;
+  }
+  return true;
+}
+
+// Validates one smt-core-dump/1 post-mortem document (see
+// src/core/flight_recorder.h): failure outcome, per-CPU architectural
+// state with a cycle-monotonic retirement ring, well-formed wait states
+// and wait-for edges.
+bool check_dump(const fs::path& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto v = smt::parse_json(ss.str());
+  if (!v.has_value() || !v->is_object()) {
+    std::fprintf(stderr, "%s: does not parse as a JSON object\n",
+                 path.c_str());
+    return false;
+  }
+  const smt::JsonValue* schema = v->find("schema");
+  if (schema == nullptr || schema->string != "smt-core-dump/1") {
+    std::fprintf(stderr, "%s: missing/unknown schema\n", path.c_str());
+    return false;
+  }
+  const smt::JsonValue* outcome = v->find("outcome");
+  if (outcome == nullptr || !outcome->is_string() ||
+      (outcome->string != "deadlock" &&
+       outcome->string != "cycle_budget_exceeded" &&
+       outcome->string != "race_detected")) {
+    std::fprintf(stderr, "%s: missing/unknown outcome\n", path.c_str());
+    return false;
+  }
+  if (v->find("workload") == nullptr || v->find("message") == nullptr ||
+      !has_number(*v, "cycle")) {
+    std::fprintf(stderr, "%s: missing workload/message/cycle\n",
+                 path.c_str());
+    return false;
+  }
+  const double cycle = v->find("cycle")->number;
+  const smt::JsonValue* cpus = v->find("cpus");
+  if (cpus == nullptr || !cpus->is_array() ||
+      cpus->array.size() != static_cast<size_t>(smt::kNumLogicalCpus)) {
+    std::fprintf(stderr, "%s: \"cpus\" is not a %d-entry array\n",
+                 path.c_str(), smt::kNumLogicalCpus);
+    return false;
+  }
+  for (size_t i = 0; i < cpus->array.size(); ++i) {
+    const smt::JsonValue& c = cpus->array[i];
+    const smt::JsonValue* mode = c.find("mode");
+    const smt::JsonValue* wait = c.find("wait");
+    const smt::JsonValue* iregs = c.find("iregs");
+    const smt::JsonValue* fregs = c.find("fregs");
+    const smt::JsonValue* recent = c.find("recent_retired");
+    const smt::JsonValue* snaps = c.find("snapshots");
+    if (mode == nullptr || !mode->is_string() || !has_number(c, "pc") ||
+        c.find("disasm") == nullptr || !has_number(c, "rob") ||
+        !has_number(c, "uop_queue") || !has_number(c, "load_queue") ||
+        !has_number(c, "store_buffer") || wait == nullptr ||
+        !wait->is_object() || iregs == nullptr || !iregs->is_array() ||
+        fregs == nullptr || !fregs->is_array() || recent == nullptr ||
+        !recent->is_array() || snaps == nullptr || !snaps->is_array()) {
+      std::fprintf(stderr, "%s: cpu%zu entry malformed\n", path.c_str(), i);
+      return false;
+    }
+    const smt::JsonValue* kind = wait->find("kind");
+    if (kind == nullptr || !kind->is_string() ||
+        (kind->string != "halt" && kind->string != "spin" &&
+         kind->string != "none")) {
+      std::fprintf(stderr, "%s: cpu%zu wait.kind malformed\n", path.c_str(),
+                   i);
+      return false;
+    }
+    double prev = -1.0;
+    for (const smt::JsonValue& e : recent->array) {
+      if (!has_number(e, "cycle") || !has_number(e, "pc") ||
+          e.find("disasm") == nullptr) {
+        std::fprintf(stderr, "%s: cpu%zu recent_retired entry malformed\n",
+                     path.c_str(), i);
+        return false;
+      }
+      const double ecycle = e.find("cycle")->number;
+      if (ecycle < prev || ecycle > cycle) {
+        std::fprintf(stderr,
+                     "%s: cpu%zu recent_retired cycles not monotonic within "
+                     "the run\n",
+                     path.c_str(), i);
+        return false;
+      }
+      prev = ecycle;
+    }
+  }
+  const smt::JsonValue* sync_words = v->find("sync_words");
+  const smt::JsonValue* wait_for = v->find("wait_for");
+  if (sync_words == nullptr || !sync_words->is_array() ||
+      wait_for == nullptr || !wait_for->is_array()) {
+    std::fprintf(stderr, "%s: missing sync_words/wait_for arrays\n",
+                 path.c_str());
+    return false;
+  }
+  for (const smt::JsonValue& e : wait_for->array) {
+    const smt::JsonValue* why = e.find("why");
+    if (!has_number(e, "from") || !has_number(e, "to") || why == nullptr ||
+        !why->is_string()) {
+      std::fprintf(stderr, "%s: malformed wait_for edge\n", path.c_str());
+      return false;
+    }
   }
   return true;
 }
@@ -588,7 +815,7 @@ std::pair<int, int> scan(const fs::path& dir, const std::string& suffix,
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <report-dir> [trace-dir]"
-               " [--metrics FILE --index FILE]\n",
+               " [--metrics FILE --index FILE] [--dumps DIR]\n",
                argv0);
   return 2;
 }
@@ -599,14 +826,17 @@ int main(int argc, char** argv) {
   std::vector<std::string> dirs;
   std::string metrics_file;
   std::string index_file;
+  std::string dumps_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--metrics" || a == "--index") {
+    if (a == "--metrics" || a == "--index" || a == "--dumps") {
       if (i + 1 >= argc) {
         smt::log::error("option requires an argument", {{"option", a}});
         return usage(argv[0]);
       }
-      (a == "--metrics" ? metrics_file : index_file) = argv[++i];
+      (a == "--metrics" ? metrics_file
+       : a == "--index" ? index_file
+                        : dumps_dir) = argv[++i];
     } else if (!a.empty() && a[0] == '-') {
       smt::log::error("unknown option", {{"option", a}});
       return usage(argv[0]);
@@ -657,6 +887,22 @@ int main(int argc, char** argv) {
       if (io_error) return 3;
       ++bad;
     }
+  }
+  if (!dumps_dir.empty()) {
+    const fs::path ddir = dumps_dir;
+    if (!fs::is_directory(ddir)) {
+      smt::log::error("not a directory", {{"path", ddir.string()}});
+      return 3;
+    }
+    auto [dchecked, dbad] = scan(ddir, ".json", /*exclude_traces=*/false,
+                                 check_dump);
+    if (dchecked == 0) {
+      std::fprintf(stderr, "%s: no core-dump artifacts found\n",
+                   ddir.c_str());
+      return 1;
+    }
+    std::printf("%d dump(s) checked, %d bad\n", dchecked, dbad);
+    bad += dbad;
   }
   return bad == 0 ? 0 : 1;
 }

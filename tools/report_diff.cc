@@ -2,11 +2,14 @@
 //
 //   $ report_diff <a.json> <b.json> [--rel-tol R] [--abs-tol A]
 //
-// Compares two RunReport artifacts (any mix of schemas /1, /2, /3):
+// Compares two RunReport artifacts (any mix of schemas /1, /2, /3, /4):
 // cycles, every per-CPU counter, the cycle-accounting breakdown, the
-// totals section — and, when both reports are profiled (/3), the per-PC
+// totals section — when both reports are profiled (/3+), the per-PC
 // hotspot attributions (retired uops, total stall cycles, L2 misses; a PC
-// absent on one side counts as zero there).
+// absent on one side counts as zero there) — and, when both carry an
+// interference section (/4), the per-CPU self/sibling stall attributions
+// per resource plus the L2 sibling-eviction counts, gated by the same
+// relative/absolute thresholds.
 //
 // A quantity regresses when |a-b| exceeds BOTH the absolute tolerance
 // (default 0 — any change) and the relative tolerance against
@@ -210,6 +213,59 @@ int main(int argc, char** argv) {
     }
   } else if (a3 != b3) {
     std::printf("note: only one report is profiled (/3); hotspots not "
+                "compared\n");
+  }
+
+  // Interference attributions, when both sides carry them (/4). Every
+  // numeric leaf is compared under the same relative-threshold gate:
+  // self/sibling cycles per reason, the port-conflict decomposition and
+  // the L2 sibling-eviction count.
+  const JsonValue* ai = a->find("interference");
+  const JsonValue* bi = b->find("interference");
+  if (ai != nullptr && bi != nullptr && ai->is_array() && bi->is_array() &&
+      ai->array.size() == bi->array.size()) {
+    for (size_t i = 0; i < ai->array.size(); ++i) {
+      const JsonValue& ac = ai->array[i];
+      const JsonValue& bc = bi->array[i];
+      for (const char* side : {"self", "sibling"}) {
+        const JsonValue* am = ac.find(side);
+        const JsonValue* bm = bc.find(side);
+        if (am == nullptr || !am->is_object()) continue;
+        for (const auto& [reason, av] : am->object) {
+          if (!av.is_number()) continue;
+          char label[96];
+          std::snprintf(label, sizeof label, "cpu%zu.interference.%s.%s", i,
+                        side, reason.c_str());
+          gate.compare(label, av.number,
+                       bm != nullptr ? number_or(*bm, reason, 0.0) : 0.0);
+        }
+      }
+      const JsonValue* apc = ac.find("port_conflict");
+      const JsonValue* bpc = bc.find("port_conflict");
+      if (apc != nullptr && apc->is_object()) {
+        for (const auto& [side, am] : apc->object) {
+          if (!am.is_object()) continue;
+          const JsonValue* bm =
+              bpc != nullptr ? bpc->find(side) : nullptr;
+          for (const auto& [port, av] : am.object) {
+            if (!av.is_number()) continue;
+            char label[96];
+            std::snprintf(label, sizeof label,
+                          "cpu%zu.interference.port_conflict.%s.%s", i,
+                          side.c_str(), port.c_str());
+            gate.compare(label, av.number,
+                         bm != nullptr ? number_or(*bm, port, 0.0) : 0.0);
+          }
+        }
+      }
+      char label[96];
+      std::snprintf(label, sizeof label,
+                    "cpu%zu.interference.l2_sibling_evictions", i);
+      gate.compare(label, number_or(ac, "l2_sibling_evictions", 0.0),
+                   number_or(bc, "l2_sibling_evictions", 0.0));
+    }
+  } else if ((ai != nullptr) != (bi != nullptr)) {
+    std::printf("note: only one report carries interference (/4); not "
                 "compared\n");
   }
 

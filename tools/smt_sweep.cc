@@ -16,6 +16,9 @@
 //   --trace FILE      write a Chrome trace-event (Perfetto-loadable)
 //                     timeline of the sweep: one track per worker, one
 //                     span per job attempt colored by its outcome
+//   --pipeview        record per-uop pipeline lifetimes for every job; a
+//                     Kanata file (Konata-loadable) per job lands in
+//                     <out>/pipeview/ (reports stay byte-identical)
 //   --quiet           errors only: no progress line, log level error
 //   --list            print the experiment registry and exit
 //
@@ -26,7 +29,12 @@
 // <out>/reports/ (also for failed jobs — a partial report is still
 // data), and a merged, schema-versioned <out>/sweep_index.json records
 // every job's structured outcome, timing and report path, in manifest
-// order regardless of scheduling. Because each job's artifact depends
+// order regardless of scheduling. Every job runs with the post-mortem
+// flight recorder attached (a pure observer — reports are unaffected);
+// when a job dies in deadlock / cycle-budget exhaustion / a detected
+// race, its smt-core-dump/1 document lands in <out>/dumps/ and the index
+// entry's "dump" field points at it (empty otherwise) — feed it to
+// tools/smt_explain for a diagnosis. Because each job's artifact depends
 // only on its definition, a parallel sweep's reports are byte-identical
 // to a serial (--jobs 1) run's — and stay that way with --metrics and
 // --trace enabled, since those artifacts are wall-clock data in separate
@@ -58,6 +66,8 @@
 #include "host/job_pool.h"
 #include "host/metrics.h"
 #include "host/sweep_trace.h"
+#include "trace/pipeview.h"
+#include "trace/telemetry.h"
 
 namespace {
 
@@ -76,6 +86,7 @@ struct SweepOptions {
   std::string trace_path;
   smt::Cycle cycle_budget = 0;  // 0: use each definition's own budget
   long timeout_ms = 0;
+  bool pipeview = false;
   bool quiet = false;
   bool list = false;
   std::vector<std::string> names;  // explicit positional selections
@@ -90,14 +101,16 @@ struct JobRecord {
   smt::Cycle cycles = 0;
   bool verified = false;
   std::string report;  // path relative to the output directory
+  std::string dump;    // core-dump path relative to the output directory
+                       // ("" when the job did not die with one)
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--out DIR] [--manifest FILE]\n"
                "       [--cycle-budget N] [--timeout-ms N]\n"
-               "       [--metrics FILE] [--trace FILE] [--quiet] [--list]\n"
-               "       [experiment names...]\n",
+               "       [--metrics FILE] [--trace FILE] [--pipeview]\n"
+               "       [--quiet] [--list] [experiment names...]\n",
                argv0);
   return kExitUsage;
 }
@@ -140,6 +153,8 @@ bool parse_args(int argc, char** argv, SweepOptions* opt) {
       const char* v = next("--timeout-ms");
       if (v == nullptr) return false;
       opt->timeout_ms = std::atol(v);
+    } else if (a == "--pipeview") {
+      opt->pipeview = true;
     } else if (a == "--quiet") {
       opt->quiet = true;
     } else if (a == "--list") {
@@ -199,6 +214,7 @@ std::string index_json(const SweepOptions& opt,
     w.kv("cycles", static_cast<uint64_t>(r.cycles));
     w.kv("verified", r.verified);
     w.kv("report", r.report);
+    w.kv("dump", r.dump);
     w.end_object();
   }
   w.end_array();
@@ -339,26 +355,42 @@ int main(int argc, char** argv) {
   }
   if (unknown) return kExitUsage;
 
+  // --pipeview flips the process-global telemetry config before any job's
+  // Machine is constructed; the config is read-only for the rest of the
+  // sweep, so concurrent job workers see a consistent value.
+  if (opt.pipeview) {
+    smt::trace::TelemetryConfig cfg;
+    cfg.pipeview = true;
+    smt::trace::set_global_telemetry(cfg);
+  }
+
   std::vector<JobRecord> records(manifest.size());
   std::vector<smt::host::Job> jobs(manifest.size());
   for (size_t i = 0; i < manifest.size(); ++i) {
     const ExperimentDef& def = *defs[i];
     JobRecord& rec = records[i];
     rec.name = def.name;
-    rec.report = "reports/" + smt::sanitize_artifact_key(def.name) + ".json";
+    const std::string key = smt::sanitize_artifact_key(def.name);
+    rec.report = "reports/" + key + ".json";
     const smt::Cycle budget =
         opt.cycle_budget != 0 ? opt.cycle_budget : def.cycle_budget;
     const std::string report_path = opt.out_dir + "/" + rec.report;
+    const std::string dump_rel = "dumps/" + key + ".dump.json";
+    const std::string dump_path = opt.out_dir + "/" + dump_rel;
+    const std::string kanata_path =
+        opt.out_dir + "/pipeview/" + key + ".kanata";
 
     jobs[i].name = def.name;
-    jobs[i].fn = [&def, &rec, budget, report_path](
-                     const smt::host::CancelToken& token, int /*attempt*/,
-                     std::string* message) {
+    jobs[i].fn = [&def, &rec, budget, report_path, dump_rel, dump_path,
+                  kanata_path](const smt::host::CancelToken& token,
+                               int /*attempt*/, std::string* message) {
       const std::unique_ptr<smt::core::Workload> w = def.make();
+      smt::core::RunOptions ro;
+      ro.race_detect = def.race_detect;
+      ro.flight_recorder = true;
       smt::core::RunOutcome o = smt::core::try_run_workload(
           smt::core::MachineConfig{}, *w, budget,
-          [&token] { return token.expired(); },
-          smt::core::RunOptions{def.race_detect});
+          [&token] { return token.expired(); }, ro);
 
       // Even a failed run leaves a valid partial report — write it so the
       // surviving measurements of a broken sweep are never lost. A
@@ -367,6 +399,24 @@ int main(int argc, char** argv) {
         *message = "could not write report " + report_path;
         rec.outcome = "report_write_failed";
         return smt::host::JobStatus::kFailed;
+      }
+      // Post-mortem core dump for jobs that died in a diagnosable way.
+      // A cancelled (watchdog) attempt never carries one, so a retry
+      // cannot leave a stale dump behind; still clear the record so the
+      // index only ever references a dump the final attempt produced.
+      rec.dump.clear();
+      if (!o.core_dump.empty()) {
+        if (!smt::write_text_file(dump_path, o.core_dump)) {
+          std::fprintf(stderr, "warning: could not write dump %s\n",
+                       dump_path.c_str());
+        } else {
+          rec.dump = dump_rel;
+        }
+      }
+      if (o.stats.pipeview != nullptr &&
+          !smt::trace::write_kanata_file(*o.stats.pipeview, kanata_path)) {
+        std::fprintf(stderr, "warning: could not write pipeview %s\n",
+                     kanata_path.c_str());
       }
       rec.cycles = o.stats.cycles;
       rec.verified = o.stats.verified;
