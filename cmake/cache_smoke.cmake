@@ -1,0 +1,162 @@
+# Result-cache smoke driver: exercise smt_sweep's content-addressed
+# store end to end. Invoked by ctest (see tools/CMakeLists.txt) as:
+#   cmake -DSWEEP=... -DCHECKER=... -DHISTORY=... -DOUT_DIR=...
+#         -P cache_smoke.cmake
+#
+# Phases:
+#   1. cold: sweep a small manifest (one deterministically-failing
+#      self-test included — failures are results too) against an empty
+#      --cache. Every job misses; every completed outcome is stored.
+#   2. warm: the same manifest against the same cache into a fresh out
+#      dir. Every job must hit ("cached":false must not appear), every
+#      report/dump must be byte-identical to the cold run's, and the
+#      index must be byte-identical modulo the wall_ms and cached
+#      fields. The metrics snapshot must cross-check (check_reports
+#      enforces lookups == hits + misses + verify_failed, hits == index
+#      cached-count, ...).
+#   3. audit: the same manifest with --cache-verify — every hit is
+#      re-simulated and byte-compared before being trusted; the metrics
+#      must record every hit as verified and the sweep must still
+#      succeed (modulo the injected failure).
+#   4. idempotent history: ingesting the cold and warm sweeps into one
+#      fresh history store must record runs exactly once — the two
+#      indexes differ only in wall-clock fields, so they share a stable
+#      run id and the second ingest is a complete no-op.
+#   5. guard rails: --pipeview with --cache must be refused up front.
+set(manifest mm.serial.n64 lu.serial.n64 bt.serial selftest.deadlock)
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+
+# Phase 1: cold sweep. selftest.deadlock makes the exit code nonzero;
+# everything else about the sweep must be intact.
+execute_process(COMMAND "${SWEEP}" --jobs 1 --out "${OUT_DIR}/cold"
+  --cache "${OUT_DIR}/cache" --metrics "${OUT_DIR}/cold/metrics.json"
+  ${manifest} RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "cold sweep with a failing self-test exited 0")
+endif()
+file(READ "${OUT_DIR}/cold/sweep_index.json" cold_index)
+string(FIND "${cold_index}" "\"cached\":true" pos)
+if(NOT pos EQUAL -1)
+  message(FATAL_ERROR "cold sweep against an empty cache reported a hit")
+endif()
+# All four outcomes (ok x3 + deadlock) are deterministic completions:
+# four objects must have been stored.
+file(GLOB objects "${OUT_DIR}/cache/objects/*")
+list(LENGTH objects n)
+if(NOT n EQUAL 4)
+  message(FATAL_ERROR "cache holds ${n} objects after the cold sweep, "
+    "expected 4")
+endif()
+execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/cold/reports"
+  --metrics "${OUT_DIR}/cold/metrics.json"
+  --index "${OUT_DIR}/cold/sweep_index.json" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cold sweep artifacts failed validation: ${rc}")
+endif()
+
+# Phase 2: warm sweep — 100% hits, byte-identical artifacts.
+execute_process(COMMAND "${SWEEP}" --jobs 1 --out "${OUT_DIR}/warm"
+  --cache "${OUT_DIR}/cache" --metrics "${OUT_DIR}/warm/metrics.json"
+  ${manifest} RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "warm sweep with a failing self-test exited 0")
+endif()
+file(READ "${OUT_DIR}/warm/sweep_index.json" warm_index)
+string(FIND "${warm_index}" "\"cached\":false" pos)
+if(NOT pos EQUAL -1)
+  message(FATAL_ERROR "warm sweep missed the cache for at least one job")
+endif()
+
+file(GLOB cold_reports "${OUT_DIR}/cold/reports/*.json")
+list(LENGTH cold_reports n)
+if(NOT n EQUAL 4)
+  message(FATAL_ERROR "cold sweep wrote ${n} reports, expected 4")
+endif()
+foreach(report IN LISTS cold_reports)
+  get_filename_component(fname "${report}" NAME)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${report}" "${OUT_DIR}/warm/reports/${fname}" RESULT_VARIABLE cmp)
+  if(NOT cmp EQUAL 0)
+    message(FATAL_ERROR "cached report ${fname} differs from cold run")
+  endif()
+endforeach()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  "${OUT_DIR}/cold/dumps/selftest.deadlock.dump.json"
+  "${OUT_DIR}/warm/dumps/selftest.deadlock.dump.json" RESULT_VARIABLE cmp)
+if(NOT cmp EQUAL 0)
+  message(FATAL_ERROR "cached core dump differs from cold run")
+endif()
+
+# Index byte-identity modulo wall-clock data: strip wall_ms and cached
+# from both and demand equality.
+foreach(which cold warm)
+  string(REGEX REPLACE "\"wall_ms\":[0-9.e+-]+" "\"wall_ms\":0"
+    ${which}_norm "${${which}_index}")
+  string(REGEX REPLACE "\"cached\":(true|false)" "\"cached\":x"
+    ${which}_norm "${${which}_norm}")
+endforeach()
+if(NOT cold_norm STREQUAL warm_norm)
+  message(FATAL_ERROR
+    "warm index differs from cold beyond wall_ms/cached")
+endif()
+
+execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/warm/reports"
+  --metrics "${OUT_DIR}/warm/metrics.json"
+  --index "${OUT_DIR}/warm/sweep_index.json" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm sweep artifacts failed validation: ${rc}")
+endif()
+
+# Phase 3: determinism audit — every hit re-simulated and byte-compared.
+execute_process(COMMAND "${SWEEP}" --jobs 1 --out "${OUT_DIR}/audit"
+  --cache "${OUT_DIR}/cache" --cache-verify
+  --metrics "${OUT_DIR}/audit/metrics.json" ${manifest} RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "audit sweep with a failing self-test exited 0")
+endif()
+file(READ "${OUT_DIR}/audit/metrics.json" audit_metrics)
+foreach(needle "\"cache.hits\":4" "\"cache.verified\":4"
+    "\"cache.verify_failed\":0")
+  string(FIND "${audit_metrics}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "audit metrics lack ${needle}")
+  endif()
+endforeach()
+execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/audit/reports"
+  --metrics "${OUT_DIR}/audit/metrics.json"
+  --index "${OUT_DIR}/audit/sweep_index.json" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "audit sweep artifacts failed validation: ${rc}")
+endif()
+
+# Phase 4: the cold and warm sweeps are the same work — the history
+# store must assign them the same stable run id and ingest exactly once.
+execute_process(COMMAND "${HISTORY}" ingest --sweep "${OUT_DIR}/cold"
+  --history "${OUT_DIR}/history" RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "history ingest of the cold sweep failed: ${rc}")
+endif()
+if(NOT out MATCHES "ingested 3 run")
+  message(FATAL_ERROR "cold ingest did not record 3 runs: ${out}")
+endif()
+execute_process(COMMAND "${HISTORY}" ingest --sweep "${OUT_DIR}/warm"
+  --history "${OUT_DIR}/history" RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "history ingest of the warm sweep failed: ${rc}")
+endif()
+if(NOT out MATCHES "ingested 0 run.*3 already present")
+  message(FATAL_ERROR
+    "warm ingest was not idempotent with the cold sweep: ${out}")
+endif()
+
+# Phase 5: incompatible-flag guard.
+execute_process(COMMAND "${SWEEP}" --pipeview --cache "${OUT_DIR}/cache"
+  --out "${OUT_DIR}/never" bt.serial RESULT_VARIABLE rc
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--pipeview with --cache was not refused")
+endif()
+if(EXISTS "${OUT_DIR}/never/sweep_index.json")
+  message(FATAL_ERROR "refused sweep still wrote an index")
+endif()

@@ -1,0 +1,163 @@
+# Resume/cancellation smoke driver: exercise smt_sweep's mid-sweep
+# cancellation and --resume re-execution. Invoked by ctest (see
+# tools/CMakeLists.txt) as:
+#   cmake -DSWEEP=... -DCHECKER=... -DOUT_DIR=... -P resume_smoke.cmake
+#
+# Phases:
+#   1. cancelled: a serial sweep over four jobs with --cancel-after 2.
+#      The pool must finish the in-flight jobs, skip the rest, and still
+#      write a schema-valid index: two "ok" entries and two structured
+#      "cancelled" entries with attempts=0 and no artifacts. The metrics
+#      snapshot must cross-check (check_reports holds jobs_started to
+#      total - cancelled and the queue-depth gauge to the skipped
+#      count).
+#   2. resumed: the same sweep with --resume. Exactly the unfinished two
+#      jobs execute; the completed jobs' reports are carried over
+#      byte-untouched ("cached":true), manifest order is preserved, and
+#      the sweep exits 0 with every job ok.
+#   3. scrub: a job that dies by injected watchdog timeout on its first
+#      attempt strands garbage artifacts; the pool must delete them
+#      before the retry, leaving only the surviving attempt's bytes —
+#      the self-test shares mm.serial.n64's workload, so its report must
+#      be byte-identical to that job's report from the same sweep.
+#   4. fresh --resume: resuming into an out dir with no prior index just
+#      runs everything.
+set(manifest mm.serial.n64 lu.serial.n64 bt.serial mm.tlp-fine.n64)
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+
+# Phase 1: cancel after the second completion.
+execute_process(COMMAND "${SWEEP}" --jobs 1 --out "${OUT_DIR}/run"
+  --cancel-after 2 --metrics "${OUT_DIR}/cancelled-metrics.json"
+  ${manifest} RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "cancelled sweep unexpectedly exited 0")
+endif()
+file(READ "${OUT_DIR}/run/sweep_index.json" index)
+foreach(needle
+    "\"schema\":\"smt-sweep-index/1\""
+    "\"name\":\"mm.serial.n64\",\"outcome\":\"ok\""
+    "\"name\":\"lu.serial.n64\",\"outcome\":\"ok\""
+    "\"name\":\"bt.serial\",\"outcome\":\"cancelled\""
+    "\"name\":\"mm.tlp-fine.n64\",\"outcome\":\"cancelled\"")
+  string(FIND "${index}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "cancelled index lacks ${needle}")
+  endif()
+endforeach()
+# Skipped jobs never ran: no attempts, no reports.
+string(REGEX MATCHALL "\"outcome\":\"cancelled\",\"message\":[^}]*\"attempts\":0"
+  skipped "${index}")
+list(LENGTH skipped n)
+if(NOT n EQUAL 2)
+  message(FATAL_ERROR "expected 2 cancelled jobs with attempts=0, got ${n}")
+endif()
+file(GLOB cancelled_reports "${OUT_DIR}/run/reports/*.json")
+list(LENGTH cancelled_reports n)
+if(NOT n EQUAL 2)
+  message(FATAL_ERROR "cancelled sweep wrote ${n} reports, expected 2")
+endif()
+execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/run/reports"
+  --metrics "${OUT_DIR}/cancelled-metrics.json"
+  --index "${OUT_DIR}/run/sweep_index.json" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cancelled sweep artifacts failed validation: ${rc}")
+endif()
+
+# Keep copies of the completed reports: --resume must not rewrite them.
+file(COPY "${OUT_DIR}/run/reports/mm.serial.n64.json"
+  "${OUT_DIR}/run/reports/lu.serial.n64.json"
+  DESTINATION "${OUT_DIR}/saved")
+
+# Phase 2: resume completes exactly the unfinished set.
+execute_process(COMMAND "${SWEEP}" --jobs 1 --out "${OUT_DIR}/run"
+  --resume --metrics "${OUT_DIR}/resumed-metrics.json"
+  ${manifest} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed sweep failed: ${rc}")
+endif()
+file(READ "${OUT_DIR}/run/sweep_index.json" index)
+string(FIND "${index}" "\"outcome\":\"cancelled\"" pos)
+if(NOT pos EQUAL -1)
+  message(FATAL_ERROR "resumed index still holds a cancelled job")
+endif()
+# Carried-over jobs are marked cached; re-executed ones are not. The
+# index preserves manifest order, so the pattern is fully determined.
+string(REGEX MATCHALL "\"cached\":true" hits "${index}")
+list(LENGTH hits n)
+if(NOT n EQUAL 2)
+  message(FATAL_ERROR "resumed index carries ${n} cached jobs, expected 2")
+endif()
+foreach(fname mm.serial.n64.json lu.serial.n64.json)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${OUT_DIR}/saved/${fname}" "${OUT_DIR}/run/reports/${fname}"
+    RESULT_VARIABLE cmp)
+  if(NOT cmp EQUAL 0)
+    message(FATAL_ERROR "resume rewrote the completed report ${fname}")
+  endif()
+endforeach()
+file(GLOB resumed_reports "${OUT_DIR}/run/reports/*.json")
+list(LENGTH resumed_reports n)
+if(NOT n EQUAL 4)
+  message(FATAL_ERROR "resumed sweep holds ${n} reports, expected 4")
+endif()
+execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/run/reports"
+  --metrics "${OUT_DIR}/resumed-metrics.json"
+  --index "${OUT_DIR}/run/sweep_index.json" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed sweep artifacts failed validation: ${rc}")
+endif()
+
+# Phase 3: injected first-attempt timeout — stale artifacts must be
+# scrubbed before the retry. selftest.timeout-once strands garbage
+# report/dump bytes, then (attempt 2) runs mm.serial.n64's workload; the
+# surviving report must be byte-identical to the healthy job's.
+execute_process(COMMAND "${SWEEP}" --jobs 1 --out "${OUT_DIR}/scrub"
+  --timeout-ms 60000 --metrics "${OUT_DIR}/scrub/metrics.json"
+  mm.serial.n64 selftest.timeout-once RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "scrub sweep failed: ${rc}")
+endif()
+file(READ "${OUT_DIR}/scrub/sweep_index.json" index)
+string(FIND "${index}" "\"name\":\"selftest.timeout-once\",\"outcome\":\"ok\""
+  pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "timeout-once job did not recover to ok")
+endif()
+string(REGEX MATCH "\"attempts\":2" retried "${index}")
+if(NOT retried)
+  message(FATAL_ERROR "timeout-once job was not retried")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  "${OUT_DIR}/scrub/reports/mm.serial.n64.json"
+  "${OUT_DIR}/scrub/reports/selftest.timeout-once.json" RESULT_VARIABLE cmp)
+if(NOT cmp EQUAL 0)
+  message(FATAL_ERROR
+    "surviving report differs from the reference workload's — stale "
+    "first-attempt bytes leaked through the retry")
+endif()
+# The stranded dump garbage must be gone: nothing in this sweep dies
+# with a core dump.
+file(GLOB scrub_dumps "${OUT_DIR}/scrub/dumps/*")
+list(LENGTH scrub_dumps n)
+if(NOT n EQUAL 0)
+  message(FATAL_ERROR "scrub sweep left ${n} stale dump artifact(s)")
+endif()
+execute_process(COMMAND "${CHECKER}" "${OUT_DIR}/scrub/reports"
+  --metrics "${OUT_DIR}/scrub/metrics.json"
+  --index "${OUT_DIR}/scrub/sweep_index.json" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "scrub sweep artifacts failed validation: ${rc}")
+endif()
+
+# Phase 4: --resume with no prior index runs everything normally.
+execute_process(COMMAND "${SWEEP}" --jobs 1 --out "${OUT_DIR}/fresh"
+  --resume bt.serial RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fresh --resume sweep failed: ${rc}")
+endif()
+file(READ "${OUT_DIR}/fresh/sweep_index.json" index)
+string(FIND "${index}" "\"cached\":true" pos)
+if(NOT pos EQUAL -1)
+  message(FATAL_ERROR "fresh --resume sweep fabricated a cache hit")
+endif()

@@ -15,7 +15,11 @@
 # The tail gates the host observability artifacts: a --metrics/--trace
 # sweep must validate against its index, and smt_history must both
 # accept a fresh deterministic run (vs the committed bench/history
-# baselines) and flag a perturbed one.
+# baselines) and flag a perturbed one. It also proves the result
+# cache's determinism contract on the full registry: two sweeps against
+# one store must produce a 100%-hit warm run whose index is
+# byte-identical modulo wall-clock fields, and a --cache-verify sample
+# must re-simulate hits against the stored bytes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -171,6 +175,48 @@ head -1 "$mm_kanata" | grep -q "Kanata"
 test "$(wc -l < "$mm_kanata")" -gt 10
 awk -F'\t' '/^C=/{start=$2} /^C\t/{adv+=$2}
   END{exit (start+adv <= 20000) ? 0 : 1}' "$mm_kanata"
+
+# Cache determinism gate: the full default registry swept twice against
+# one content-addressed store. The warm run must hit on every job
+# ("cached":false never appears), its index must be byte-identical to
+# the cold run's modulo wall-clock fields, and a --cache-verify sample
+# must re-simulate hits and confirm the stored bytes. This is the
+# end-to-end proof of the determinism contract the cache rests on: a
+# key collision, a nondeterministic kernel, or host state leaking into
+# reports would all surface here.
+cache_dir=$(mktemp -d)
+trap 'rm -rf "$report_dir" "$trace_dir" "$profile_dir" "$sweep_dir" \
+  "$obs_dir" "$hist_dir" "$inter_dir" "$pview_dir" "$explain_dir" \
+  "$cache_dir"' EXIT
+./build/tools/smt_sweep --quiet --out "$cache_dir/cold" \
+  --cache "$cache_dir/store" \
+  --metrics "$cache_dir/cold/metrics.json" > /dev/null
+./build/tools/smt_sweep --quiet --out "$cache_dir/warm" \
+  --cache "$cache_dir/store" \
+  --metrics "$cache_dir/warm/metrics.json" > /dev/null
+if grep -q '"cached":false' "$cache_dir/warm/sweep_index.json"; then
+  echo "warm registry sweep missed the cache" >&2
+  exit 1
+fi
+strip_wallclock() {
+  sed -E -e 's/"wall_ms":[0-9.e+-]+/"wall_ms":0/g' \
+    -e 's/"cached":(true|false)/"cached":x/g' "$1"
+}
+if ! cmp -s <(strip_wallclock "$cache_dir/cold/sweep_index.json") \
+    <(strip_wallclock "$cache_dir/warm/sweep_index.json"); then
+  echo "warm sweep index differs from cold beyond wall-clock fields" >&2
+  exit 1
+fi
+for run in cold warm; do
+  ./build/tools/check_reports "$cache_dir/$run/reports" \
+    --metrics "$cache_dir/$run/metrics.json" \
+    --index "$cache_dir/$run/sweep_index.json"
+done
+./build/tools/smt_sweep --quiet --out "$cache_dir/audit" \
+  --cache "$cache_dir/store" --cache-verify=3 \
+  --metrics "$cache_dir/audit/metrics.json" > /dev/null
+grep -q '"cache.verified":3' "$cache_dir/audit/metrics.json"
+grep -q '"cache.verify_failed":0' "$cache_dir/audit/metrics.json"
 
 # Post-mortem flight recorder: an injected deadlock must leave a core
 # dump the smt_explain diagnoser renders into an explanation naming the

@@ -356,6 +356,17 @@ RunReport report_from_machine(const Machine& m, std::string workload,
   return RunReport::from(s);
 }
 
+std::string machine_config_json(const MachineConfig& cfg) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("core");
+  write_core_config(w, cfg.core);
+  w.key("mem");
+  write_mem_config(w, cfg.mem);
+  w.end_object();
+  return w.str();
+}
+
 bool RunReport::write_json_file(const std::string& path) const {
   // write_text_file creates missing parent directories (a report dir
   // pointing at a not-yet-existing path is the common first-run case) and

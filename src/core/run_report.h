@@ -54,4 +54,12 @@ struct RunReport {
 RunReport report_from_machine(const Machine& m, std::string workload,
                               bool verified);
 
+/// Canonical JSON of a MachineConfig — {"core":{...},"mem":{...}}, the
+/// byte-identical twin of the report's "config" section (both render
+/// through the same writers). This is the config half of a
+/// content-addressed result key (host::ResultKey) and the byte string
+/// smt_history's config hashes digest, so its field set and order are
+/// part of the on-disk cache/history schema.
+std::string machine_config_json(const MachineConfig& cfg);
+
 }  // namespace smt::core

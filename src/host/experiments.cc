@@ -241,6 +241,24 @@ std::vector<ExperimentDef> build_registry() {
     d.race_detect = true;
     defs.push_back(std::move(d));
   }
+  {
+    // Rides the mm.serial.n64 workload so the surviving retry's report is
+    // byte-comparable against that job's reference artifact; the injected
+    // first-attempt timeout (and the garbage files it strands) happens in
+    // the sweep's job fn, before any simulation.
+    ExperimentDef d;
+    d.name = "selftest.timeout-once";
+    d.make = [] {
+      kernels::MatMulParams p;
+      p.n = 64;
+      p.tile = 16;
+      p.mode = MmMode::kSerial;
+      return std::make_unique<kernels::MatMulWorkload>(p);
+    };
+    d.in_default_manifest = false;
+    d.timeout_first_attempt = true;
+    defs.push_back(std::move(d));
+  }
 
   return defs;
 }

@@ -36,6 +36,11 @@ struct ExperimentDef {
   /// (core::RunOptions::race_detect); a detected race comes back as a
   /// structured kRaceDetected outcome.
   bool race_detect = false;
+  /// Self-test fault injection: the sweep's job fn reports a watchdog
+  /// timeout on attempt 0 — after deliberately leaving partial artifact
+  /// files behind — and simulates normally on the retry. Exercises the
+  /// JobPool's pre-retry artifact scrub end to end.
+  bool timeout_first_attempt = false;
 };
 
 /// The full registry, in canonical (figure/table) order.

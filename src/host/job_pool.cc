@@ -1,5 +1,7 @@
 #include "host/job_pool.h"
 
+#include <cmath>
+#include <cstdio>
 #include <memory>
 #include <thread>
 
@@ -13,6 +15,7 @@ const char* name(JobStatus s) {
     case JobStatus::kOk:      return "ok";
     case JobStatus::kFailed:  return "failed";
     case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kSkipped: return "skipped";
   }
   return "?";
 }
@@ -36,6 +39,7 @@ struct PoolInstruments {
         jobs_failed(reg.counter("pool.jobs_failed")),
         jobs_timeout(reg.counter("pool.jobs_timeout")),
         jobs_retried(reg.counter("pool.jobs_retried")),
+        jobs_skipped(reg.counter("pool.jobs_skipped")),
         attempts(reg.counter("pool.attempts")),
         watchdog_fires(reg.counter("pool.watchdog_fires")),
         queue_depth(reg.gauge("pool.queue_depth")),
@@ -56,6 +60,7 @@ struct PoolInstruments {
   Counter& jobs_failed;
   Counter& jobs_timeout;
   Counter& jobs_retried;
+  Counter& jobs_skipped;
   Counter& attempts;
   Counter& watchdog_fires;
   Gauge& queue_depth;
@@ -71,6 +76,16 @@ JobResult run_one(const JobPoolConfig& cfg, const Job& job, size_t job_index,
   JobResult r;
   if (ins != nullptr) ins->jobs_started.inc();
   for (int attempt = 0;; ++attempt) {
+    // A watchdog-killed attempt can die mid-write and leave partial
+    // artifacts behind; delete every declared artifact path before the
+    // retry so the files on disk after the job can only be the surviving
+    // attempt's bytes (a stale dump from attempt 0 must not shadow a
+    // clean retry that produced none).
+    if (attempt > 0) {
+      for (const std::string& path : job.artifacts) {
+        std::remove(path.c_str());
+      }
+    }
     CancelToken token;
     if (cfg.job_timeout.count() > 0) {
       token.arm_deadline(Clock::now() + cfg.job_timeout);
@@ -110,6 +125,7 @@ JobResult run_one(const JobPoolConfig& cfg, const Job& job, size_t job_index,
         case JobStatus::kOk:      ins->jobs_ok.inc(); break;
         case JobStatus::kFailed:  ins->jobs_failed.inc(); break;
         case JobStatus::kTimeout: ins->jobs_timeout.inc(); break;
+        case JobStatus::kSkipped: break;  // job fns never return kSkipped
       }
     }
     return r;
@@ -135,6 +151,11 @@ std::vector<JobResult> run_jobs(const JobPoolConfig& cfg,
   }
   const Clock::time_point pool_start = Clock::now();
 
+  // Every slot starts out skipped; workers overwrite exactly the slots
+  // they claim, so after the join the skipped set is precisely the jobs
+  // the pool-level cancel kept from ever starting.
+  for (JobResult& r : results) r.status = JobStatus::kSkipped;
+
   // Work stealing off a shared atomic cursor; each worker writes only the
   // result slots of the jobs it claimed, so no further synchronization is
   // needed on `results`.
@@ -142,8 +163,13 @@ std::vector<JobResult> run_jobs(const JobPoolConfig& cfg,
   auto worker = [&](int worker_id) {
     const Clock::time_point worker_start = Clock::now();
     double busy_ms = 0.0;
-    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
-         i < jobs.size(); i = next.fetch_add(1, std::memory_order_relaxed)) {
+    while (true) {
+      // Pool-level cancellation point: checked between jobs only —
+      // claimed attempts always run to completion (their own per-attempt
+      // token handles wall-clock limits).
+      if (cfg.cancel != nullptr && cfg.cancel->expired()) break;
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) break;
       if (ins != nullptr) {
         ins->queue_depth.add(-1);
         ins->workers_busy.add(1);
@@ -154,8 +180,11 @@ std::vector<JobResult> run_jobs(const JobPoolConfig& cfg,
       if (ins != nullptr) ins->workers_busy.add(-1);
     }
     if (ins != nullptr) {
+      // Round to the nearest µs: truncation undercounts every worker's
+      // sub-µs remainder, letting summed busy time drift below the
+      // attempt wall-time sums check_reports cross-checks against.
       ins->worker_busy_us[worker_id]->inc(
-          static_cast<uint64_t>(busy_ms * 1000.0));
+          static_cast<uint64_t>(std::llround(busy_ms * 1000.0)));
     }
   };
 
@@ -167,9 +196,14 @@ std::vector<JobResult> run_jobs(const JobPoolConfig& cfg,
     for (int i = 0; i < workers; ++i) threads.emplace_back(worker, i);
     for (std::thread& t : threads) t.join();
   }
-  if (ins != nullptr && cfg.metrics != nullptr) {
+  if (ins != nullptr) {
+    uint64_t skipped = 0;
+    for (const JobResult& r : results) {
+      if (r.status == JobStatus::kSkipped) ++skipped;
+    }
+    ins->jobs_skipped.inc(skipped);
     cfg.metrics->counter("pool.wall_us")
-        .inc(static_cast<uint64_t>(ms_since(pool_start) * 1000.0));
+        .inc(static_cast<uint64_t>(std::llround(ms_since(pool_start) * 1000.0)));
     cfg.metrics->counter("pool.workers").inc(static_cast<uint64_t>(workers));
   }
   return results;

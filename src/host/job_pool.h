@@ -57,6 +57,7 @@ enum class JobStatus : uint8_t {
   kOk,
   kFailed,   // structured failure (deadlock, budget, verify, ...)
   kTimeout,  // the watchdog expired the token on every allowed attempt
+  kSkipped,  // never started: the pool-level cancel fired first
 };
 const char* name(JobStatus s);
 
@@ -76,6 +77,11 @@ struct Job {
   std::function<JobStatus(const CancelToken& token, int attempt,
                           std::string* message)>
       fn;
+  /// Artifact paths this job writes (report, dump, ...). Deleted by the
+  /// pool before every retry attempt, so a watchdog-killed attempt's
+  /// partially written files can never survive beside — or be mistaken
+  /// for — the surviving attempt's output.
+  std::vector<std::string> artifacts;
 };
 
 /// One finished job attempt, as seen by the pool's observability hooks.
@@ -111,6 +117,12 @@ struct JobPoolConfig {
   /// from worker threads, possibly concurrently — the callee
   /// synchronizes. Never invoked after run_jobs() returns.
   std::function<void(const AttemptEvent&)> on_attempt;
+  /// Optional pool-level cancellation: once expired, workers stop
+  /// claiming jobs (in-flight attempts run to completion — cancellation
+  /// between jobs, not preemption). Unclaimed jobs come back kSkipped
+  /// with zero attempts. The token outlives run_jobs(); the caller owns
+  /// it.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Runs every job to completion on the worker pool and returns the

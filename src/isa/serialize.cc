@@ -1,0 +1,108 @@
+#include "isa/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/hash.h"
+#include "isa/opcode.h"
+
+namespace smt::isa {
+
+namespace {
+
+void append_u64(std::string* out, uint64_t v) { *out += std::to_string(v); }
+
+void append_i64(std::string* out, int64_t v) { *out += std::to_string(v); }
+
+/// Bit-exact fp rendering: the IEEE-754 encoding as 16 hex digits.
+/// Decimal round-trips are a correctness risk here (two distinct NaNs,
+/// or -0.0 vs 0.0, must not collide), so the bits go in directly.
+void append_f64_bits(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  static const char* kHex = "0123456789abcdef";
+  char buf[16];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = kHex[bits & 0xf];
+    bits >>= 4;
+  }
+  out->append(buf, sizeof(buf));
+}
+
+}  // namespace
+
+std::string canonical_serialization(const Program& p) {
+  std::string out = "smt-isa-program/1\n";
+  out += "name ";
+  out += p.name();
+  out += '\n';
+  out += "instrs ";
+  append_u64(&out, p.size());
+  out += '\n';
+  for (const Instr& in : p.code()) {
+    out += name(in.op);
+    out += ' ';
+    append_i64(&out, in.rd);
+    out += ' ';
+    append_i64(&out, in.rs1);
+    out += ' ';
+    append_i64(&out, in.rs2);
+    out += ' ';
+    out += in.use_imm ? '1' : '0';
+    out += ' ';
+    out += name(in.cond);
+    out += ' ';
+    append_i64(&out, in.imm);
+    out += ' ';
+    append_f64_bits(&out, in.fimm);
+    out += " [";
+    append_i64(&out, in.mem.base);
+    out += '+';
+    append_i64(&out, in.mem.index);
+    out += "<<";
+    append_u64(&out, in.mem.scale_log2);
+    out += '+';
+    append_i64(&out, in.mem.disp);
+    out += "] ";
+    append_i64(&out, in.target);
+    out += '\n';
+  }
+  out += "sync_regions ";
+  append_u64(&out, p.sync_regions().size());
+  out += '\n';
+  for (const SyncRegion& s : p.sync_regions()) {
+    append_u64(&out, s.begin);
+    out += ' ';
+    append_u64(&out, s.end);
+    out += ' ';
+    out += s.what;
+    out += ' ';
+    append_u64(&out, s.may_write);
+    out += ' ';
+    out += s.is_spin ? '1' : '0';
+    out += ' ';
+    out += s.wants_pause ? '1' : '0';
+    out += '\n';
+  }
+  out += "lock_ops ";
+  append_u64(&out, p.lock_ops().size());
+  out += '\n';
+  for (const LockOp& l : p.lock_ops()) {
+    append_u64(&out, l.begin);
+    out += ' ';
+    append_u64(&out, l.end);
+    out += ' ';
+    append_u64(&out, l.addr);
+    out += ' ';
+    out += l.acquire ? "acquire" : "release";
+    out += '\n';
+  }
+  return out;
+}
+
+std::string program_digest(const Program& p) {
+  return fnv1a64_hex(canonical_serialization(p));
+}
+
+}  // namespace smt::isa

@@ -1,0 +1,31 @@
+// Canonical byte serialization of isa::Program — the guest half of a
+// content-addressed result key.
+//
+// canonical_serialization() renders a program as a versioned, line-based
+// text form in which every field that can influence a simulation appears
+// exactly once: opcodes and branch conditions by their stable trait
+// names, register ids and immediates as decimal, fp immediates as
+// bit-exact hex of their IEEE-754 encoding (0.0 and -0.0 serialize
+// differently; NaN payloads are preserved), plus the SyncRegion and
+// LockOp metadata (they feed the race detector, so two programs that
+// differ only there can produce different run outcomes). Two programs
+// serialize identically iff the simulator cannot tell them apart.
+//
+// program_digest() is the FNV-1a 64 hex digest of that serialization.
+// Both the text format (header "smt-isa-program/1") and the digest are
+// part of the on-disk result-cache schema — changing either invalidates
+// every stored object, so the format version must be bumped instead.
+#pragma once
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace smt::isa {
+
+std::string canonical_serialization(const Program& p);
+
+/// 16-hex-digit FNV-1a digest of canonical_serialization(p).
+std::string program_digest(const Program& p);
+
+}  // namespace smt::isa

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <thread>
@@ -12,20 +14,31 @@
 #include "core/runner.h"
 #include "host/experiments.h"
 #include "host/job_pool.h"
+#include "host/result_store.h"
 
 namespace smt::host {
 namespace {
+
+Job make_job(std::string name,
+             std::function<JobStatus(const CancelToken&, int, std::string*)>
+                 fn) {
+  Job j;
+  j.name = std::move(name);
+  j.fn = std::move(fn);
+  return j;
+}
 
 TEST(JobPool, ResultsComeBackInJobOrder) {
   std::vector<Job> jobs;
   for (int i = 0; i < 8; ++i) {
     std::string jname = "j";
     jname += std::to_string(i);
-    jobs.push_back({jname, [i](const CancelToken&, int, std::string* message) {
-                      *message = "ran ";
-                      *message += std::to_string(i);
-                      return JobStatus::kOk;
-                    }});
+    jobs.push_back(make_job(
+        jname, [i](const CancelToken&, int, std::string* message) {
+          *message = "ran ";
+          *message += std::to_string(i);
+          return JobStatus::kOk;
+        }));
   }
   JobPoolConfig cfg;
   cfg.workers = 4;
@@ -52,15 +65,16 @@ TEST(JobPool, OneFailureDoesNotStopTheOthers) {
   for (int i = 0; i < 6; ++i) {
     std::string jname = "j";
     jname += std::to_string(i);
-    jobs.push_back({jname, [i, &executed](const CancelToken&, int,
-                                          std::string* message) {
-                      executed.fetch_add(1);
-                      if (i == 2) {
-                        *message = "synthetic failure";
-                        return JobStatus::kFailed;
-                      }
-                      return JobStatus::kOk;
-                    }});
+    jobs.push_back(make_job(
+        jname,
+        [i, &executed](const CancelToken&, int, std::string* message) {
+          executed.fetch_add(1);
+          if (i == 2) {
+            *message = "synthetic failure";
+            return JobStatus::kFailed;
+          }
+          return JobStatus::kOk;
+        }));
   }
   JobPoolConfig cfg;
   cfg.workers = 2;
@@ -95,21 +109,22 @@ TEST(JobPool, JobsRunConcurrentlyAcrossWorkers) {
   JobPoolConfig cfg;
   cfg.workers = 2;
   const std::vector<JobResult> results =
-      run_jobs(cfg, {{"a", meet}, {"b", meet}});
+      run_jobs(cfg, {make_job("a", meet), make_job("b", meet)});
   EXPECT_EQ(results[0].status, JobStatus::kOk);
   EXPECT_EQ(results[1].status, JobStatus::kOk);
 }
 
 TEST(JobPool, WatchdogExpiryRetriesOnceThenReportsTimeout) {
   std::atomic<int> attempts_seen{0};
-  Job job{"stuck", [&attempts_seen](const CancelToken& token, int attempt,
-                                    std::string* message) {
-            attempts_seen.fetch_add(1);
-            EXPECT_EQ(attempt, attempts_seen.load() - 1);
-            while (!token.expired()) std::this_thread::yield();
-            *message = "token expired";
-            return JobStatus::kTimeout;
-          }};
+  Job job = make_job(
+      "stuck", [&attempts_seen](const CancelToken& token, int attempt,
+                                std::string* message) {
+        attempts_seen.fetch_add(1);
+        EXPECT_EQ(attempt, attempts_seen.load() - 1);
+        while (!token.expired()) std::this_thread::yield();
+        *message = "token expired";
+        return JobStatus::kTimeout;
+      });
   JobPoolConfig cfg;
   cfg.workers = 1;
   cfg.job_timeout = std::chrono::milliseconds(20);
@@ -121,13 +136,14 @@ TEST(JobPool, WatchdogExpiryRetriesOnceThenReportsTimeout) {
 }
 
 TEST(JobPool, TimeoutFollowedBySuccessEndsOk) {
-  Job job{"flaky", [](const CancelToken&, int attempt, std::string* message) {
-            if (attempt == 0) {
-              *message = "first attempt timed out";
-              return JobStatus::kTimeout;
-            }
-            return JobStatus::kOk;
-          }};
+  Job job = make_job(
+      "flaky", [](const CancelToken&, int attempt, std::string* message) {
+        if (attempt == 0) {
+          *message = "first attempt timed out";
+          return JobStatus::kTimeout;
+        }
+        return JobStatus::kOk;
+      });
   JobPoolConfig cfg;
   cfg.workers = 1;
   cfg.job_timeout = std::chrono::milliseconds(1000);
@@ -138,16 +154,101 @@ TEST(JobPool, TimeoutFollowedBySuccessEndsOk) {
 
 TEST(JobPool, StructuredFailureIsNotRetried) {
   std::atomic<int> attempts_seen{0};
-  Job job{"bad", [&attempts_seen](const CancelToken&, int, std::string*) {
-            attempts_seen.fetch_add(1);
-            return JobStatus::kFailed;
-          }};
+  Job job = make_job(
+      "bad", [&attempts_seen](const CancelToken&, int, std::string*) {
+        attempts_seen.fetch_add(1);
+        return JobStatus::kFailed;
+      });
   JobPoolConfig cfg;
   cfg.workers = 1;
   cfg.job_timeout = std::chrono::milliseconds(1000);
   const std::vector<JobResult> results = run_jobs(cfg, {job});
   EXPECT_EQ(results[0].status, JobStatus::kFailed);
   EXPECT_EQ(attempts_seen.load(), 1);
+}
+
+TEST(JobPool, PoolLevelCancelSkipsUnclaimedJobs) {
+  // One worker, four jobs; the second job fires the pool-level cancel.
+  // The jobs behind it must come back kSkipped with zero attempts, and
+  // nothing after the cancel point may execute.
+  CancelToken cancel;
+  std::atomic<int> executed{0};
+  std::vector<Job> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(make_job(
+        "j" + std::to_string(i),
+        [i, &cancel, &executed](const CancelToken&, int, std::string*) {
+          executed.fetch_add(1);
+          if (i == 1) cancel.cancel();
+          return JobStatus::kOk;
+        }));
+  }
+  JobPoolConfig cfg;
+  cfg.workers = 1;
+  cfg.cancel = &cancel;
+  const std::vector<JobResult> results = run_jobs(cfg, jobs);
+  EXPECT_EQ(executed.load(), 2);
+  EXPECT_EQ(results[0].status, JobStatus::kOk);
+  EXPECT_EQ(results[1].status, JobStatus::kOk);
+  for (int i = 2; i < 4; ++i) {
+    EXPECT_EQ(results[i].status, JobStatus::kSkipped) << i;
+    EXPECT_EQ(results[i].attempts, 0) << i;
+  }
+}
+
+TEST(JobPool, PreCancelledPoolRunsNothing) {
+  CancelToken cancel;
+  cancel.cancel();
+  std::atomic<int> executed{0};
+  JobPoolConfig cfg;
+  cfg.workers = 2;
+  cfg.cancel = &cancel;
+  const std::vector<JobResult> results = run_jobs(
+      cfg, {make_job("a", [&executed](const CancelToken&, int,
+                                      std::string*) {
+              executed.fetch_add(1);
+              return JobStatus::kOk;
+            })});
+  EXPECT_EQ(executed.load(), 0);
+  EXPECT_EQ(results[0].status, JobStatus::kSkipped);
+  EXPECT_EQ(results[0].attempts, 0);
+}
+
+TEST(JobPool, RetryScrubsDeclaredArtifacts) {
+  // A watchdog-style retry must never inherit the first attempt's
+  // half-written files: the pool deletes every declared artifact path
+  // before re-running the job.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "jobpool_scrub_test";
+  fs::create_directories(dir);
+  const std::string artifact = (dir / "report.json").string();
+
+  std::string seen_on_retry = "unset";
+  Job job = make_job("scrubbed", [&](const CancelToken&, int attempt,
+                                     std::string* message) {
+    if (attempt == 0) {
+      std::ofstream(artifact) << "{\"partial\":";
+      *message = "injected timeout";
+      return JobStatus::kTimeout;
+    }
+    seen_on_retry = fs::exists(artifact) ? "stale file survived" : "clean";
+    std::ofstream(artifact) << "{\"ok\":true}";
+    return JobStatus::kOk;
+  });
+  job.artifacts = {artifact};
+  JobPoolConfig cfg;
+  cfg.workers = 1;
+  cfg.job_timeout = std::chrono::milliseconds(1000);
+  const std::vector<JobResult> results = run_jobs(cfg, {job});
+  EXPECT_EQ(results[0].status, JobStatus::kOk);
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_EQ(seen_on_retry, "clean");
+  std::ifstream in(artifact);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes, "{\"ok\":true}");
+  fs::remove_all(dir);
 }
 
 TEST(CancelToken, ExpiresOnCancelAndOnDeadline) {
@@ -160,6 +261,185 @@ TEST(CancelToken, ExpiresOnCancelAndOnDeadline) {
   timed.arm_deadline(std::chrono::steady_clock::now() -
                      std::chrono::milliseconds(1));
   EXPECT_TRUE(timed.expired());
+}
+
+// ---------------------------------------------------------------------------
+// Content-addressed result store
+// ---------------------------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+ResultKey sample_key(const std::string& experiment) {
+  ResultKey k;
+  k.experiment = experiment;
+  k.program_digests = {"0123456789abcdef", "fedcba9876543210"};
+  k.config_hash = "00ff00ff00ff00ff";
+  k.cycle_budget = 1'000'000;
+  k.race_detect = false;
+  k.flight_recorder = true;
+  return k;
+}
+
+CachedResult sample_result() {
+  CachedResult r;
+  r.outcome = "deadlock";
+  r.message = "all contexts halted";
+  r.cycles = 4242;
+  r.verified = false;
+  r.report_json = "{\"schema\":\"smt-run-report/4\",\"cycles\":4242}";
+  r.dump_json = "{\"schema\":\"smt-core-dump/1\"}";
+  return r;
+}
+
+class ResultStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("result_store_test_" +
+             std::to_string(
+                 std::chrono::steady_clock::now().time_since_epoch().count()));
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+TEST_F(ResultStoreTest, StoreThenLoadRoundTripsEveryField) {
+  ResultStore store(root_.string());
+  const ResultKey key = sample_key("rt");
+  EXPECT_FALSE(store.load(key).has_value());  // cold store: miss
+
+  ASSERT_TRUE(store.store(key, sample_result()));
+  const auto hit = store.load(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->outcome, "deadlock");
+  EXPECT_EQ(hit->message, "all contexts halted");
+  EXPECT_EQ(hit->cycles, 4242u);
+  EXPECT_FALSE(hit->verified);
+  EXPECT_EQ(hit->report_json, sample_result().report_json);
+  EXPECT_EQ(hit->dump_json, sample_result().dump_json);
+}
+
+TEST_F(ResultStoreTest, DumplessResultRoundTripsEmptyDump) {
+  ResultStore store(root_.string());
+  CachedResult r = sample_result();
+  r.outcome = "ok";
+  r.dump_json.clear();
+  ASSERT_TRUE(store.store(sample_key("ok"), r));
+  const auto hit = store.load(sample_key("ok"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->outcome, "ok");
+  EXPECT_TRUE(hit->dump_json.empty());
+}
+
+TEST_F(ResultStoreTest, DifferentKeysNeverAlias) {
+  ResultStore store(root_.string());
+  ASSERT_TRUE(store.store(sample_key("a"), sample_result()));
+  // Every key field participates in the address.
+  EXPECT_FALSE(store.load(sample_key("b")).has_value());
+  ResultKey budget = sample_key("a");
+  budget.cycle_budget += 1;
+  EXPECT_FALSE(store.load(budget).has_value());
+  ResultKey race = sample_key("a");
+  race.race_detect = true;
+  EXPECT_FALSE(store.load(race).has_value());
+  ResultKey programs = sample_key("a");
+  programs.program_digests.pop_back();
+  EXPECT_FALSE(store.load(programs).has_value());
+  ResultKey epoch = sample_key("a");
+  epoch.report_epoch = "smt-run-report/3";
+  EXPECT_FALSE(store.load(epoch).has_value());
+}
+
+TEST_F(ResultStoreTest, NonCacheableOutcomesAreRefused) {
+  ResultStore store(root_.string());
+  for (const char* outcome : {"timeout", "cancelled", "", "bogus"}) {
+    CachedResult r = sample_result();
+    r.outcome = outcome;
+    EXPECT_FALSE(store.store(sample_key("x"), r)) << outcome;
+  }
+  EXPECT_FALSE(store.load(sample_key("x")).has_value());
+}
+
+TEST_F(ResultStoreTest, CorruptObjectDegradesToMiss) {
+  ResultStore store(root_.string());
+  const ResultKey key = sample_key("corrupt");
+  ASSERT_TRUE(store.store(key, sample_result()));
+  const fs::path obj = root_ / "objects" / key.hash();
+  ASSERT_TRUE(fs::is_directory(obj));
+
+  // Truncated meta.json: parse failure, not wrong bytes.
+  std::ofstream(obj / "meta.json") << "{\"schema\":";
+  EXPECT_FALSE(store.load(key).has_value());
+
+  // Meta for a *different* key squatting in this key's slot (simulated
+  // hash collision): field verification must reject it.
+  ASSERT_TRUE(fs::remove_all(obj) > 0);
+  ASSERT_TRUE(store.store(sample_key("other"), sample_result()));
+  const fs::path other = root_ / "objects" / sample_key("other").hash();
+  fs::create_directories(obj);
+  for (const char* f : {"meta.json", "report.json", "dump.json"}) {
+    fs::copy_file(other / f, obj / f);
+  }
+  EXPECT_FALSE(store.load(key).has_value());
+}
+
+TEST_F(ResultStoreTest, FirstWriterWins) {
+  ResultStore store(root_.string());
+  const ResultKey key = sample_key("first");
+  ASSERT_TRUE(store.store(key, sample_result()));
+  CachedResult second = sample_result();
+  second.message = "late writer";
+  EXPECT_TRUE(store.store(key, second));  // tolerated, not an error
+  const auto hit = store.load(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->message, "all contexts halted");
+}
+
+TEST(ResultKey, CacheableOutcomeTruthTable) {
+  for (const char* yes : {"ok", "deadlock", "cycle_budget_exceeded",
+                          "verify_failed", "race_detected"}) {
+    EXPECT_TRUE(cacheable_outcome(yes)) << yes;
+  }
+  for (const char* no :
+       {"timeout", "cancelled", "cache_verify_failed", "report_write_failed",
+        "", "OK"}) {
+    EXPECT_FALSE(cacheable_outcome(no)) << no;
+  }
+}
+
+TEST(ResultKey, RegistryKeyIsStableAndSensitive) {
+  const ExperimentDef* serial = find_experiment("mm.serial.n64");
+  const ExperimentDef* fine = find_experiment("mm.tlp-fine.n64");
+  ASSERT_NE(serial, nullptr);
+  ASSERT_NE(fine, nullptr);
+  core::RunOptions ro;
+  ro.flight_recorder = true;
+
+  const ResultKey k1 =
+      result_key(*serial, core::MachineConfig{}, serial->cycle_budget, ro);
+  const ResultKey k2 =
+      result_key(*serial, core::MachineConfig{}, serial->cycle_budget, ro);
+  EXPECT_EQ(k1.canonical(), k2.canonical());
+  EXPECT_EQ(k1.hash(), k2.hash());
+  EXPECT_FALSE(k1.program_digests.empty());
+  EXPECT_EQ(k1.config_hash.size(), 16u);
+
+  // A different variant of the same kernel keys apart (its programs
+  // differ), as does the same experiment under different run options or
+  // budget.
+  const ResultKey kf =
+      result_key(*fine, core::MachineConfig{}, fine->cycle_budget, ro);
+  EXPECT_NE(k1.hash(), kf.hash());
+  const ResultKey kb =
+      result_key(*serial, core::MachineConfig{}, serial->cycle_budget + 1, ro);
+  EXPECT_NE(k1.hash(), kb.hash());
+  core::RunOptions race = ro;
+  race.race_detect = true;
+  const ResultKey kr =
+      result_key(*serial, core::MachineConfig{}, serial->cycle_budget, race);
+  EXPECT_NE(k1.hash(), kr.hash());
 }
 
 // ---------------------------------------------------------------------------

@@ -1,11 +1,15 @@
-// Unit tests for the micro-ISA: opcode traits, builder, labels, disasm.
+// Unit tests for the micro-ISA: opcode traits, builder, labels, disasm,
+// canonical serialization.
 #include <gtest/gtest.h>
+
+#include <cmath>
 
 #include "isa/asm_builder.h"
 #include "isa/disasm.h"
 #include "isa/opcode.h"
 #include "isa/program.h"
 #include "isa/registers.h"
+#include "isa/serialize.h"
 
 namespace smt::isa {
 namespace {
@@ -158,6 +162,78 @@ TEST(Disasm, EveryOpcodeHasAName) {
     EXPECT_NE(traits(static_cast<Opcode>(i)).name, nullptr);
     EXPECT_GT(std::string(traits(static_cast<Opcode>(i)).name).size(), 0u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical serialization (the result cache's keying primitive)
+// ---------------------------------------------------------------------------
+
+Program sample_program(int64_t imm) {
+  AsmBuilder a("sample");
+  a.imovi(IReg::R0, imm);
+  Label loop = a.here();
+  a.iaddi(IReg::R0, IReg::R0, 1);
+  a.bri(BrCond::kLt, IReg::R0, 10, loop);
+  a.store(IReg::R0, Mem::abs(0x2000));
+  a.exit();
+  return a.take();
+}
+
+TEST(Serialize, CanonicalFormIsStableAndVersioned) {
+  const std::string s1 = canonical_serialization(sample_program(3));
+  const std::string s2 = canonical_serialization(sample_program(3));
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.rfind("smt-isa-program/1\n", 0), 0u);
+  EXPECT_NE(s1.find("sample"), std::string::npos);
+  const std::string d = program_digest(sample_program(3));
+  EXPECT_EQ(d, program_digest(sample_program(3)));
+  EXPECT_EQ(d.size(), 16u);
+  EXPECT_EQ(d.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(Serialize, DigestSeesEveryProgramField) {
+  const std::string base = program_digest(sample_program(3));
+  // A different immediate.
+  EXPECT_NE(base, program_digest(sample_program(4)));
+  // A different name, same code.
+  {
+    AsmBuilder a("other-name");
+    a.imovi(IReg::R0, 3);
+    Label loop = a.here();
+    a.iaddi(IReg::R0, IReg::R0, 1);
+    a.bri(BrCond::kLt, IReg::R0, 10, loop);
+    a.store(IReg::R0, Mem::abs(0x2000));
+    a.exit();
+    EXPECT_NE(base, program_digest(a.take()));
+  }
+  // Sync-region metadata participates: the same code with a region
+  // annotation keys differently (the lint and race detector see it).
+  {
+    AsmBuilder a("sample");
+    a.imovi(IReg::R0, 3);
+    a.begin_sync_region("loop", 1u << id(IReg::R0), false);
+    Label loop = a.here();
+    a.iaddi(IReg::R0, IReg::R0, 1);
+    a.bri(BrCond::kLt, IReg::R0, 10, loop);
+    a.end_sync_region();
+    a.store(IReg::R0, Mem::abs(0x2000));
+    a.exit();
+    EXPECT_NE(base, program_digest(a.take()));
+  }
+}
+
+TEST(Serialize, FpImmediatesAreBitExact) {
+  const auto digest_of = [](double v) {
+    AsmBuilder a("fp");
+    a.fmovi(FReg::F0, v);
+    a.exit();
+    return program_digest(a.take());
+  };
+  // 0.0 == -0.0 as doubles, but their bit patterns differ — a cache key
+  // must see the bits, not the value.
+  EXPECT_NE(digest_of(0.0), digest_of(-0.0));
+  EXPECT_EQ(digest_of(0.25), digest_of(0.25));
+  EXPECT_NE(digest_of(1.0), digest_of(std::nextafter(1.0, 2.0)));
 }
 
 }  // namespace

@@ -628,18 +628,28 @@ std::optional<smt::JsonValue> load_json_object(const fs::path& path,
 
 // Cross-checks a smt-sweep-metrics/1 snapshot against the sweep index it
 // was written beside. The pool counters are redundant with the index by
-// construction, which makes them checkable:
+// construction, which makes them checkable (cancelled = index jobs the
+// pool-level cancel skipped before they started; started = total -
+// cancelled):
 //
-//   jobs_started == jobs_completed == index total
-//   jobs_ok == total - failed;  jobs_failed + jobs_timeout == failed
-//   attempts == sum(index jobs[].attempts) == total + jobs_retried
+//   jobs_started == jobs_completed == started; jobs_skipped == cancelled
+//   jobs_ok == total - failed;  jobs_failed + jobs_timeout ==
+//                                               failed - cancelled
+//   attempts == sum(index jobs[].attempts) == started + jobs_retried
 //   watchdog_fires == jobs_retried + jobs_timeout  (retries only follow
 //                                                   watchdog timeouts)
 //   attempt_wall_ms histogram: count == attempts, bucket counts sum to it
-//   queue_depth gauge drained to 0 from a high watermark of total;
-//   workers_busy drained to 0, peak <= requested workers
+//   queue_depth gauge drained to the cancelled count from a high
+//     watermark of total; workers_busy drained to 0, peak <= requested
 //   one workers[] entry per pool worker, busy_us consistent with the
-//   per-worker counters and wall_us
+//   per-worker counters and <= wall_us + 1µs rounding slack
+//
+//   cache.* counters vs the index's "cached"/"outcome" fields:
+//     lookups == hits + misses + verify_failed
+//     lookups == started when the sweep ran with cache/resume, else 0
+//     hits == #jobs with "cached":true
+//     verify_failed == #jobs with outcome "cache_verify_failed"
+//     stores <= misses; verified <= hits
 bool check_sweep_metrics(const fs::path& metrics_path,
                          const fs::path& index_path, bool* io_error) {
   const auto mv = load_json_object(metrics_path, io_error);
@@ -666,6 +676,9 @@ bool check_sweep_metrics(const fs::path& metrics_path,
   const double index_total = jobs->array.size();
   double index_failed = 0;
   double index_attempts = 0;
+  double index_cancelled = 0;
+  double index_cached = 0;
+  double index_verify_failed = 0;
   for (const smt::JsonValue& job : jobs->array) {
     const smt::JsonValue* outcome = job.find("outcome");
     if (outcome == nullptr || !outcome->is_string() ||
@@ -675,8 +688,17 @@ bool check_sweep_metrics(const fs::path& metrics_path,
       return false;
     }
     if (outcome->string != "ok") ++index_failed;
+    if (outcome->string == "cancelled") ++index_cancelled;
+    if (outcome->string == "cache_verify_failed") ++index_verify_failed;
+    // Pre-cache indexes have no "cached" field; absent means false.
+    const smt::JsonValue* cached = job.find("cached");
+    if (cached != nullptr && cached->type == smt::JsonValue::Type::kBool &&
+        cached->boolean) {
+      ++index_cached;
+    }
     index_attempts += job.find("attempts")->number;
   }
+  const double index_started = index_total - index_cancelled;
 
   const smt::JsonValue* sweep = mv->find("sweep");
   const smt::JsonValue* counters = mv->find("counters");
@@ -707,19 +729,53 @@ bool check_sweep_metrics(const fs::path& metrics_path,
 
   expect("sweep.total", number_or(*sweep, "total", -1.0), index_total);
   expect("sweep.failed", number_or(*sweep, "failed", -1.0), index_failed);
-  expect("pool.jobs_started", counter("pool.jobs_started"), index_total);
-  expect("pool.jobs_completed", counter("pool.jobs_completed"), index_total);
+  expect("pool.jobs_started", counter("pool.jobs_started"), index_started);
+  expect("pool.jobs_completed", counter("pool.jobs_completed"),
+         index_started);
+  expect("pool.jobs_skipped", counter("pool.jobs_skipped"), index_cancelled);
   expect("pool.jobs_ok", counter("pool.jobs_ok"),
          index_total - index_failed);
   expect("pool.jobs_failed + pool.jobs_timeout",
          counter("pool.jobs_failed") + counter("pool.jobs_timeout"),
-         index_failed);
+         index_failed - index_cancelled);
   expect("pool.attempts", counter("pool.attempts"), index_attempts);
   expect("pool.attempts - pool.jobs_retried",
          counter("pool.attempts") - counter("pool.jobs_retried"),
-         index_total);
+         index_started);
   expect("pool.watchdog_fires", counter("pool.watchdog_fires"),
          counter("pool.jobs_retried") + counter("pool.jobs_timeout"));
+
+  // Result-cache counters. A sweep that ran without --cache/--resume must
+  // show zero lookups; one that ran with either looks up every job it
+  // actually started, exactly once, and every lookup resolves to a hit,
+  // a miss, or a failed verification.
+  const auto flag = [&](const char* name) {
+    const smt::JsonValue* v = sweep->find(name);
+    return v != nullptr && v->type == smt::JsonValue::Type::kBool &&
+           v->boolean;
+  };
+  const bool reuse_enabled = flag("cache") || flag("resume");
+  expect("cache.lookups", counter("cache.lookups"),
+         reuse_enabled ? index_started : 0.0);
+  expect("cache.hits + cache.misses + cache.verify_failed",
+         counter("cache.hits") + counter("cache.misses") +
+             counter("cache.verify_failed"),
+         counter("cache.lookups"));
+  expect("cache.hits", counter("cache.hits"), index_cached);
+  expect("cache.verify_failed", counter("cache.verify_failed"),
+         index_verify_failed);
+  if (counter("cache.stores") > counter("cache.misses")) {
+    std::fprintf(stderr, "%s: cache.stores %.0f exceeds cache.misses %.0f\n",
+                 metrics_path.c_str(), counter("cache.stores"),
+                 counter("cache.misses"));
+    ok = false;
+  }
+  if (counter("cache.verified") > counter("cache.hits")) {
+    std::fprintf(stderr, "%s: cache.verified %.0f exceeds cache.hits %.0f\n",
+                 metrics_path.c_str(), counter("cache.verified"),
+                 counter("cache.hits"));
+    ok = false;
+  }
 
   const smt::JsonValue* hist = histograms->find("pool.attempt_wall_ms");
   if (hist == nullptr || !hist->is_object()) {
@@ -750,15 +806,19 @@ bool check_sweep_metrics(const fs::path& metrics_path,
                  metrics_path.c_str());
     ok = false;
   } else {
-    expect("queue_depth.value", number_or(*depth, "value", -1.0), 0);
+    // Skipped jobs are never dequeued, so a cancelled sweep's depth gauge
+    // drains to exactly the number of jobs the cancel left behind.
+    expect("queue_depth.value", number_or(*depth, "value", -1.0),
+           index_cancelled);
     expect("queue_depth.max", number_or(*depth, "max", -1.0), index_total);
     expect("workers_busy.value", number_or(*busy, "value", -1.0), 0);
     const double peak = number_or(*busy, "max", -1.0);
     const double requested = number_or(*sweep, "requested_workers", 0.0);
-    if (peak < (index_total > 0 ? 1.0 : 0.0) || peak > requested) {
+    if (peak < (index_started > 0 ? 1.0 : 0.0) || peak > requested) {
       std::fprintf(stderr,
-                   "%s: workers_busy.max %.0f outside [1, %0.f]\n",
-                   metrics_path.c_str(), peak, requested);
+                   "%s: workers_busy.max %.0f outside [%.0f, %0.f]\n",
+                   metrics_path.c_str(), peak,
+                   index_started > 0 ? 1.0 : 0.0, requested);
       ok = false;
     }
   }
@@ -780,7 +840,9 @@ bool check_sweep_metrics(const fs::path& metrics_path,
         "pool.worker" + std::to_string(static_cast<int>(id)) + ".busy_us";
     expect(counter_name.c_str(), number_or(*counters, counter_name, -1.0),
            busy_us);
-    if (busy_us > wall_us) {
+    // Both figures round independently from ms doubles, so allow one µs
+    // of slack rather than demanding busy_us <= wall_us exactly.
+    if (busy_us > wall_us + 1.0) {
       std::fprintf(stderr, "%s: worker%d busy_us %.0f exceeds wall_us %.0f\n",
                    metrics_path.c_str(), static_cast<int>(id), busy_us,
                    wall_us);

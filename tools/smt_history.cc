@@ -14,9 +14,16 @@
 // keyed by (experiment name, config hash, report schema), where the
 // config hash is the FNV-1a digest of the report's canonicalized
 // `config` section — results from different machine configurations or
-// schema versions never mix. Ingest is idempotent per run id (default:
-// the digest of the index file), and trajectories keep the newest
-// --max-runs (64) runs.
+// schema versions never mix. Ingest is idempotent per run id; the
+// default id is a digest of the index's *deterministic* job fields
+// (name, content key, outcome, cycles, verified, report path), so two
+// sweeps of the same work at the same model get the same id no matter
+// how long they took — re-ingesting a re-run (or a fully cache-hit
+// sweep) of an already-stored sweep is a no-op. Indexes whose jobs
+// predate content keys fall back to the digest of the raw index bytes.
+// Trajectories keep the newest --max-runs (64) runs, and each stored
+// run records its job's content key (when present) so a history entry
+// can be traced back to its smt_sweep --cache object.
 //
 // `check` compares the same sweep against the stored trajectories: for
 // each ok job and each deterministic metric (cycles + the report's
@@ -67,7 +74,7 @@ struct Options {
   std::string command;
   std::string sweep_dir;
   std::string history_dir = "bench/history";
-  std::string run_id;       // ingest; default = digest of the index file
+  std::string run_id;       // ingest; default = stable index digest
   int max_runs = 64;        // ingest: trajectory length cap
   int last = 10;            // check: baseline window
   double sigma = 3.0;       // check: noise multiplier
@@ -94,6 +101,7 @@ int usage() {
 
 struct RunEntry {
   std::string run_id;
+  std::string key;  // sweep content-address key; "" for pre-cache runs
   double wall_ms = 0.0;
   std::map<std::string, double> metrics;
 };
@@ -115,6 +123,7 @@ struct SweepRun {
   std::string experiment;
   std::string config_hash;
   std::string report_schema;
+  std::string key;  // index "key" field; "" when the sweep predates it
   double wall_ms = 0.0;
   std::map<std::string, double> metrics;
 };
@@ -185,6 +194,8 @@ std::optional<History> load_history(const Options& opt,
         return std::nullopt;
       }
       r.run_id = id->string;
+      const JsonValue* key = rv.find("key");
+      if (key != nullptr && key->is_string()) r.key = key->string;
       const JsonValue* wall = rv.find("wall_ms");
       if (wall != nullptr && wall->is_number()) r.wall_ms = wall->number;
       for (const auto& [k, mv] : metrics->object) {
@@ -213,6 +224,7 @@ bool save_history(const Options& opt, const History& h) {
     for (const RunEntry& r : t.runs) {
       w.begin_object();
       w.kv("run_id", r.run_id);
+      w.kv("key", r.key);
       w.kv("wall_ms", r.wall_ms);
       w.key("metrics");
       w.begin_object();
@@ -243,11 +255,44 @@ Trajectory* find_trajectory(History& h, const std::string& config_hash,
 // Sweep-artifact ingestion
 // ---------------------------------------------------------------------------
 
+/// Digest of the index's deterministic job fields, used as the default
+/// run id: byte-identical re-runs of the same work (including fully
+/// cached ones) map to the same id, while wall-clock fields (wall_ms,
+/// attempts) never perturb it. Empty when any job predates content keys
+/// — the caller then falls back to digesting the raw index bytes.
+std::string stable_run_id(const JsonValue& jobs) {
+  std::string canon = "smt-history-run-id/1\n";
+  for (const JsonValue& job : jobs.array) {
+    const JsonValue* name = job.find("name");
+    const JsonValue* key = job.find("key");
+    const JsonValue* outcome = job.find("outcome");
+    const JsonValue* cycles = job.find("cycles");
+    const JsonValue* verified = job.find("verified");
+    const JsonValue* report = job.find("report");
+    if (name == nullptr || !name->is_string() || key == nullptr ||
+        !key->is_string() || key->string.empty() || outcome == nullptr ||
+        !outcome->is_string() || cycles == nullptr || !cycles->is_number() ||
+        report == nullptr || !report->is_string()) {
+      return "";
+    }
+    char cyc[32];
+    std::snprintf(cyc, sizeof(cyc), "%.0f", cycles->number);
+    const bool ver = verified != nullptr &&
+                     verified->type == JsonValue::Type::kBool &&
+                     verified->boolean;
+    canon += name->string + '\t' + key->string + '\t' + outcome->string +
+             '\t' + cyc + '\t' + (ver ? '1' : '0') + '\t' + report->string +
+             '\n';
+  }
+  return smt::fnv1a64_hex(canon);
+}
+
 /// Reads the sweep index + every ok job's report; nullopt on any
-/// malformed artifact. `raw_index` receives the index file's bytes (the
-/// default run id is their digest).
+/// malformed artifact. `default_run_id` receives the sweep's stable id
+/// (see stable_run_id), or the raw index bytes' digest for pre-key
+/// indexes.
 std::optional<std::vector<SweepRun>> load_sweep(const std::string& dir,
-                                                std::string* raw_index) {
+                                                std::string* default_run_id) {
   const fs::path index_path = fs::path(dir) / "sweep_index.json";
   std::ifstream in(index_path);
   if (!in) {
@@ -257,8 +302,8 @@ std::optional<std::vector<SweepRun>> load_sweep(const std::string& dir,
   }
   std::stringstream ss;
   ss << in.rdbuf();
-  *raw_index = ss.str();
-  const auto v = smt::parse_json(*raw_index);
+  const std::string raw_index = ss.str();
+  const auto v = smt::parse_json(raw_index);
   if (!v.has_value() || !v->is_object()) {
     smt::log::error("sweep index does not parse",
                     {{"path", index_path.string()}});
@@ -271,6 +316,10 @@ std::optional<std::vector<SweepRun>> load_sweep(const std::string& dir,
     smt::log::error("not a smt-sweep-index/1 document",
                     {{"path", index_path.string()}});
     return std::nullopt;
+  }
+  *default_run_id = stable_run_id(*jobs);
+  if (default_run_id->empty()) {
+    *default_run_id = smt::fnv1a64_hex(raw_index);
   }
 
   std::vector<SweepRun> runs;
@@ -302,6 +351,8 @@ std::optional<std::vector<SweepRun>> load_sweep(const std::string& dir,
     r.experiment = name->string;
     r.report_schema = rschema->string;
     r.config_hash = smt::fnv1a64_hex(smt::to_canonical_string(*config));
+    const JsonValue* jkey = job.find("key");
+    if (jkey != nullptr && jkey->is_string()) r.key = jkey->string;
     const JsonValue* wall = job.find("wall_ms");
     if (wall != nullptr && wall->is_number()) r.wall_ms = wall->number;
     r.metrics["cycles"] = cycles->number;
@@ -321,11 +372,11 @@ std::optional<std::vector<SweepRun>> load_sweep(const std::string& dir,
 // ---------------------------------------------------------------------------
 
 int cmd_ingest(const Options& opt) {
-  std::string raw_index;
-  const auto runs = load_sweep(opt.sweep_dir, &raw_index);
+  std::string default_run_id;
+  const auto runs = load_sweep(opt.sweep_dir, &default_run_id);
   if (!runs.has_value()) return kExitIo;
   const std::string run_id =
-      opt.run_id.empty() ? smt::fnv1a64_hex(raw_index) : opt.run_id;
+      opt.run_id.empty() ? default_run_id : opt.run_id;
 
   int ingested = 0;
   int skipped = 0;
@@ -347,6 +398,7 @@ int cmd_ingest(const Options& opt) {
     }
     RunEntry e;
     e.run_id = run_id;
+    e.key = r.key;
     e.wall_ms = r.wall_ms;
     e.metrics = r.metrics;
     t->runs.push_back(std::move(e));
@@ -363,8 +415,8 @@ int cmd_ingest(const Options& opt) {
 }
 
 int cmd_check(const Options& opt) {
-  std::string raw_index;
-  const auto runs = load_sweep(opt.sweep_dir, &raw_index);
+  std::string default_run_id;
+  const auto runs = load_sweep(opt.sweep_dir, &default_run_id);
   if (!runs.has_value()) return kExitIo;
 
   int regressions = 0;

@@ -19,6 +19,37 @@
 //   --pipeview        record per-uop pipeline lifetimes for every job; a
 //                     Kanata file (Konata-loadable) per job lands in
 //                     <out>/pipeview/ (reports stay byte-identical)
+//   --cache DIR       content-addressed result store (host::ResultStore):
+//                     jobs whose key (program digests + config hash +
+//                     budget/options + report epoch) already has a stored
+//                     object skip simulation entirely, materialize their
+//                     report/dump from the cache, and are marked
+//                     "cached":true in the index — which stays
+//                     byte-identical to an uncached run's modulo that
+//                     field (and wall_ms, which is wall-clock data).
+//                     Misses store their result after simulating.
+//                     Incompatible with --pipeview (Kanata artifacts are
+//                     not cached, so a hit could not reproduce them).
+//   --cache-verify[=N]  determinism audit (requires --cache): re-simulate
+//                     every cache hit (or the first N of them) and
+//                     byte-compare report and dump against the stored
+//                     object. A divergence is reported as the structured
+//                     outcome "cache_verify_failed" (job fails, fresh
+//                     artifacts win) — it means either nondeterminism or
+//                     a model change behind an unchanged key.
+//   --resume          reuse completed jobs from <out>'s existing
+//                     sweep_index.json: entries whose key still matches
+//                     and whose outcome is a deterministic completion
+//                     (with artifacts still on disk) are carried over as
+//                     "cached":true without re-simulating; cancelled,
+//                     timed-out and key-mismatched jobs re-execute.
+//                     Manifest order and the merged-index contract are
+//                     preserved.
+//   --cancel-after N  cancel the pool after N jobs complete (in-flight
+//                     jobs finish; unclaimed jobs land in the index as
+//                     outcome "cancelled" with attempts=0) — the
+//                     deterministic mid-sweep-kill injection the resume
+//                     tests use.
 //   --quiet           errors only: no progress line, log level error
 //   --list            print the experiment registry and exit
 //
@@ -45,14 +76,20 @@
 // otherwise (the index and surviving reports are complete either way);
 // 2 on usage/manifest errors; 3 when an artifact cannot be written.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <mutex>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <unistd.h>
@@ -65,6 +102,7 @@
 #include "host/experiments.h"
 #include "host/job_pool.h"
 #include "host/metrics.h"
+#include "host/result_store.h"
 #include "host/sweep_trace.h"
 #include "trace/pipeview.h"
 #include "trace/telemetry.h"
@@ -86,6 +124,10 @@ struct SweepOptions {
   std::string trace_path;
   smt::Cycle cycle_budget = 0;  // 0: use each definition's own budget
   long timeout_ms = 0;
+  std::string cache_dir;        // "" = no result cache
+  long cache_verify = -1;       // -1 off; LONG_MAX bare flag; N = sample
+  bool resume = false;
+  long cancel_after = 0;        // 0 = off
   bool pipeview = false;
   bool quiet = false;
   bool list = false;
@@ -96,8 +138,11 @@ struct SweepOptions {
 /// worker (slots are preallocated, one per manifest entry).
 struct JobRecord {
   std::string name;
-  std::string outcome = "ok";  // core::RunStatus name, or "timeout"
+  std::string outcome = "ok";  // core::RunStatus name, "timeout",
+                               // "cancelled" or "cache_verify_failed"
   std::string message;
+  std::string key;     // host::ResultKey hash ("" when never computed)
+  bool cached = false;  // artifacts came from the cache / resumed index
   smt::Cycle cycles = 0;
   bool verified = false;
   std::string report;  // path relative to the output directory
@@ -105,11 +150,46 @@ struct JobRecord {
                        // ("" when the job did not die with one)
 };
 
+/// One prior-index entry a --resume run may carry over.
+struct ResumeEntry {
+  std::string key;
+  std::string outcome;
+  std::string message;
+  smt::Cycle cycles = 0;
+  bool verified = false;
+  std::string report;
+  std::string dump;
+};
+
+/// Cache/resume observability, shared across worker threads. Registered
+/// in the metrics registry up front (all-zero when caching is off) so
+/// the metrics schema is stable and check_reports can cross-check:
+/// lookups == hits + misses + verify_failed, hits == index "cached"
+/// count, stores <= misses, verified <= hits.
+struct CacheCounters {
+  explicit CacheCounters(smt::host::MetricsRegistry& reg)
+      : lookups(reg.counter("cache.lookups")),
+        hits(reg.counter("cache.hits")),
+        misses(reg.counter("cache.misses")),
+        stores(reg.counter("cache.stores")),
+        verified(reg.counter("cache.verified")),
+        verify_failed(reg.counter("cache.verify_failed")) {}
+
+  smt::host::Counter& lookups;
+  smt::host::Counter& hits;
+  smt::host::Counter& misses;
+  smt::host::Counter& stores;
+  smt::host::Counter& verified;
+  smt::host::Counter& verify_failed;
+};
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--out DIR] [--manifest FILE]\n"
                "       [--cycle-budget N] [--timeout-ms N]\n"
                "       [--metrics FILE] [--trace FILE] [--pipeview]\n"
+               "       [--cache DIR] [--cache-verify[=N]] [--resume]\n"
+               "       [--cancel-after N]\n"
                "       [--quiet] [--list] [experiment names...]\n",
                argv0);
   return kExitUsage;
@@ -153,6 +233,28 @@ bool parse_args(int argc, char** argv, SweepOptions* opt) {
       const char* v = next("--timeout-ms");
       if (v == nullptr) return false;
       opt->timeout_ms = std::atol(v);
+    } else if (a == "--cache") {
+      const char* v = next("--cache");
+      if (v == nullptr) return false;
+      opt->cache_dir = v;
+    } else if (a == "--cache-verify") {
+      opt->cache_verify = LONG_MAX;  // audit every hit
+    } else if (a.rfind("--cache-verify=", 0) == 0) {
+      opt->cache_verify = std::atol(a.c_str() + std::strlen("--cache-verify="));
+      if (opt->cache_verify < 1) {
+        smt::log::error("--cache-verify=N requires N >= 1");
+        return false;
+      }
+    } else if (a == "--resume") {
+      opt->resume = true;
+    } else if (a == "--cancel-after") {
+      const char* v = next("--cancel-after");
+      if (v == nullptr) return false;
+      opt->cancel_after = std::atol(v);
+      if (opt->cancel_after < 1) {
+        smt::log::error("--cancel-after requires a positive count");
+        return false;
+      }
     } else if (a == "--pipeview") {
       opt->pipeview = true;
     } else if (a == "--quiet") {
@@ -167,7 +269,87 @@ bool parse_args(int argc, char** argv, SweepOptions* opt) {
     }
   }
   if (opt->jobs < 1) opt->jobs = 1;
+  if (opt->cache_verify != -1 && opt->cache_dir.empty()) {
+    smt::log::error("--cache-verify requires --cache");
+    return false;
+  }
+  if (opt->pipeview && (!opt->cache_dir.empty() || opt->resume)) {
+    // A cache/resume hit skips simulation, so a pipeview'd sweep could
+    // not reproduce its Kanata artifacts from reused results — refuse up
+    // front rather than silently dropping traces.
+    smt::log::error("--pipeview is incompatible with --cache/--resume");
+    return false;
+  }
   return true;
+}
+
+/// Loads the prior index for --resume: name -> reusable entry fields.
+/// An absent index resumes nothing (every job runs); a malformed one is
+/// an error — silently restarting a sweep the user asked to resume would
+/// discard work without saying so.
+bool load_resume_index(const std::string& out_dir,
+                       std::map<std::string, ResumeEntry>* prior,
+                       bool* found) {
+  *found = false;
+  const std::string path = out_dir + "/sweep_index.json";
+  std::ifstream in(path);
+  if (!in) {
+    smt::log::info("no prior index to resume from; running all jobs",
+                   {{"path", path}});
+    return true;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto v = smt::parse_json(ss.str());
+  if (!v.has_value() || !v->is_object()) {
+    smt::log::error("prior index does not parse", {{"path", path}});
+    return false;
+  }
+  const smt::JsonValue* schema = v->find("schema");
+  const smt::JsonValue* jobs = v->find("jobs");
+  if (schema == nullptr || schema->string != "smt-sweep-index/1" ||
+      jobs == nullptr || !jobs->is_array()) {
+    smt::log::error("prior index is not smt-sweep-index/1", {{"path", path}});
+    return false;
+  }
+  for (const smt::JsonValue& job : jobs->array) {
+    const smt::JsonValue* name = job.find("name");
+    const smt::JsonValue* key = job.find("key");
+    const smt::JsonValue* outcome = job.find("outcome");
+    const smt::JsonValue* report = job.find("report");
+    if (name == nullptr || !name->is_string() || key == nullptr ||
+        !key->is_string() || key->string.empty() || outcome == nullptr ||
+        !outcome->is_string() || report == nullptr || !report->is_string()) {
+      continue;  // pre-cache-era or never-ran entry: not reusable
+    }
+    ResumeEntry e;
+    e.key = key->string;
+    e.outcome = outcome->string;
+    e.report = report->string;
+    const smt::JsonValue* message = job.find("message");
+    if (message != nullptr && message->is_string()) e.message = message->string;
+    const smt::JsonValue* cycles = job.find("cycles");
+    if (cycles != nullptr && cycles->is_number()) {
+      e.cycles = static_cast<smt::Cycle>(cycles->number);
+    }
+    const smt::JsonValue* verified = job.find("verified");
+    if (verified != nullptr &&
+        verified->type == smt::JsonValue::Type::kBool) {
+      e.verified = verified->boolean;
+    }
+    const smt::JsonValue* dump = job.find("dump");
+    if (dump != nullptr && dump->is_string()) e.dump = dump->string;
+    (*prior)[name->string] = std::move(e);
+  }
+  *found = true;
+  return true;
+}
+
+/// True when `path` exists and is non-empty — the artifact-presence bar
+/// a resumed entry must clear before its simulation is skipped.
+bool artifact_intact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in && in.peek() != std::ifstream::traits_type::eof();
 }
 
 /// Reads a manifest file: one experiment name per line, blank lines and
@@ -209,6 +391,8 @@ std::string index_json(const SweepOptions& opt,
     w.kv("name", r.name);
     w.kv("outcome", r.outcome);
     w.kv("message", r.message);
+    w.kv("key", r.key);
+    w.kv("cached", r.cached);
     w.kv("attempts", results[i].attempts);
     w.kv("wall_ms", results[i].wall_ms);
     w.kv("cycles", static_cast<uint64_t>(r.cycles));
@@ -223,7 +407,8 @@ std::string index_json(const SweepOptions& opt,
 }
 
 std::string metrics_json(const smt::host::MetricsRegistry& reg,
-                         const SweepOptions& opt, size_t total, int failed) {
+                         const SweepOptions& opt, bool resume_active,
+                         size_t total, int failed) {
   const smt::host::MetricsRegistry::Snapshot s = reg.snapshot();
   smt::JsonWriter w;
   w.begin_object();
@@ -233,6 +418,13 @@ std::string metrics_json(const smt::host::MetricsRegistry& reg,
   w.kv("requested_workers", opt.jobs);
   w.kv("total", static_cast<int64_t>(total));
   w.kv("failed", failed);
+  w.kv("cache", !opt.cache_dir.empty());
+  // Reports whether resume *reuse* was live, not merely requested: a
+  // --resume with no prior index looks nothing up, and check_reports
+  // holds cache.lookups to exactly started-jobs when this is set.
+  w.kv("resume", resume_active);
+  w.kv("cache_verify",
+       static_cast<int64_t>(opt.cache_verify == -1 ? 0 : opt.cache_verify));
   w.end_object();
   smt::host::append_metrics_json(w, s);
   // Per-worker busy fractions, derived from the pool counters so human
@@ -364,6 +556,23 @@ int main(int argc, char** argv) {
     smt::trace::set_global_telemetry(cfg);
   }
 
+  // Resume map: prior completed jobs a --resume run may carry over.
+  std::map<std::string, ResumeEntry> prior;
+  bool resume_active = false;
+  if (opt.resume &&
+      !load_resume_index(opt.out_dir, &prior, &resume_active)) {
+    return kExitIo;
+  }
+
+  std::optional<smt::host::ResultStore> cache;
+  if (!opt.cache_dir.empty()) cache.emplace(opt.cache_dir);
+
+  smt::host::MetricsRegistry metrics;
+  CacheCounters cache_counters(metrics);
+  // Countdown of hits still to audit under --cache-verify.
+  std::atomic<long> verify_budget{opt.cache_verify == -1 ? 0
+                                                         : opt.cache_verify};
+
   std::vector<JobRecord> records(manifest.size());
   std::vector<smt::host::Job> jobs(manifest.size());
   for (size_t i = 0; i < manifest.size(); ++i) {
@@ -381,29 +590,149 @@ int main(int argc, char** argv) {
         opt.out_dir + "/pipeview/" + key + ".kanata";
 
     jobs[i].name = def.name;
-    jobs[i].fn = [&def, &rec, budget, report_path, dump_rel, dump_path,
-                  kanata_path](const smt::host::CancelToken& token,
-                               int /*attempt*/, std::string* message) {
-      const std::unique_ptr<smt::core::Workload> w = def.make();
+    jobs[i].artifacts = {report_path, dump_path, kanata_path};
+    jobs[i].fn = [&, budget, report_path, dump_rel, dump_path, kanata_path](
+                     const smt::host::CancelToken& token, int attempt,
+                     std::string* message) {
       smt::core::RunOptions ro;
       ro.race_detect = def.race_detect;
       ro.flight_recorder = true;
-      smt::core::RunOutcome o = smt::core::try_run_workload(
-          smt::core::MachineConfig{}, *w, budget,
-          [&token] { return token.expired(); }, ro);
+      // Content key: everything this job's artifacts can depend on. Also
+      // computed for cache-less sweeps so the index always carries the
+      // job's content address (and stays byte-identical to a cached
+      // run's, modulo the "cached" field).
+      const smt::host::ResultKey content_key =
+          smt::host::result_key(def, smt::core::MachineConfig{}, budget, ro);
+      rec.key = content_key.hash();
+
+      // Maps a reused completed outcome back onto a pool status.
+      const auto replay_status = [&](const std::string& outcome) {
+        if (outcome == "ok") return smt::host::JobStatus::kOk;
+        *message = rec.message.empty() ? outcome : rec.message;
+        return smt::host::JobStatus::kFailed;
+      };
+      // One deterministic simulation of this job: the report bytes are
+      // fully determined by the content key (the determinism contract
+      // the cache relies on and --cache-verify audits).
+      const auto simulate = [&]() {
+        const std::unique_ptr<smt::core::Workload> w = def.make();
+        smt::core::RunOutcome o = smt::core::try_run_workload(
+            smt::core::MachineConfig{}, *w, budget,
+            [&token] { return token.expired(); }, ro);
+        std::string report_json = smt::core::RunReport::from(o.stats).to_json();
+        return std::pair<smt::core::RunOutcome, std::string>(
+            std::move(o), std::move(report_json));
+      };
+
+      // Reuse paths (resume, then cache) — first attempt only: a retry
+      // only ever follows a watchdog kill, and a reuse hit cannot time
+      // out, so attempt 1 always means "really simulate".
+      if (attempt == 0 && (resume_active || cache.has_value())) {
+        cache_counters.lookups.inc();
+        bool reused = false;
+        if (resume_active) {
+          const auto it = prior.find(def.name);
+          if (it != prior.end() && it->second.key == rec.key &&
+              smt::host::cacheable_outcome(it->second.outcome) &&
+              it->second.report == rec.report &&
+              artifact_intact(opt.out_dir + "/" + it->second.report) &&
+              (it->second.dump.empty() ||
+               artifact_intact(opt.out_dir + "/" + it->second.dump))) {
+            rec.outcome = it->second.outcome;
+            rec.message = it->second.message;
+            rec.cycles = it->second.cycles;
+            rec.verified = it->second.verified;
+            rec.dump = it->second.dump;
+            rec.cached = true;
+            reused = true;
+          }
+        }
+        if (!reused && cache.has_value()) {
+          std::optional<smt::host::CachedResult> hit =
+              cache->load(content_key);
+          if (hit.has_value()) {
+            // Determinism audit: re-simulate a sample of hits and demand
+            // byte-identical artifacts before trusting the cache.
+            if (verify_budget.fetch_sub(1, std::memory_order_relaxed) > 0) {
+              auto [o, fresh_report] = simulate();
+              if (fresh_report != hit->report_json ||
+                  o.core_dump != hit->dump_json) {
+                cache_counters.verify_failed.inc();
+                smt::write_text_file(report_path, fresh_report);
+                rec.dump.clear();
+                if (!o.core_dump.empty() &&
+                    smt::write_text_file(dump_path, o.core_dump)) {
+                  rec.dump = dump_rel;
+                }
+                rec.cycles = o.stats.cycles;
+                rec.verified = o.stats.verified;
+                rec.outcome = "cache_verify_failed";
+                rec.message =
+                    "cached artifacts diverge from re-simulation (key " +
+                    rec.key + ")";
+                rec.cached = false;
+                *message = rec.message;
+                return smt::host::JobStatus::kFailed;
+              }
+              cache_counters.verified.inc();
+            }
+            if (!smt::write_text_file(report_path, hit->report_json)) {
+              *message = "could not write report " + report_path;
+              rec.outcome = "report_write_failed";
+              return smt::host::JobStatus::kFailed;
+            }
+            rec.dump.clear();
+            if (!hit->dump_json.empty()) {
+              if (!smt::write_text_file(dump_path, hit->dump_json)) {
+                std::fprintf(stderr, "warning: could not write dump %s\n",
+                             dump_path.c_str());
+              } else {
+                rec.dump = dump_rel;
+              }
+            }
+            rec.outcome = hit->outcome;
+            rec.message = hit->message;
+            rec.cycles = hit->cycles;
+            rec.verified = hit->verified;
+            rec.cached = true;
+            reused = true;
+          }
+        }
+        if (reused) {
+          cache_counters.hits.inc();
+          return replay_status(rec.outcome);
+        }
+        cache_counters.misses.inc();
+      }
+
+      // Self-test fault injection: die by "watchdog" on the first
+      // attempt, stranding garbage where the artifacts belong — the
+      // pool's pre-retry scrub must remove them before the retry writes
+      // the real ones (sweep_smoke byte-compares the survivors).
+      if (def.timeout_first_attempt && attempt == 0) {
+        smt::write_text_file(report_path, "{\"partial\":");
+        smt::write_text_file(dump_path, "{\"partial\":");
+        rec.outcome = "timeout";
+        rec.message = "injected first-attempt timeout";
+        *message = rec.message;
+        return smt::host::JobStatus::kTimeout;
+      }
+
+      auto [o, report_json] = simulate();
 
       // Even a failed run leaves a valid partial report — write it so the
       // surviving measurements of a broken sweep are never lost. A
       // watchdog retry simply rewrites the file.
-      if (!smt::core::RunReport::from(o.stats).write_json_file(report_path)) {
+      if (!smt::write_text_file(report_path, report_json)) {
         *message = "could not write report " + report_path;
         rec.outcome = "report_write_failed";
         return smt::host::JobStatus::kFailed;
       }
       // Post-mortem core dump for jobs that died in a diagnosable way.
-      // A cancelled (watchdog) attempt never carries one, so a retry
-      // cannot leave a stale dump behind; still clear the record so the
-      // index only ever references a dump the final attempt produced.
+      // A cancelled (watchdog) attempt never carries one — and the pool
+      // scrubs all artifact paths before a retry anyway; still clear the
+      // record so the index only ever references a dump the final
+      // attempt produced.
       rec.dump.clear();
       if (!o.core_dump.empty()) {
         if (!smt::write_text_file(dump_path, o.core_dump)) {
@@ -421,6 +750,7 @@ int main(int argc, char** argv) {
       rec.cycles = o.stats.cycles;
       rec.verified = o.stats.verified;
       rec.message = o.message;
+      rec.cached = false;
 
       if (o.status == smt::core::RunStatus::kCancelled) {
         rec.outcome = "timeout";
@@ -429,6 +759,18 @@ int main(int argc, char** argv) {
         return smt::host::JobStatus::kTimeout;
       }
       rec.outcome = smt::core::name(o.status);
+      // Completed deterministic outcomes populate the cache; wall-clock
+      // outcomes (timeout above) never do.
+      if (cache.has_value() && smt::host::cacheable_outcome(rec.outcome)) {
+        smt::host::CachedResult entry;
+        entry.outcome = rec.outcome;
+        entry.message = rec.message;
+        entry.cycles = rec.cycles;
+        entry.verified = rec.verified;
+        entry.report_json = report_json;
+        entry.dump_json = o.core_dump;
+        if (cache->store(content_key, entry)) cache_counters.stores.inc();
+      }
       if (!o.ok()) {
         *message = o.message;
         return smt::host::JobStatus::kFailed;
@@ -439,23 +781,36 @@ int main(int argc, char** argv) {
 
   smt::log::info("sweep starting", {{"jobs", manifest.size()},
                                     {"workers", opt.jobs},
-                                    {"out", opt.out_dir}});
+                                    {"out", opt.out_dir},
+                                    {"cache", opt.cache_dir},
+                                    {"resume", resume_active}});
 
-  smt::host::MetricsRegistry metrics;
   std::mutex trace_mu;
   std::vector<AttemptEvent> trace_events;
   Progress progress(manifest.size(),
                     !opt.quiet && isatty(fileno(stderr)) != 0);
 
+  smt::host::CancelToken sweep_cancel;
+  std::atomic<long> completions{0};
+
   smt::host::JobPoolConfig pool;
   pool.workers = opt.jobs;
   pool.job_timeout = std::chrono::milliseconds(opt.timeout_ms);
   pool.metrics = &metrics;
+  pool.cancel = &sweep_cancel;
   const bool want_trace = !opt.trace_path.empty();
   pool.on_attempt = [&](const AttemptEvent& e) {
     if (want_trace) {
       const std::lock_guard<std::mutex> lock(trace_mu);
       trace_events.push_back(e);
+    }
+    // --cancel-after: the deterministic mid-sweep-kill injection. Fires
+    // between jobs (the pool checks the token before each claim), so the
+    // N-th completion is the last job that runs under --jobs 1.
+    if (opt.cancel_after > 0 && !e.will_retry &&
+        completions.fetch_add(1, std::memory_order_relaxed) + 1 >=
+            opt.cancel_after) {
+      sweep_cancel.cancel();
     }
     progress.on_attempt(e, records[e.job].name);
   };
@@ -463,6 +818,17 @@ int main(int argc, char** argv) {
   const std::vector<smt::host::JobResult> results =
       smt::host::run_jobs(pool, jobs);
   progress.finish();
+
+  // Jobs the pool-level cancel kept from starting: structured outcomes,
+  // no artifacts, attempts=0 — and re-executable by a later --resume.
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (results[i].status == smt::host::JobStatus::kSkipped) {
+      records[i].outcome = "cancelled";
+      records[i].message = "sweep cancelled before this job started";
+      records[i].report.clear();
+      records[i].dump.clear();
+    }
+  }
 
   int failed = 0;
   for (const smt::host::JobResult& r : results) {
@@ -480,7 +846,8 @@ int main(int argc, char** argv) {
   if (!opt.metrics_path.empty() &&
       !smt::write_text_file(
           opt.metrics_path,
-          metrics_json(metrics, opt, results.size(), failed))) {
+          metrics_json(metrics, opt, resume_active, results.size(),
+                       failed))) {
     return kExitIo;
   }
   if (want_trace) {
