@@ -2,10 +2,13 @@
 # Invoked by ctest (see tools/CMakeLists.txt) as:
 #   cmake -DLINT=... -P lint_smoke.cmake
 #
-# Two runs:
+# Three runs:
 #   1. smt_lint over the full experiment registry — every emitted program
-#      of every kernel mode must come back finding-free;
-#   2. smt_lint --selftest — one deliberately broken program per lint
+#      of every kernel mode must come back with zero errors and zero
+#      warnings (the summary line is matched exactly);
+#   2. smt_lint --format=json — the structured report must carry the
+#      versioned schema tag and clean totals;
+#   3. smt_lint --selftest — one deliberately broken program per lint
 #      rule, each of which the lint must catch (exit 0 = all caught).
 
 execute_process(COMMAND "${LINT}" RESULT_VARIABLE rc OUTPUT_VARIABLE out
@@ -13,10 +16,23 @@ execute_process(COMMAND "${LINT}" RESULT_VARIABLE rc OUTPUT_VARIABLE out
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "smt_lint found problems in registry programs:\n${out}")
 endif()
-string(FIND "${out}" "0 finding(s)" pos)
+string(FIND "${out}" "0 error(s), 0 warning(s)" pos)
 if(pos EQUAL -1)
   message(FATAL_ERROR "smt_lint summary missing/unexpected:\n${out}")
 endif()
+
+execute_process(COMMAND "${LINT}" --format=json RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "smt_lint --format=json failed:\n${out}${err}")
+endif()
+foreach(needle "\"schema\":\"smt-lint-report/1\"" "\"errors\":0"
+    "\"warnings\":0")
+  string(FIND "${out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "smt_lint JSON report lacks '${needle}':\n${out}")
+  endif()
+endforeach()
 
 execute_process(COMMAND "${LINT}" --selftest RESULT_VARIABLE rc
   OUTPUT_VARIABLE out ERROR_VARIABLE out)
@@ -24,7 +40,8 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "smt_lint --selftest missed a seeded violation:\n${out}")
 endif()
 foreach(rule uninit-read missing-pause lock-pairing sync-region-write
-    out-of-extent unreachable fall-off-end)
+    out-of-extent range-out-of-extent unreachable fall-off-end
+    barrier-mismatch lock-order)
   string(FIND "${out}" "caught ${rule}" pos)
   if(pos EQUAL -1)
     message(FATAL_ERROR "selftest output lacks 'caught ${rule}':\n${out}")

@@ -29,13 +29,47 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 # Static front end of the guest-program verifier over the full registry
 # (also exercised by the lint_smoke ctest; run explicitly so a CI log
-# always shows the finding count), plus clang-tidy when available.
+# always shows the error/warning counts), plus the structured JSON
+# report validated by check_reports, the seeded-violation selftest, and
+# clang-tidy when available.
 ./build/tools/smt_lint
+lint_dir=$(mktemp -d)
+./build/tools/smt_lint --format=json > "$lint_dir/lint.json"
+grep -q '"schema":"smt-lint-report/1"' "$lint_dir/lint.json"
+grep -q '"errors":0' "$lint_dir/lint.json"
+./build/tools/check_reports --lint-report "$lint_dir/lint.json"
+# Every seeded violation — one per lint rule — must be caught.
+./build/tools/smt_lint --selftest > "$lint_dir/selftest.txt"
+for rule in uninit-read missing-pause lock-pairing sync-region-write \
+    out-of-extent range-out-of-extent unreachable fall-off-end \
+    barrier-mismatch lock-order; do
+  grep -q "caught $rule" "$lint_dir/selftest.txt"
+done
+# The sweep-side pre-run gate: a registry program broken under the
+# selftest env knob must be indexed as lint_failed without ever running.
+if SMT_SELFTEST_LINT_BREAK=1 ./build/tools/smt_sweep --quiet --lint \
+    --out "$lint_dir/sweep" --metrics "$lint_dir/sweep/metrics.json" \
+    selftest.lint mm.serial.n64 2> /dev/null; then
+  echo "smt_sweep --lint ignored a seeded lint violation" >&2
+  exit 1
+fi
+grep -q '"outcome":"lint_failed"' "$lint_dir/sweep/sweep_index.json"
+./build/tools/check_reports "$lint_dir/sweep/reports" \
+  --metrics "$lint_dir/sweep/metrics.json" \
+  --index "$lint_dir/sweep/sweep_index.json"
+rm -rf "$lint_dir"
 if command -v clang-tidy > /dev/null 2>&1; then
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   # shellcheck disable=SC2046
   clang-tidy -p build --quiet \
     $(find src/host src/analysis -name '*.cc') 2> /dev/null
+  # The analysis layer additionally holds to the performance and
+  # const-correctness profiles (warnings promoted to errors).
+  # shellcheck disable=SC2046
+  clang-tidy -p build --quiet \
+    -checks='performance-*,misc-const-correctness' \
+    -warnings-as-errors='performance-*,misc-const-correctness' \
+    $(find src/analysis -name '*.cc') 2> /dev/null
 else
   echo "ci: clang-tidy not installed, skipping tidy pass" >&2
 fi

@@ -1,0 +1,713 @@
+#include "analysis/absint.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "isa/opcode.h"
+
+namespace smt::analysis {
+
+using isa::BrCond;
+using isa::Instr;
+using isa::kNoReg;
+using isa::Opcode;
+using isa::RegId;
+
+namespace {
+
+constexpr int64_t kNegInf = std::numeric_limits<int64_t>::min();
+constexpr int64_t kPosInf = std::numeric_limits<int64_t>::max();
+using I128 = __int128;
+
+bool fits(I128 v) { return v >= I128(kNegInf) && v <= I128(kPosInf); }
+
+int64_t clamp_hi(I128 v) { return v > I128(kPosInf) ? kPosInf : int64_t(v); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Interval lattice.
+// ---------------------------------------------------------------------------
+
+Interval Interval::top() { return {kNegInf, kPosInf}; }
+
+bool Interval::is_top() const { return lo == kNegInf && hi == kPosInf; }
+
+Interval join(const Interval& a, const Interval& b) {
+  if (a.is_bottom()) return b;
+  if (b.is_bottom()) return a;
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval meet(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval widen(const Interval& prev, const Interval& next) {
+  if (prev.is_bottom()) return next;
+  if (next.is_bottom()) return prev;
+  return {next.lo < prev.lo ? kNegInf : prev.lo,
+          next.hi > prev.hi ? kPosInf : prev.hi};
+}
+
+// Transfer helpers. The guest ALU wraps on int64 overflow (interp.cc uses
+// plain int64 arithmetic), so any bound computation that leaves the int64
+// range must give up and return top — a saturated bound would exclude the
+// wrapped value and make a "proved" fact false on a real execution.
+
+Interval itv_add(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  Interval r;
+  if (a.lo == kNegInf || b.lo == kNegInf) {
+    r.lo = kNegInf;
+  } else {
+    const I128 v = I128(a.lo) + b.lo;
+    if (!fits(v)) return Interval::top();
+    r.lo = int64_t(v);
+  }
+  if (a.hi == kPosInf || b.hi == kPosInf) {
+    r.hi = kPosInf;
+  } else {
+    const I128 v = I128(a.hi) + b.hi;
+    if (!fits(v)) return Interval::top();
+    r.hi = int64_t(v);
+  }
+  return r;
+}
+
+Interval itv_sub(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  Interval r;
+  if (a.lo == kNegInf || b.hi == kPosInf) {
+    r.lo = kNegInf;
+  } else {
+    const I128 v = I128(a.lo) - b.hi;
+    if (!fits(v)) return Interval::top();
+    r.lo = int64_t(v);
+  }
+  if (a.hi == kPosInf || b.lo == kNegInf) {
+    r.hi = kPosInf;
+  } else {
+    const I128 v = I128(a.hi) - b.lo;
+    if (!fits(v)) return Interval::top();
+    r.hi = int64_t(v);
+  }
+  return r;
+}
+
+Interval itv_mul(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  const bool a_finite = a.lo != kNegInf && a.hi != kPosInf;
+  const bool b_finite = b.lo != kNegInf && b.hi != kPosInf;
+  if (a_finite && b_finite) {
+    const I128 c[4] = {I128(a.lo) * b.lo, I128(a.lo) * b.hi,
+                       I128(a.hi) * b.lo, I128(a.hi) * b.hi};
+    const I128 lo = *std::min_element(c, c + 4);
+    const I128 hi = *std::max_element(c, c + 4);
+    if (!fits(lo) || !fits(hi)) return Interval::top();
+    return {int64_t(lo), int64_t(hi)};
+  }
+  if (a.lo >= 0 && b.lo >= 0) {
+    const I128 lo = I128(a.lo) * b.lo;  // both finite: lo bounds are >= 0
+    return {fits(lo) ? int64_t(lo) : kPosInf, kPosInf};
+  }
+  return Interval::top();
+}
+
+Interval itv_div(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  if (b.is_constant() && b.lo == 0) return Interval::constant(0);  // x/0 == 0
+  if (b.lo <= 0 && b.hi >= 0) return Interval::top();  // may divide by zero
+  if (a.lo == kNegInf || a.hi == kPosInf) return Interval::top();
+  // Truncating division is monotone in each operand when the divisor
+  // interval excludes zero, so the extrema are at the corners.
+  const I128 c[4] = {I128(a.lo) / b.lo, I128(a.lo) / b.hi, I128(a.hi) / b.lo,
+                     I128(a.hi) / b.hi};
+  const I128 lo = *std::min_element(c, c + 4);
+  const I128 hi = *std::max_element(c, c + 4);
+  if (!fits(lo) || !fits(hi)) return Interval::top();  // INT64_MIN / -1
+  return {int64_t(lo), int64_t(hi)};
+}
+
+Interval itv_and(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  if (a.lo >= 0 && b.lo >= 0) return {0, std::min(a.hi, b.hi)};
+  return Interval::top();
+}
+
+Interval itv_or(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  if (a.lo >= 0 && b.lo >= 0) {
+    // For nonnegative x, y: max(x, y) <= x|y <= x + y, and x|y stays a
+    // nonnegative int64, so a clamped sum is a true bound. This keeps the
+    // kernels' or-as-add addressing (disjoint bit ranges) precise.
+    const int64_t hi = (a.hi == kPosInf || b.hi == kPosInf)
+                           ? kPosInf
+                           : clamp_hi(I128(a.hi) + b.hi);
+    return {std::max(a.lo, b.lo), hi};
+  }
+  return Interval::top();
+}
+
+Interval itv_xor(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  if (a.lo >= 0 && b.lo >= 0) {
+    const int64_t hi = (a.hi == kPosInf || b.hi == kPosInf)
+                           ? kPosInf
+                           : clamp_hi(I128(a.hi) + b.hi);
+    return {0, hi};
+  }
+  return Interval::top();
+}
+
+Interval itv_shl(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  if (a.lo == kNegInf || a.hi == kPosInf) return Interval::top();
+  if (b.is_constant()) {
+    const int64_t c = b.lo & 63;  // the interpreter masks the amount
+    const I128 lo = I128(a.lo) << c;
+    const I128 hi = I128(a.hi) << c;
+    if (!fits(lo) || !fits(hi)) return Interval::top();
+    return {int64_t(lo), int64_t(hi)};
+  }
+  if (a.lo >= 0 && b.lo >= 0 && b.hi <= 63) {
+    const I128 lo = I128(a.lo) << b.lo;
+    const I128 hi = I128(a.hi) << b.hi;
+    if (!fits(lo) || !fits(hi)) return Interval::top();
+    return {int64_t(lo), int64_t(hi)};
+  }
+  return Interval::top();
+}
+
+Interval itv_shr(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  // Logical shift: negative values become huge once viewed as uint64.
+  if (a.lo < 0) return Interval::top();
+  int64_t c_lo = 0;
+  int64_t c_hi = 0;
+  if (b.is_constant()) {
+    c_lo = c_hi = b.lo & 63;
+  } else if (b.lo >= 0 && b.hi <= 63) {
+    c_lo = b.lo;
+    c_hi = b.hi;
+  } else {
+    return Interval::top();
+  }
+  const int64_t hi = a.hi == kPosInf ? kPosInf >> c_lo : a.hi >> c_lo;
+  return {a.lo >> c_hi, hi};
+}
+
+Interval refine(const Interval& a, BrCond cond, const Interval& rhs) {
+  if (a.is_bottom() || rhs.is_bottom()) return Interval::bottom();
+  switch (cond) {
+    case BrCond::kEq:
+      return meet(a, rhs);
+    case BrCond::kNe: {
+      if (!rhs.is_constant()) return a;
+      const int64_t c = rhs.lo;
+      if (a.is_constant() && a.lo == c) return Interval::bottom();
+      Interval r = a;
+      if (r.lo == c) ++r.lo;
+      if (r.hi == c) --r.hi;
+      return r;
+    }
+    case BrCond::kLt:
+      if (rhs.hi == kNegInf) return Interval::bottom();
+      return meet(a, {kNegInf, rhs.hi == kPosInf ? kPosInf : rhs.hi - 1});
+    case BrCond::kLe:
+      return meet(a, {kNegInf, rhs.hi});
+    case BrCond::kGt:
+      if (rhs.lo == kPosInf) return Interval::bottom();
+      return meet(a, {rhs.lo == kNegInf ? kNegInf : rhs.lo + 1, kPosInf});
+    case BrCond::kGe:
+      return meet(a, {rhs.lo, kPosInf});
+  }
+  return a;
+}
+
+BrCond negate(BrCond cond) {
+  switch (cond) {
+    case BrCond::kEq: return BrCond::kNe;
+    case BrCond::kNe: return BrCond::kEq;
+    case BrCond::kLt: return BrCond::kGe;
+    case BrCond::kLe: return BrCond::kGt;
+    case BrCond::kGt: return BrCond::kLe;
+    case BrCond::kGe: return BrCond::kLt;
+  }
+  return cond;
+}
+
+BrCond swap_operands(BrCond cond) {
+  switch (cond) {
+    case BrCond::kEq: return BrCond::kEq;
+    case BrCond::kNe: return BrCond::kNe;
+    case BrCond::kLt: return BrCond::kGt;
+    case BrCond::kLe: return BrCond::kGe;
+    case BrCond::kGt: return BrCond::kLt;
+    case BrCond::kGe: return BrCond::kLe;
+  }
+  return cond;
+}
+
+// ---------------------------------------------------------------------------
+// Register state.
+// ---------------------------------------------------------------------------
+
+RegState RegState::entry_top() {
+  RegState s;
+  s.feasible = true;
+  s.r.fill(Interval::top());
+  return s;
+}
+
+bool operator==(const RegState& a, const RegState& b) {
+  if (a.feasible != b.feasible) return false;
+  if (!a.feasible) return true;
+  return a.r == b.r;
+}
+
+bool join(RegState* into, const RegState& from) {
+  if (!from.feasible) return false;
+  if (!into->feasible) {
+    *into = from;
+    return true;
+  }
+  bool changed = false;
+  for (int i = 0; i < isa::kNumIRegs; ++i) {
+    const Interval j = join(into->r[i], from.r[i]);
+    if (j != into->r[i]) {
+      into->r[i] = j;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+namespace {
+
+Interval reg_itv(const RegState& s, RegId r) {
+  return isa::is_int_reg(r) ? s.r[r] : Interval::top();
+}
+
+}  // namespace
+
+void interval_transfer(const Instr& in, RegState* s) {
+  if (!s->feasible) return;
+  const auto set = [&](const Interval& v) {
+    if (isa::is_int_reg(in.rd)) s->r[in.rd] = v;
+  };
+  const Interval a = reg_itv(*s, in.rs1);
+  const Interval b =
+      in.use_imm ? Interval::constant(in.imm) : reg_itv(*s, in.rs2);
+  switch (in.op) {
+    case Opcode::kIAdd:   set(itv_add(a, b)); return;
+    case Opcode::kISub:   set(itv_sub(a, b)); return;
+    case Opcode::kIMov:   set(a); return;
+    case Opcode::kIMovImm: set(Interval::constant(in.imm)); return;
+    case Opcode::kIAnd:   set(itv_and(a, b)); return;
+    case Opcode::kIOr:    set(itv_or(a, b)); return;
+    case Opcode::kIXor:   set(itv_xor(a, b)); return;
+    case Opcode::kIShl:   set(itv_shl(a, b)); return;
+    case Opcode::kIShr:   set(itv_shr(a, b)); return;
+    case Opcode::kIMul:   set(itv_mul(a, b)); return;
+    case Opcode::kIDiv:   set(itv_div(a, b)); return;
+    default:
+      // Loads, xchg, and anything this domain does not model: the
+      // destination becomes unknown. Opcodes that architecturally write
+      // nothing (stores, branches, fences) leave the state untouched even
+      // when a malformed encoding carries a stale rd field, so the
+      // transfer's footprint matches reg_writes exactly.
+      if (isa::traits(in.op).writes_reg) set(Interval::top());
+      return;
+  }
+}
+
+Interval eval_addr(const isa::MemRef& m, const RegState& s) {
+  if (!s.feasible) return Interval::bottom();
+  const Interval base =
+      m.base == kNoReg ? Interval::constant(0) : reg_itv(s, m.base);
+  Interval index = Interval::constant(0);
+  if (m.index != kNoReg) {
+    index = itv_shl(reg_itv(s, m.index), Interval::constant(m.scale_log2));
+  }
+  return itv_add(itv_add(base, index), Interval::constant(m.disp));
+}
+
+// ---------------------------------------------------------------------------
+// Interval analysis instance.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class IntervalDomain {
+ public:
+  using State = RegState;
+
+  IntervalDomain(const isa::Program& p, const Cfg& g) : p_(p), g_(g) {}
+
+  State entry() const { return RegState::entry_top(); }
+  State unreachable() const { return {}; }
+  bool join(State* into, const State& from) const {
+    return analysis::join(into, from);
+  }
+  void widen(State* into, const State& prev) const {
+    if (!into->feasible || !prev.feasible) return;
+    for (int i = 0; i < isa::kNumIRegs; ++i) {
+      into->r[i] = analysis::widen(prev.r[i], into->r[i]);
+    }
+  }
+  bool equal(const State& a, const State& b) const { return a == b; }
+
+  State transfer(uint32_t block, State in) const {
+    if (!in.feasible) return in;
+    for (uint32_t pc = g_.blocks[block].begin; pc < g_.blocks[block].end;
+         ++pc) {
+      interval_transfer(p_.at(pc), &in);
+    }
+    return in;
+  }
+
+  State edge(uint32_t from, uint32_t to, State out) const {
+    if (!out.feasible) return out;
+    const BasicBlock& fb = g_.blocks[from];
+    const Instr& last = p_.at(fb.end - 1);
+    if (last.op != Opcode::kBr) return out;
+    if (last.target < 0 ||
+        static_cast<size_t>(last.target) >= p_.size()) {
+      return out;
+    }
+    const uint32_t taken = g_.block_of[last.target];
+    const uint32_t fall =
+        fb.end < p_.size() ? g_.block_of[fb.end] : UINT32_MAX;
+    if (taken == fall) return out;  // both edges coincide: nothing to learn
+    BrCond cond;
+    if (to == taken) {
+      cond = last.cond;
+    } else if (to == fall) {
+      cond = negate(last.cond);
+    } else {
+      return out;
+    }
+    const Interval r1 = reg_itv(out, last.rs1);
+    const Interval r2 =
+        last.use_imm ? Interval::constant(last.imm) : reg_itv(out, last.rs2);
+    const Interval n1 = refine(r1, cond, r2);
+    if (n1.is_bottom()) return {};  // edge is infeasible
+    if (isa::is_int_reg(last.rs1)) out.r[last.rs1] = n1;
+    if (!last.use_imm && isa::is_int_reg(last.rs2)) {
+      const Interval n2 = refine(r2, swap_operands(cond), r1);
+      if (n2.is_bottom()) return {};
+      out.r[last.rs2] = n2;
+    }
+    return out;
+  }
+
+ private:
+  const isa::Program& p_;
+  const Cfg& g_;
+};
+
+}  // namespace
+
+IntervalAnalysis analyze_intervals(const isa::Program& p, const Cfg& g) {
+  Fixpoint<IntervalDomain> fp(g, IntervalDomain(p, g));
+  fp.solve();
+  IntervalAnalysis ia;
+  ia.in.reserve(g.blocks.size());
+  ia.out.reserve(g.blocks.size());
+  for (uint32_t b = 0; b < g.blocks.size(); ++b) {
+    ia.in.push_back(fp.in(b));
+    ia.out.push_back(fp.out(b));
+  }
+  return ia;
+}
+
+// ---------------------------------------------------------------------------
+// Loop structure + trip counts.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kNoBlock = UINT32_MAX;
+constexpr uint64_t kMaxTrips = 1ull << 40;  // freq-overflow guard
+
+/// The destination register of `in`, or kNoReg (abort-free, unlike the
+/// lint's reg_writes, which SMT_CHECKs on unclassifiable opcodes).
+RegId written_reg(const Instr& in) {
+  if (static_cast<size_t>(in.op) >=
+      static_cast<size_t>(Opcode::kNumOpcodes)) {
+    return kNoReg;
+  }
+  return isa::traits(in.op).writes_reg ? in.rd : kNoReg;
+}
+
+/// Reverse postorder over reachable blocks.
+std::vector<uint32_t> reverse_postorder(const Cfg& g) {
+  const size_t nb = g.blocks.size();
+  std::vector<uint32_t> order;
+  std::vector<uint8_t> state(nb, 0);  // 0 = new, 1 = open, 2 = done
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  stack.emplace_back(0, 0);
+  state[0] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    if (next < g.blocks[b].succs.size()) {
+      const uint32_t s = g.blocks[b].succs[next++];
+      if (state[s] == 0) {
+        state[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[b] = 2;
+      order.push_back(b);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+bool NaturalLoop::contains(uint32_t b) const {
+  return std::binary_search(blocks.begin(), blocks.end(), b);
+}
+
+bool LoopInfo::dominates(uint32_t a, uint32_t b) const {
+  if (a >= idom.size() || b >= idom.size()) return false;
+  if (idom[a] == kNoBlock || idom[b] == kNoBlock) return false;
+  while (b != a && b != 0) b = idom[b];
+  return b == a;
+}
+
+LoopInfo analyze_loops(const isa::Program& p, const Cfg& g,
+                       const IntervalAnalysis& ia) {
+  LoopInfo li;
+  const size_t nb = g.blocks.size();
+  li.idom.assign(nb, kNoBlock);
+  li.freq.assign(nb, 0);
+  if (nb == 0) {
+    li.reducible = true;
+    return li;
+  }
+
+  // Iterative dominators (Cooper-Harvey-Kennedy) over reverse postorder.
+  const std::vector<uint32_t> rpo = reverse_postorder(g);
+  std::vector<uint32_t> rpo_index(nb, kNoBlock);
+  for (size_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = uint32_t(i);
+  li.idom[0] = 0;
+  const auto intersect = [&](uint32_t b1, uint32_t b2) {
+    while (b1 != b2) {
+      while (rpo_index[b1] > rpo_index[b2]) b1 = li.idom[b1];
+      while (rpo_index[b2] > rpo_index[b1]) b2 = li.idom[b2];
+    }
+    return b1;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const uint32_t b : rpo) {
+      if (b == 0) continue;
+      uint32_t new_idom = kNoBlock;
+      for (const uint32_t pr : g.blocks[b].preds) {
+        if (!g.blocks[pr].reachable || li.idom[pr] == kNoBlock) continue;
+        new_idom = new_idom == kNoBlock ? pr : intersect(pr, new_idom);
+      }
+      if (new_idom != kNoBlock && li.idom[b] != new_idom) {
+        li.idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  // Back edges and natural loops. A backward edge whose target does not
+  // dominate its source makes the CFG irreducible.
+  li.reducible = true;
+  std::vector<std::pair<uint32_t, uint32_t>> back_edges;  // (latch, header)
+  for (uint32_t b = 0; b < nb; ++b) {
+    if (!g.blocks[b].reachable) continue;
+    for (const uint32_t s : g.blocks[b].succs) {
+      if (li.dominates(s, b)) {
+        back_edges.emplace_back(b, s);
+      } else if (s <= b) {
+        li.reducible = false;
+      }
+    }
+  }
+  std::sort(back_edges.begin(), back_edges.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  for (const auto& [latch, header] : back_edges) {
+    if (!li.loops.empty() && li.loops.back().header == header) {
+      li.loops.back().latch = kNoBlock;  // multiple latches: unresolvable
+    } else {
+      li.loops.push_back({});
+      li.loops.back().header = header;
+      li.loops.back().latch = latch;
+    }
+    // Natural loop body: blocks reaching the latch without passing the
+    // header, plus the header.
+    NaturalLoop& loop = li.loops.back();
+    std::vector<uint32_t> add = loop.blocks;
+    add.push_back(header);
+    std::vector<uint32_t> stack{latch};
+    while (!stack.empty()) {
+      const uint32_t b = stack.back();
+      stack.pop_back();
+      if (std::find(add.begin(), add.end(), b) != add.end()) continue;
+      add.push_back(b);
+      for (const uint32_t pr : g.blocks[b].preds) {
+        if (g.blocks[pr].reachable) stack.push_back(pr);
+      }
+    }
+    std::sort(add.begin(), add.end());
+    add.erase(std::unique(add.begin(), add.end()), add.end());
+    loop.blocks = std::move(add);
+  }
+
+  // Trip resolution: the CountedLoop do-while shape. The latch ends in
+  //   iaddi idx, idx, step; ...; bri <cond> idx, <bound>, header
+  // with exactly one write of idx inside the loop, a constant init from
+  // the preheader edges, and a constant bound.
+  const auto innermost_is = [&](const NaturalLoop& l, uint32_t b) {
+    for (const NaturalLoop& other : li.loops) {
+      if (&other == &l) continue;
+      if (other.contains(b) && other.blocks.size() < l.blocks.size()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (NaturalLoop& loop : li.loops) {
+    if (loop.latch == kNoBlock) continue;
+    const BasicBlock& lb = g.blocks[loop.latch];
+    const Instr& br = p.at(lb.end - 1);
+    if (br.op != Opcode::kBr || br.target < 0 ||
+        static_cast<size_t>(br.target) >= p.size() ||
+        g.block_of[br.target] != loop.header || !isa::is_int_reg(br.rs1)) {
+      continue;
+    }
+    const RegId idx = br.rs1;
+    // Exactly one writer of idx inside the loop: iaddi idx, idx, step —
+    // in a block executed once per iteration (not inside an inner loop).
+    const Instr* inc = nullptr;
+    bool bad = false;
+    for (const uint32_t b : loop.blocks) {
+      for (uint32_t pc = g.blocks[b].begin; pc < g.blocks[b].end && !bad;
+           ++pc) {
+        const Instr& in = p.at(pc);
+        if (written_reg(in) != idx) continue;
+        if (inc != nullptr || in.op != Opcode::kIAdd || !in.use_imm ||
+            in.rs1 != idx || in.imm == 0 || !innermost_is(loop, b)) {
+          bad = true;
+          break;
+        }
+        inc = &in;
+      }
+    }
+    if (bad || inc == nullptr) continue;
+    const int64_t step = inc->imm;
+    // Constant bound: an immediate, or a register never written in the
+    // loop whose interval at the latch branch is a single value.
+    Interval bound_itv = Interval::bottom();
+    if (br.use_imm) {
+      bound_itv = Interval::constant(br.imm);
+    } else if (isa::is_int_reg(br.rs2)) {
+      bool written = false;
+      for (const uint32_t b : loop.blocks) {
+        for (uint32_t pc = g.blocks[b].begin; pc < g.blocks[b].end; ++pc) {
+          if (written_reg(p.at(pc)) == br.rs2) written = true;
+        }
+      }
+      if (!written) {
+        RegState s = ia.in[loop.latch];
+        for (uint32_t pc = lb.begin; pc + 1 < lb.end; ++pc) {
+          interval_transfer(p.at(pc), &s);
+        }
+        if (s.feasible) bound_itv = s.r[br.rs2];
+      }
+    }
+    if (!bound_itv.is_constant()) continue;
+    const int64_t bound = bound_itv.lo;
+    // Constant init: join of the out-states of the preds outside the loop.
+    Interval init_itv = Interval::bottom();
+    for (const uint32_t pr : g.blocks[loop.header].preds) {
+      if (!g.blocks[pr].reachable || loop.contains(pr)) continue;
+      init_itv = join(init_itv, ia.out[pr].feasible ? ia.out[pr].r[idx]
+                                                    : Interval::bottom());
+    }
+    if (!init_itv.is_constant()) continue;
+    const int64_t init = init_itv.lo;
+    // After the k-th body execution idx == init + k*step; the loop exits
+    // at the smallest k where the latch condition fails. Do-while: >= 1.
+    I128 trips = 0;
+    if (step > 0 && (br.cond == BrCond::kLt || br.cond == BrCond::kLe)) {
+      const I128 diff =
+          I128(bound) - init + (br.cond == BrCond::kLe ? 1 : 0);
+      trips = (diff + step - 1) / step;
+    } else if (step < 0 &&
+               (br.cond == BrCond::kGt || br.cond == BrCond::kGe)) {
+      const I128 diff =
+          I128(init) - bound + (br.cond == BrCond::kGe ? 1 : 0);
+      trips = (diff + (-step) - 1) / (-step);
+    } else {
+      continue;
+    }
+    if (trips < 1) trips = 1;
+    if (trips > I128(kMaxTrips)) continue;
+    loop.trips = uint64_t(trips);
+    loop.trips_exact = true;
+  }
+
+  // Exactness: control flow must be a straight nest of resolved counted
+  // loops, with none of the opcodes whose timing escapes pure dataflow
+  // (spin/sleep synchronization).
+  li.exact = li.reducible;
+  for (uint32_t b = 0; b < nb && li.exact; ++b) {
+    if (!g.blocks[b].reachable) continue;
+    if (g.blocks[b].falls_off_end || g.blocks[b].bad_target) {
+      li.exact = false;
+      break;
+    }
+    for (uint32_t pc = g.blocks[b].begin; pc < g.blocks[b].end; ++pc) {
+      const Opcode op = p.at(pc).op;
+      if (op == Opcode::kXchg || op == Opcode::kPause ||
+          op == Opcode::kHalt || op == Opcode::kIpi) {
+        li.exact = false;
+        break;
+      }
+    }
+    if (p.at(g.blocks[b].end - 1).op == Opcode::kBr) {
+      bool is_resolved_latch = false;
+      for (const NaturalLoop& loop : li.loops) {
+        if (loop.latch == b && loop.trips_exact) is_resolved_latch = true;
+      }
+      if (!is_resolved_latch) li.exact = false;
+    }
+  }
+  for (const NaturalLoop& loop : li.loops) {
+    if (!loop.trips_exact) li.exact = false;
+  }
+
+  if (li.exact) {
+    for (uint32_t b = 0; b < nb; ++b) {
+      if (!g.blocks[b].reachable) continue;
+      I128 f = 1;
+      for (const NaturalLoop& loop : li.loops) {
+        if (loop.contains(b)) f *= I128(loop.trips);
+        if (f > I128(kMaxTrips)) {
+          li.exact = false;
+          break;
+        }
+      }
+      if (!li.exact) break;
+      li.freq[b] = uint64_t(f);
+    }
+  }
+  return li;
+}
+
+}  // namespace smt::analysis

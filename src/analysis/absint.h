@@ -1,0 +1,271 @@
+// Abstract interpretation over the micro-ISA CFG: a generic worklist
+// fixpoint engine with pluggable lattice domains, plus the two concrete
+// analyses the verifier is built on —
+//
+//   * an interval domain over the 16 integer registers (value-range
+//     propagation with widening at loop heads and bounded narrowing),
+//     the substrate of the range-based out-of-extent check and of the
+//     loop trip-count analysis, and
+//   * a loop-structure analysis (iterative dominators, natural loops,
+//     CountedLoop trip resolution from the interval results) that the
+//     static CPI lower-bound advisor (analysis/static_perf.h) composes
+//     per-block costs over.
+//
+// Everything here is deliberately sound-but-incomplete: transfer
+// functions return Interval::top() whenever the exact machine semantics
+// (64-bit wraparound, logical shift of negative values, ...) cannot be
+// captured by a single interval, so a proved fact ("this address is
+// always inside extent A") holds on every execution. Analyses never
+// abort on malformed programs — unresolved branches, self-loops and
+// empty programs all degrade to conservative answers (regression-tested
+// over the smt_lint --selftest seeds).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "isa/instr.h"
+#include "isa/program.h"
+
+namespace smt::analysis {
+
+// ---------------------------------------------------------------------------
+// Interval lattice.
+// ---------------------------------------------------------------------------
+
+/// A signed-64-bit interval [lo, hi]. INT64_MIN / INT64_MAX act as -inf /
+/// +inf; lo > hi encodes bottom (no value). Transfer helpers return top()
+/// on any potential int64 overflow, because the guest ALU wraps — a
+/// saturated bound would silently exclude the wrapped value.
+struct Interval {
+  int64_t lo = 1;
+  int64_t hi = 0;  // default-constructed: bottom
+
+  static Interval top();
+  static Interval bottom() { return {}; }
+  static Interval constant(int64_t v) { return {v, v}; }
+  static Interval range(int64_t lo, int64_t hi) { return {lo, hi}; }
+
+  bool is_bottom() const { return lo > hi; }
+  bool is_top() const;
+  bool is_constant() const { return lo == hi; }
+  bool contains(int64_t v) const { return !is_bottom() && lo <= v && v <= hi; }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    if (a.is_bottom() && b.is_bottom()) return true;
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Interval& a, const Interval& b) {
+    return !(a == b);
+  }
+};
+
+Interval join(const Interval& a, const Interval& b);   // least upper bound
+Interval meet(const Interval& a, const Interval& b);   // greatest lower bound
+/// Standard interval widening: a bound that moved between `prev` and
+/// `next` jumps to the corresponding infinity.
+Interval widen(const Interval& prev, const Interval& next);
+
+// Sound transfer functions for the integer ALU (interp.cc semantics).
+Interval itv_add(const Interval& a, const Interval& b);
+Interval itv_sub(const Interval& a, const Interval& b);
+Interval itv_mul(const Interval& a, const Interval& b);
+Interval itv_div(const Interval& a, const Interval& b);  // x/0 == 0
+Interval itv_and(const Interval& a, const Interval& b);
+Interval itv_or(const Interval& a, const Interval& b);
+Interval itv_xor(const Interval& a, const Interval& b);
+Interval itv_shl(const Interval& a, const Interval& b);  // amount masked & 63
+Interval itv_shr(const Interval& a, const Interval& b);  // logical
+
+/// The subset of `a` for which `a <cond> rhs` can hold (branch-edge
+/// refinement; signed comparison like kBr).
+Interval refine(const Interval& a, isa::BrCond cond, const Interval& rhs);
+/// The branch condition that holds on the not-taken edge.
+isa::BrCond negate(isa::BrCond cond);
+/// `a cond b` == `b swap_operands(cond) a`.
+isa::BrCond swap_operands(isa::BrCond cond);
+
+// ---------------------------------------------------------------------------
+// Generic worklist fixpoint engine.
+// ---------------------------------------------------------------------------
+
+/// Solves a forward dataflow problem over a Cfg for any Domain providing:
+///
+///   using State;                                  // block-boundary state
+///   State entry() const;                          // state at instruction 0
+///   State unreachable() const;                    // bottom
+///   bool  join(State* into, const State& from);   // true iff *into grew
+///   void  widen(State* into, const State& prev);  // *into = prev nabla *into
+///   bool  equal(const State& a, const State& b);
+///   State transfer(uint32_t block, State in);     // through the block body
+///   State edge(uint32_t from, uint32_t to, State out);  // along a CFG edge
+///
+/// Widening is applied at back-edge targets (a successor with index <= its
+/// predecessor — blocks are in program order, so loops branch backward)
+/// after `widen_delay` visits, and the post-fixpoint is tightened by
+/// `narrow_passes` plain decreasing sweeps — sound because every transfer
+/// is monotone and a decreasing iteration from a post-fixpoint stays one.
+template <typename Domain>
+class Fixpoint {
+ public:
+  using State = typename Domain::State;
+
+  Fixpoint(const Cfg& g, Domain d) : g_(g), d_(std::move(d)) {}
+
+  void solve(int widen_delay = 3, int narrow_passes = 2) {
+    const size_t nb = g_.blocks.size();
+    in_.assign(nb, d_.unreachable());
+    out_.assign(nb, d_.unreachable());
+    if (nb == 0) return;
+    std::vector<bool> widen_point(nb, false);
+    for (size_t b = 0; b < nb; ++b) {
+      for (uint32_t s : g_.blocks[b].succs) {
+        if (s <= b) widen_point[s] = true;
+      }
+    }
+    std::vector<int> visits(nb, 0);
+    std::vector<bool> queued(nb, false);
+    std::deque<uint32_t> wl;
+    for (uint32_t b = 0; b < nb; ++b) {
+      if (g_.blocks[b].reachable) {
+        wl.push_back(b);
+        queued[b] = true;
+      }
+    }
+    while (!wl.empty()) {
+      const uint32_t b = wl.front();
+      wl.pop_front();
+      queued[b] = false;
+      State s = flow_in(b);
+      if (widen_point[b] && ++visits[b] > widen_delay) {
+        State grown = in_[b];
+        d_.join(&grown, s);
+        d_.widen(&grown, in_[b]);
+        s = std::move(grown);
+      }
+      in_[b] = std::move(s);
+      State o = d_.transfer(b, in_[b]);
+      if (!d_.equal(o, out_[b])) {
+        out_[b] = std::move(o);
+        for (uint32_t succ : g_.blocks[b].succs) {
+          if (!queued[succ]) {
+            wl.push_back(succ);
+            queued[succ] = true;
+          }
+        }
+      }
+    }
+    for (int k = 0; k < narrow_passes; ++k) {
+      for (uint32_t b = 0; b < nb; ++b) {
+        if (!g_.blocks[b].reachable) continue;
+        in_[b] = flow_in(b);
+        out_[b] = d_.transfer(b, in_[b]);
+      }
+    }
+  }
+
+  const State& in(uint32_t b) const { return in_[b]; }
+  const State& out(uint32_t b) const { return out_[b]; }
+  std::vector<State> take_in() { return std::move(in_); }
+  const Domain& domain() const { return d_; }
+
+ private:
+  /// Join of the entry contract (block 0 only) and every reachable
+  /// incoming edge.
+  State flow_in(uint32_t b) {
+    State s = b == 0 ? d_.entry() : d_.unreachable();
+    for (uint32_t pr : g_.blocks[b].preds) {
+      if (!g_.blocks[pr].reachable) continue;
+      d_.join(&s, d_.edge(pr, b, out_[pr]));
+    }
+    return s;
+  }
+
+  const Cfg& g_;
+  Domain d_;
+  std::vector<State> in_;
+  std::vector<State> out_;
+};
+
+// ---------------------------------------------------------------------------
+// Interval analysis instance.
+// ---------------------------------------------------------------------------
+
+/// Abstract machine state: one interval per integer register, plus a
+/// feasibility flag (false == bottom, the state of unreachable code and
+/// of infeasible branch edges). FP registers are not tracked.
+struct RegState {
+  bool feasible = false;
+  std::array<Interval, isa::kNumIRegs> r{};
+
+  static RegState entry_top();
+
+  friend bool operator==(const RegState& a, const RegState& b);
+};
+
+/// Joins `from` into `*into`; returns true iff *into changed.
+bool join(RegState* into, const RegState& from);
+
+/// One instruction's effect on the interval state (registers only; memory
+/// is unknown, so loads produce top). Never aborts: opcodes with
+/// unmodeled semantics simply clobber their destination with top.
+void interval_transfer(const isa::Instr& in, RegState* s);
+
+/// Interval of a memory operand's effective address
+/// ([base] + ([index] << scale) + disp) under `s`.
+Interval eval_addr(const isa::MemRef& m, const RegState& s);
+
+/// Converged per-block interval states. `in[b]` holds at the first
+/// instruction of block b; walk forward with interval_transfer for
+/// per-instruction states.
+struct IntervalAnalysis {
+  std::vector<RegState> in;
+  std::vector<RegState> out;
+};
+
+IntervalAnalysis analyze_intervals(const isa::Program& p, const Cfg& g);
+
+// ---------------------------------------------------------------------------
+// Loop structure + trip counts (feeds analysis/static_perf.h).
+// ---------------------------------------------------------------------------
+
+struct NaturalLoop {
+  uint32_t header = 0;
+  uint32_t latch = 0;                // source block of the back edge
+  std::vector<uint32_t> blocks;      // sorted, includes header
+  uint64_t trips = 0;                // body executions per loop entry
+  bool trips_exact = false;          // trips resolved from a counted latch
+
+  bool contains(uint32_t b) const;
+};
+
+struct LoopInfo {
+  /// Immediate dominator per block (idom[0] == 0; UINT32_MAX when the
+  /// block is unreachable).
+  std::vector<uint32_t> idom;
+  /// Every back-edge target dominates its source (natural-loop CFG).
+  bool reducible = false;
+  std::vector<NaturalLoop> loops;  // sorted by header block
+  /// Per-block execution count (product of enclosing trip counts; 1
+  /// outside loops, 0 for unreachable blocks). Only meaningful when
+  /// `exact`.
+  std::vector<uint64_t> freq;
+  /// True when the CFG is reducible, every reachable conditional branch
+  /// is the resolved latch of a counted loop, no reachable block can run
+  /// off the end, and the program contains none of xchg/pause/halt/ipi —
+  /// i.e. control flow is a straight nest of counted loops and `freq` is
+  /// the exact execution count of every block.
+  bool exact = false;
+
+  /// True iff a dominates b (both reachable).
+  bool dominates(uint32_t a, uint32_t b) const;
+};
+
+LoopInfo analyze_loops(const isa::Program& p, const Cfg& g,
+                       const IntervalAnalysis& ia);
+
+}  // namespace smt::analysis

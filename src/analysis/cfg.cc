@@ -2,15 +2,13 @@
 
 #include <algorithm>
 
-#include "common/check.h"
-
 namespace smt::analysis {
 
 using isa::Instr;
 using isa::Opcode;
 
 Cfg Cfg::build(const isa::Program& p) {
-  SMT_CHECK_MSG(!p.empty(), "cannot build a CFG over an empty program");
+  if (p.empty()) return {};  // no blocks, no reachability — nothing to do
   const uint32_t n = static_cast<uint32_t>(p.size());
 
   auto valid_target = [n](int32_t t) {

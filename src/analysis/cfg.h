@@ -38,7 +38,10 @@ struct Cfg {
   std::vector<uint32_t> block_of;   // instruction index -> block index
 
   /// Builds the CFG and computes reachability from instruction 0.
-  /// The program must be non-empty.
+  /// An empty program yields an empty CFG (no blocks) rather than
+  /// aborting, so analyses over arbitrary inputs degrade gracefully; a
+  /// single-instruction self-loop (`pc 0: br ... -> 0`) yields one block
+  /// that is its own successor and predecessor.
   static Cfg build(const isa::Program& p);
 };
 

@@ -1,10 +1,12 @@
 #include "analysis/lint.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
 
+#include "analysis/absint.h"
 #include "analysis/cfg.h"
 #include "common/check.h"
 #include "isa/disasm.h"
@@ -18,17 +20,24 @@ using isa::Opcode;
 using isa::RegId;
 using isa::SyncRegion;
 
-const char* name(LintRule r) {
-  switch (r) {
-    case LintRule::kUninitRead:       return "uninit-read";
-    case LintRule::kSyncRegionWrite:  return "sync-region-write";
-    case LintRule::kMissingPause:     return "missing-pause";
-    case LintRule::kLockPairing:      return "lock-pairing";
-    case LintRule::kOutOfExtentStore: return "out-of-extent";
-    case LintRule::kUnreachable:      return "unreachable";
-    case LintRule::kFallOffEnd:       return "fall-off-end";
+const char* name(Check c) {
+  switch (c) {
+    case Check::kUninitRead:       return "uninit-read";
+    case Check::kSyncRegionWrite:  return "sync-region-write";
+    case Check::kMissingPause:     return "missing-pause";
+    case Check::kLockPairing:      return "lock-pairing";
+    case Check::kOutOfExtentStore: return "out-of-extent";
+    case Check::kUnreachable:      return "unreachable";
+    case Check::kFallOffEnd:       return "fall-off-end";
+    case Check::kBarrierMismatch:  return "barrier-mismatch";
+    case Check::kLockOrder:        return "lock-order";
+    case Check::kNumChecks:        break;
   }
   return "?";
+}
+
+const char* name(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
 }
 
 namespace {
@@ -49,6 +58,48 @@ std::string reg_name(RegId r) {
     os << "r" << static_cast<int>(r);
   }
   return os.str();
+}
+
+Diagnostic make_diag(Check c, Severity s, uint32_t pc, std::string msg) {
+  Diagnostic d;
+  d.check = c;
+  d.severity = s;
+  d.pc = pc;
+  d.message = std::move(msg);
+  return d;
+}
+
+Diagnostic error(Check c, uint32_t pc, std::string msg) {
+  return make_diag(c, Severity::kError, pc, std::move(msg));
+}
+
+Diagnostic warning(Check c, uint32_t pc, std::string msg) {
+  return make_diag(c, Severity::kWarning, pc, std::move(msg));
+}
+
+/// Fills Diagnostic::block, deduplicates, and orders deterministically
+/// (stable sort by pc, then check, then severity, then message).
+void finalize(const Cfg& g, std::vector<Diagnostic>* diags) {
+  for (Diagnostic& d : *diags) {
+    d.block =
+        d.pc < g.block_of.size() ? g.block_of[d.pc] : 0;
+  }
+  std::stable_sort(diags->begin(), diags->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.pc != b.pc) return a.pc < b.pc;
+                     if (a.check != b.check) return a.check < b.check;
+                     if (a.severity != b.severity) {
+                       return a.severity < b.severity;
+                     }
+                     return a.message < b.message;
+                   });
+  diags->erase(std::unique(diags->begin(), diags->end(),
+                           [](const Diagnostic& a, const Diagnostic& b) {
+                             return a.pc == b.pc && a.check == b.check &&
+                                    a.severity == b.severity &&
+                                    a.message == b.message;
+                           }),
+               diags->end());
 }
 
 }  // namespace
@@ -117,7 +168,7 @@ namespace {
 
 void check_uninit_reads(const isa::Program& p, const Cfg& g,
                         uint32_t assumed_written,
-                        std::vector<LintFinding>* out) {
+                        std::vector<Diagnostic>* out) {
   const size_t nb = g.blocks.size();
   // Must-be-written analysis: in[b] = ∩ out[pred]; top = all registers.
   std::vector<uint32_t> in(nb, kAllRegs), outset(nb, kAllRegs);
@@ -160,7 +211,7 @@ void check_uninit_reads(const isa::Program& p, const Cfg& g,
           if (missing & (1u << r)) os << " " << reg_name(static_cast<RegId>(r));
         }
         os << " in `" << isa::disasm(instr) << "`";
-        out->push_back({LintRule::kUninitRead, pc, os.str()});
+        out->push_back(error(Check::kUninitRead, pc, os.str()));
       }
       s |= reg_writes(instr);
     }
@@ -168,11 +219,11 @@ void check_uninit_reads(const isa::Program& p, const Cfg& g,
 }
 
 void check_sync_regions(const isa::Program& p,
-                        std::vector<LintFinding>* out) {
+                        std::vector<Diagnostic>* out) {
   for (const SyncRegion& r : p.sync_regions()) {
     if (r.end > p.size() || r.begin > r.end) {
-      out->push_back({LintRule::kSyncRegionWrite, r.begin,
-                      "malformed sync region `" + r.what + "`"});
+      out->push_back(error(Check::kSyncRegionWrite, r.begin,
+                           "malformed sync region `" + r.what + "`"));
       continue;
     }
     bool has_pause = false;
@@ -189,14 +240,14 @@ void check_sync_regions(const isa::Program& p,
           }
         }
         os << " outside its declared set (`" << isa::disasm(instr) << "`)";
-        out->push_back({LintRule::kSyncRegionWrite, pc, os.str()});
+        out->push_back(error(Check::kSyncRegionWrite, pc, os.str()));
       }
     }
     if (r.is_spin && r.wants_pause && !has_pause) {
-      out->push_back({LintRule::kMissingPause, r.begin,
-                      "spin region `" + r.what +
-                          "` requested SpinKind::kPause but contains no "
-                          "pause instruction"});
+      out->push_back(warning(Check::kMissingPause, r.begin,
+                             "spin region `" + r.what +
+                                 "` requested SpinKind::kPause but contains "
+                                 "no pause instruction"));
     }
   }
 }
@@ -213,13 +264,13 @@ LockState meet(LockState a, LockState b) {
 }
 
 void check_lock_pairing(const isa::Program& p, const Cfg& g,
-                        std::vector<LintFinding>* out) {
+                        std::vector<Diagnostic>* out) {
   // Group ops by lock word.
   std::map<Addr, std::vector<const LockOp*>> by_addr;
   for (const LockOp& op : p.lock_ops()) {
     if (op.end > p.size() || op.begin >= op.end) {
-      out->push_back({LintRule::kLockPairing, op.begin,
-                      "malformed lock-op annotation"});
+      out->push_back(error(Check::kLockPairing, op.begin,
+                           "malformed lock-op annotation"));
       continue;
     }
     by_addr[op.addr].push_back(&op);
@@ -242,24 +293,24 @@ void check_lock_pairing(const isa::Program& p, const Cfg& g,
 
     // Diagnose the pre-state `s` right before `op` completes, then return
     // the completed state.
-    auto apply = [&](const LockOp* op, LockState s,
-                     std::vector<LintFinding>* findings) {
-      if (findings != nullptr) {
+    auto apply = [&, addr = addr](const LockOp* op, LockState s,
+                                  std::vector<Diagnostic>* diags) {
+      if (diags != nullptr) {
         if (s == LockState::kConflict) {
           std::ostringstream os;
           os << (op->acquire ? "acquire" : "release") << " of lock word 0x"
              << std::hex << addr
              << " with inconsistent lock state on joining paths";
-          findings->push_back({LintRule::kLockPairing, op->begin, os.str()});
+          diags->push_back(error(Check::kLockPairing, op->begin, os.str()));
         } else if (op->acquire && s == LockState::kHeld) {
           std::ostringstream os;
           os << "double acquire of lock word 0x" << std::hex << addr;
-          findings->push_back({LintRule::kLockPairing, op->begin, os.str()});
+          diags->push_back(error(Check::kLockPairing, op->begin, os.str()));
         } else if (!op->acquire && s == LockState::kFree) {
           std::ostringstream os;
           os << "release of lock word 0x" << std::hex << addr
              << " that is not held";
-          findings->push_back({LintRule::kLockPairing, op->begin, os.str()});
+          diags->push_back(error(Check::kLockPairing, op->begin, os.str()));
         }
       }
       return op->acquire ? LockState::kHeld : LockState::kFree;
@@ -267,21 +318,21 @@ void check_lock_pairing(const isa::Program& p, const Cfg& g,
 
     // Walks block `b` from state `s`, applying completions that fall
     // mid-block (sequential flow from pc-1 inside the range).
-    auto transfer = [&](size_t b, LockState s,
-                        std::vector<LintFinding>* findings) {
+    auto transfer = [&, addr = addr](size_t b, LockState s,
+                                     std::vector<Diagnostic>* diags) {
       for (uint32_t pc = g.blocks[b].begin; pc < g.blocks[b].end; ++pc) {
         if (pc != g.blocks[b].begin) {
           auto it = ends_at.find(pc);
           if (it != ends_at.end() && pc > it->second->begin) {
-            s = apply(it->second, s, findings);
+            s = apply(it->second, s, diags);
           }
         }
-        if (findings != nullptr && p.at(pc).op == Opcode::kExit &&
+        if (diags != nullptr && p.at(pc).op == Opcode::kExit &&
             (s == LockState::kHeld || s == LockState::kConflict)) {
           std::ostringstream os;
           os << "lock word 0x" << std::hex << addr
              << " may still be held at exit";
-          findings->push_back({LintRule::kLockPairing, pc, os.str()});
+          diags->push_back(error(Check::kLockPairing, pc, os.str()));
         }
       }
       return s;
@@ -289,7 +340,7 @@ void check_lock_pairing(const isa::Program& p, const Cfg& g,
 
     // In-state of `b`: meet over reachable predecessors, applying the
     // completion effect on edges that leave an op range into its end.
-    auto in_state = [&](size_t b, std::vector<LintFinding>* findings) {
+    auto in_state = [&](size_t b, std::vector<Diagnostic>* diags) {
       LockState s = b == 0 ? LockState::kFree : LockState::kBottom;
       const auto it = ends_at.find(g.blocks[b].begin);
       for (uint32_t pr : g.blocks[b].preds) {
@@ -299,7 +350,7 @@ void check_lock_pairing(const isa::Program& p, const Cfg& g,
         if (it != ends_at.end()) {
           const uint32_t last_pc = pb.end - 1;
           if (last_pc >= it->second->begin && last_pc < it->second->end) {
-            e = apply(it->second, e, findings);
+            e = apply(it->second, e, diags);
           }
         }
         s = meet(s, e);
@@ -320,93 +371,403 @@ void check_lock_pairing(const isa::Program& p, const Cfg& g,
         }
       }
     }
-    // Reporting pass over the converged solution, with de-duplication.
-    std::vector<LintFinding> raw;
+    // Reporting pass over the converged solution (finalize() dedupes).
     for (size_t b = 0; b < nb; ++b) {
       if (!g.blocks[b].reachable) continue;
-      in_state(b, &raw);
-      transfer(b, in[b], &raw);
-    }
-    std::set<std::pair<uint32_t, std::string>> seen;
-    for (LintFinding& f : raw) {
-      if (seen.insert({f.pc, f.message}).second) out->push_back(std::move(f));
+      in_state(b, out);
+      transfer(b, in[b], out);
     }
   }
 }
 
-void check_extents(const isa::Program& p, const LintOptions& opt,
-                   std::vector<LintFinding>* out) {
+void check_extents(const isa::Program& p, const Cfg& g,
+                   const IntervalAnalysis& ia, const LintOptions& opt,
+                   std::vector<Diagnostic>* out) {
   if (!opt.extents_complete) return;
-  auto inside = [&](Addr a) {
-    for (const Extent& e : opt.extents) {
-      if (a >= e.base && a + 8 <= e.base + e.bytes) return true;
+  // Valid start addresses of an 8-byte access, as merged inclusive
+  // windows (extents can be adjacent, so coverage must merge them).
+  std::vector<std::pair<int64_t, int64_t>> windows;
+  for (const Extent& e : opt.extents) {
+    if (e.bytes < 8) continue;
+    windows.emplace_back(static_cast<int64_t>(e.base),
+                         static_cast<int64_t>(e.base + e.bytes - 8));
+  }
+  std::sort(windows.begin(), windows.end());
+  std::vector<std::pair<int64_t, int64_t>> merged;
+  for (const auto& w : windows) {
+    if (!merged.empty() && w.first <= merged.back().second + 1) {
+      merged.back().second = std::max(merged.back().second, w.second);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  const auto covered = [&](const Interval& a) {
+    for (const auto& w : merged) {
+      if (w.first <= a.lo && a.hi <= w.second) return true;
     }
     return false;
   };
-  for (uint32_t pc = 0; pc < p.size(); ++pc) {
-    const Instr& in = p.at(pc);
-    if (!in.is_store()) continue;
-    // Only compile-time-constant addresses are statically checkable; the
-    // rest is covered dynamically by analysis::RaceDetector.
-    if (in.mem.base != kNoReg || in.mem.index != kNoReg) continue;
-    const Addr a = static_cast<Addr>(in.mem.disp);
-    if (!inside(a)) {
-      std::ostringstream os;
-      os << "store to 0x" << std::hex << a
-         << " outside every registered extent (`" << isa::disasm(in) << "`)";
-      out->push_back({LintRule::kOutOfExtentStore, pc, os.str()});
+  const auto disjoint = [&](const Interval& a) {
+    for (const auto& w : merged) {
+      if (a.lo <= w.second && w.first <= a.hi) return false;
+    }
+    return true;
+  };
+
+  for (uint32_t b = 0; b < g.blocks.size(); ++b) {
+    if (!g.blocks[b].reachable) continue;
+    RegState s = ia.in[b];
+    for (uint32_t pc = g.blocks[b].begin; pc < g.blocks[b].end; ++pc) {
+      const Instr& in = p.at(pc);
+      if (in.is_store()) {
+        const Interval a = eval_addr(in.mem, s);
+        if (!a.is_bottom() && !covered(a)) {
+          if (disjoint(a)) {
+            std::ostringstream os;
+            os << "store to ";
+            if (a.is_constant()) {
+              os << "0x" << std::hex << static_cast<uint64_t>(a.lo);
+            } else {
+              os << "[0x" << std::hex << static_cast<uint64_t>(a.lo)
+                 << ", 0x" << static_cast<uint64_t>(a.hi) << "]";
+            }
+            os << " outside every registered extent (`" << isa::disasm(in)
+               << "`)";
+            out->push_back(error(Check::kOutOfExtentStore, pc, os.str()));
+          } else if (a.lo != std::numeric_limits<int64_t>::min() &&
+                     a.hi != std::numeric_limits<int64_t>::max()) {
+            // A bounded range that straddles an extent boundary: the
+            // classic off-by-one loop bound. An unbounded range (an
+            // index loaded from memory) is left to the dynamic detector.
+            std::ostringstream os;
+            os << "store address range [0x" << std::hex
+               << static_cast<uint64_t>(a.lo) << ", 0x"
+               << static_cast<uint64_t>(a.hi)
+               << "] may fall outside the registered extents (`"
+               << isa::disasm(in) << "`)";
+            out->push_back(
+                warning(Check::kOutOfExtentStore, pc, os.str()));
+          }
+        }
+      }
+      interval_transfer(in, &s);
     }
   }
 }
 
 void check_reachability(const isa::Program& p, const Cfg& g,
-                        std::vector<LintFinding>* out) {
+                        std::vector<Diagnostic>* out) {
   for (const BasicBlock& b : g.blocks) {
     if (!b.reachable) {
       std::ostringstream os;
       os << "unreachable code (instructions " << b.begin << ".."
          << b.end - 1 << ", starts `" << isa::disasm(p.at(b.begin)) << "`)";
-      out->push_back({LintRule::kUnreachable, b.begin, os.str()});
+      out->push_back(warning(Check::kUnreachable, b.begin, os.str()));
       continue;
     }
     if (b.falls_off_end) {
-      out->push_back({LintRule::kFallOffEnd, b.end - 1,
-                      b.bad_target
-                          ? "branch target is unresolved or out of range"
-                          : "control can run past the end of the program"});
+      out->push_back(error(Check::kFallOffEnd, b.end - 1,
+                           b.bad_target
+                               ? "branch target is unresolved or out of range"
+                               : "control can run past the end of the "
+                                 "program"));
     }
   }
 }
 
 }  // namespace
 
-std::vector<LintFinding> lint_program(const isa::Program& p,
-                                      const LintOptions& opt) {
-  std::vector<LintFinding> findings;
+std::vector<Diagnostic> lint_program(const isa::Program& p,
+                                     const LintOptions& opt) {
+  std::vector<Diagnostic> diags;
   if (p.empty()) {
-    findings.push_back({LintRule::kFallOffEnd, 0, "empty program"});
-    return findings;
+    diags.push_back(error(Check::kFallOffEnd, 0, "empty program"));
+    return diags;
   }
   const Cfg g = Cfg::build(p);
-  check_uninit_reads(p, g, opt.assumed_written, &findings);
-  check_sync_regions(p, &findings);
-  check_lock_pairing(p, g, &findings);
-  check_extents(p, opt, &findings);
-  check_reachability(p, g, &findings);
-  std::stable_sort(findings.begin(), findings.end(),
-                   [](const LintFinding& a, const LintFinding& b) {
-                     if (a.rule != b.rule) return a.rule < b.rule;
-                     return a.pc < b.pc;
-                   });
-  return findings;
+  const IntervalAnalysis ia = analyze_intervals(p, g);
+  check_uninit_reads(p, g, opt.assumed_written, &diags);
+  check_sync_regions(p, &diags);
+  check_lock_pairing(p, g, &diags);
+  check_extents(p, g, ia, opt, &diags);
+  check_reachability(p, g, &diags);
+  finalize(g, &diags);
+  return diags;
 }
 
-std::string format_findings(const isa::Program& p,
-                            const std::vector<LintFinding>& findings) {
+// ---------------------------------------------------------------------------
+// Cross-program concurrency checks.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool is_barrier_region(const SyncRegion& r) {
+  return r.what.rfind("barrier_wait", 0) == 0;
+}
+
+/// May-held lockset domain for the fixpoint engine: the set of lock
+/// words possibly held at a block boundary, with the same
+/// completion-on-range-exit convention as the lock-pairing dataflow.
+class LocksetDomain {
+ public:
+  struct State {
+    bool feasible = false;
+    std::vector<Addr> held;  // sorted
+  };
+
+  LocksetDomain(const isa::Program& p, const Cfg& g) : p_(p), g_(g) {
+    for (const LockOp& op : p.lock_ops()) {
+      if (op.end > p.size() || op.begin >= op.end) continue;
+      ends_at_[op.end].push_back(&op);
+    }
+  }
+
+  State entry() const { return {true, {}}; }
+  State unreachable() const { return {}; }
+
+  bool join(State* into, const State& from) const {
+    if (!from.feasible) return false;
+    if (!into->feasible) {
+      *into = from;
+      return true;
+    }
+    std::vector<Addr> u;
+    std::set_union(into->held.begin(), into->held.end(), from.held.begin(),
+                   from.held.end(), std::back_inserter(u));
+    if (u == into->held) return false;
+    into->held = std::move(u);
+    return true;
+  }
+
+  void widen(State* into, const State& prev) const {
+    State copy = prev;  // finite lattice: widening is just join
+    join(&copy, *into);
+    *into = std::move(copy);
+  }
+
+  bool equal(const State& a, const State& b) const {
+    if (a.feasible != b.feasible) return false;
+    return !a.feasible || a.held == b.held;
+  }
+
+  State transfer(uint32_t block, State in) const {
+    if (!in.feasible) return in;
+    for (uint32_t pc = g_.blocks[block].begin + 1; pc < g_.blocks[block].end;
+         ++pc) {
+      const auto it = ends_at_.find(pc);
+      if (it == ends_at_.end()) continue;
+      for (const LockOp* op : it->second) {
+        if (pc > op->begin) apply(op, &in);
+      }
+    }
+    return in;
+  }
+
+  State edge(uint32_t from, uint32_t to, State out) const {
+    if (!out.feasible) return out;
+    const auto it = ends_at_.find(g_.blocks[to].begin);
+    if (it != ends_at_.end()) {
+      const uint32_t last_pc = g_.blocks[from].end - 1;
+      for (const LockOp* op : it->second) {
+        if (last_pc >= op->begin && last_pc < op->end) apply(op, &out);
+      }
+    }
+    return out;
+  }
+
+  static void apply(const LockOp* op, State* s) {
+    const auto it =
+        std::lower_bound(s->held.begin(), s->held.end(), op->addr);
+    if (op->acquire) {
+      if (it == s->held.end() || *it != op->addr) s->held.insert(it, op->addr);
+    } else if (it != s->held.end() && *it == op->addr) {
+      s->held.erase(it);
+    }
+  }
+
+ private:
+  const isa::Program& p_;
+  const Cfg& g_;
+  std::map<uint32_t, std::vector<const LockOp*>> ends_at_;
+};
+
+/// (held, acquired) lock-word pair observed at an acquire site.
+struct OrderedPair {
+  Addr held = 0;
+  Addr acquired = 0;
+  uint32_t pc = 0;  // the acquire's begin
+};
+
+/// Every (already-held, newly-acquired) pair of one program, from the
+/// converged may-held lockset.
+std::vector<OrderedPair> lock_order_pairs(const isa::Program& p,
+                                          const Cfg& g) {
+  std::vector<OrderedPair> pairs;
+  if (p.lock_ops().empty()) return pairs;
+  LocksetDomain dom(p, g);
+  Fixpoint<LocksetDomain> fp(g, LocksetDomain(p, g));
+  fp.solve();
+  std::map<uint32_t, std::vector<const LockOp*>> ends_at;
+  for (const LockOp& op : p.lock_ops()) {
+    if (op.end > p.size() || op.begin >= op.end) continue;
+    ends_at[op.end].push_back(&op);
+  }
+  const auto record = [&](const LocksetDomain::State& before,
+                          const LockOp* op) {
+    if (!op->acquire || !before.feasible) return;
+    for (const Addr h : before.held) {
+      if (h != op->addr) pairs.push_back({h, op->addr, op->begin});
+    }
+  };
+  for (uint32_t b = 0; b < g.blocks.size(); ++b) {
+    if (!g.blocks[b].reachable) continue;
+    // Completions on incoming edges: the pre-state is the pred's out.
+    const auto eit = ends_at.find(g.blocks[b].begin);
+    if (eit != ends_at.end()) {
+      for (const uint32_t pr : g.blocks[b].preds) {
+        if (!g.blocks[pr].reachable) continue;
+        const uint32_t last_pc = g.blocks[pr].end - 1;
+        for (const LockOp* op : eit->second) {
+          if (last_pc >= op->begin && last_pc < op->end) {
+            record(fp.out(pr), op);
+          }
+        }
+      }
+    }
+    // Mid-block completions.
+    LocksetDomain::State s = fp.in(b);
+    if (!s.feasible) continue;
+    for (uint32_t pc = g.blocks[b].begin + 1; pc < g.blocks[b].end; ++pc) {
+      const auto it = ends_at.find(pc);
+      if (it == ends_at.end()) continue;
+      for (const LockOp* op : it->second) {
+        if (pc > op->begin) {
+          record(s, op);
+          LocksetDomain::apply(op, &s);
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+std::vector<std::vector<Diagnostic>> lint_concurrency(
+    const std::vector<isa::Program>& programs) {
+  const size_t np = programs.size();
+  std::vector<std::vector<Diagnostic>> diags(np);
+  std::vector<Cfg> cfgs(np);
+  std::vector<size_t> barrier_count(np, 0);
+  std::vector<uint32_t> barrier_anchor(np, 0);
+  std::vector<std::vector<OrderedPair>> pairs(np);
+
+  for (size_t i = 0; i < np; ++i) {
+    const isa::Program& p = programs[i];
+    if (p.empty()) continue;
+    cfgs[i] = Cfg::build(p);
+    const Cfg& g = cfgs[i];
+    const IntervalAnalysis ia = analyze_intervals(p, g);
+    const LoopInfo li = analyze_loops(p, g, ia);
+
+    // Reachable blocks that exit the program.
+    std::vector<uint32_t> exit_blocks;
+    for (uint32_t b = 0; b < g.blocks.size(); ++b) {
+      if (!g.blocks[b].reachable) continue;
+      for (uint32_t pc = g.blocks[b].begin; pc < g.blocks[b].end; ++pc) {
+        if (p.at(pc).op == Opcode::kExit) {
+          exit_blocks.push_back(b);
+          break;
+        }
+      }
+    }
+
+    bool first = true;
+    for (const SyncRegion& r : p.sync_regions()) {
+      if (!is_barrier_region(r) || r.end > p.size() || r.begin >= r.end) {
+        continue;
+      }
+      const uint32_t rb = g.block_of[r.begin];
+      if (!g.blocks[rb].reachable) continue;
+      if (first) {
+        barrier_anchor[i] = r.begin;
+        first = false;
+      }
+      bool on_every_path = true;
+      for (const uint32_t eb : exit_blocks) {
+        if (!li.dominates(rb, eb)) on_every_path = false;
+      }
+      if (!exit_blocks.empty() && !on_every_path) {
+        diags[i].push_back(
+            error(Check::kBarrierMismatch, r.begin,
+                  "barrier episode `" + r.what +
+                      "` is not reached on every path to exit — the "
+                      "sibling would wait forever"));
+      } else {
+        ++barrier_count[i];
+      }
+    }
+
+    pairs[i] = lock_order_pairs(p, g);
+  }
+
+  // Barrier episodes must agree across every participating program.
+  if (np >= 2) {
+    for (size_t i = 0; i < np; ++i) {
+      for (size_t j = 0; j < np; ++j) {
+        if (i == j || barrier_count[i] == barrier_count[j]) continue;
+        std::ostringstream os;
+        os << "program reaches " << barrier_count[i]
+           << " barrier episode(s) on every path but sibling `"
+           << programs[j].name() << "` reaches " << barrier_count[j];
+        diags[i].push_back(
+            error(Check::kBarrierMismatch, barrier_anchor[i], os.str()));
+      }
+    }
+  }
+
+  // Lock-order inversions across programs: (a then b) here, (b then a)
+  // in a sibling is a potential deadlock.
+  for (size_t i = 0; i < np; ++i) {
+    for (const OrderedPair& mine : pairs[i]) {
+      for (size_t j = 0; j < np; ++j) {
+        if (i == j) continue;
+        for (const OrderedPair& theirs : pairs[j]) {
+          if (mine.held == theirs.acquired && mine.acquired == theirs.held) {
+            std::ostringstream os;
+            os << "acquires lock word 0x" << std::hex << mine.acquired
+               << " while holding 0x" << mine.held << ", but sibling `"
+               << programs[j].name()
+               << "` acquires them in the opposite order (potential "
+                  "deadlock)";
+            diags[i].push_back(
+                error(Check::kLockOrder, mine.pc, os.str()));
+          }
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < np; ++i) {
+    if (!programs[i].empty()) finalize(cfgs[i], &diags[i]);
+  }
+  return diags;
+}
+
+size_t count_severity(const std::vector<Diagnostic>& diags, Severity s) {
+  size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::string format_diagnostics(const isa::Program& p,
+                               const std::vector<Diagnostic>& diags) {
   std::ostringstream os;
-  for (const LintFinding& f : findings) {
-    os << p.name() << ":" << f.pc << ": " << name(f.rule) << ": "
-       << f.message << "\n";
+  for (const Diagnostic& d : diags) {
+    os << p.name() << ":" << d.pc << ": " << name(d.severity) << ": "
+       << name(d.check) << ": " << d.message << "\n";
   }
   return os.str();
 }

@@ -1,4 +1,5 @@
-// Static micro-ISA lint: CFG-based dataflow checks over an isa::Program.
+// Static micro-ISA verifier: CFG/dataflow and abstract-interpretation
+// checks over isa::Programs.
 //
 // The paper's TLP/SPR variants depend on hand-emitted synchronization; a
 // single mis-emitted register silently corrupts the counter data the
@@ -7,24 +8,38 @@
 //
 //   uninit-read        a path reaches a register read with no prior write
 //                      (must-dataflow over the CFG; registers listed in
-//                      LintOptions::assumed_written are exempt)
+//                      LintOptions::assumed_written are exempt)   [error]
 //   sync-region-write  an instruction inside an emitter-annotated
 //                      SyncRegion writes a register outside the region's
-//                      declared may_write set (register discipline)
+//                      declared may_write set (register discipline) [error]
 //   missing-pause      a spin region emitted with SpinKind::kPause
-//                      contains no pause instruction
+//                      contains no pause instruction             [warning]
 //   lock-pairing       double acquire, release without acquire, lock held
 //                      at exit, or inconsistent lock state where paths
 //                      join (per annotated lock word, 4-value dataflow)
-//   out-of-extent      a store/xchg with a compile-time-constant address
-//                      outside the workload's registered array extents
-//                      (only when LintOptions::extents_complete)
-//   unreachable        code no path from the entry reaches
+//                                                                  [error]
+//   out-of-extent      a store/xchg whose address range — from the
+//                      interval analysis (analysis/absint.h) — falls
+//                      outside the workload's registered extents: error
+//                      when provably always outside, warning when the
+//                      range only partially escapes (off-by-one loop
+//                      bounds); only when LintOptions::extents_complete
+//   unreachable        code no path from the entry reaches        [warning]
 //   fall-off-end       a reachable path can run past the program end, or
-//                      a branch target is unresolved / out of range
+//                      a branch target is unresolved / out of range [error]
+//
+// lint_concurrency adds the cross-program (per logical CPU) checks:
+//
+//   barrier-mismatch   a barrier-wait episode is not reached on every
+//                      path to exit, or the participating programs reach
+//                      different numbers of barrier episodes       [error]
+//   lock-order         two programs acquire the same pair of lock words
+//                      in opposite orders while holding the other — a
+//                      potential deadlock the FastTrack detector can only
+//                      see if the interleaving actually deadlocks [error]
 //
 // The lint never aborts on malformed programs — every defect is returned
-// as a finding — but it does abort (SMT_CHECK) on an opcode it cannot
+// as a diagnostic — but it does abort (SMT_CHECK) on an opcode it cannot
 // classify, so ISA additions must extend reg_reads/reg_writes before
 // they can slip past the checker (guarded by a test over all opcodes).
 #pragma once
@@ -39,7 +54,7 @@
 
 namespace smt::analysis {
 
-enum class LintRule : uint8_t {
+enum class Check : uint8_t {
   kUninitRead,
   kSyncRegionWrite,
   kMissingPause,
@@ -47,12 +62,23 @@ enum class LintRule : uint8_t {
   kOutOfExtentStore,
   kUnreachable,
   kFallOffEnd,
+  kBarrierMismatch,
+  kLockOrder,
+  kNumChecks,
 };
-const char* name(LintRule r);
+const char* name(Check c);
 
-struct LintFinding {
-  LintRule rule;
-  uint32_t pc = 0;  // anchor instruction index
+enum class Severity : uint8_t { kWarning, kError };
+const char* name(Severity s);
+
+/// One verifier finding. Diagnostics are deterministic: lint_program and
+/// lint_concurrency return them deduplicated and stably sorted by
+/// (pc, check, severity, message).
+struct Diagnostic {
+  Check check = Check::kNumChecks;
+  Severity severity = Severity::kError;
+  uint32_t pc = 0;     // anchor instruction index
+  uint32_t block = 0;  // CFG basic block containing pc
   std::string message;
 };
 
@@ -83,12 +109,22 @@ uint32_t reg_reads(const isa::Instr& in);
 /// Register-destination bitmask of one instruction.
 uint32_t reg_writes(const isa::Instr& in);
 
-/// Runs every check; findings come back in rule-then-pc order.
-std::vector<LintFinding> lint_program(const isa::Program& p,
-                                      const LintOptions& opt = {});
+/// Runs every single-program check.
+std::vector<Diagnostic> lint_program(const isa::Program& p,
+                                     const LintOptions& opt = {});
 
-/// Formats findings as "<program>:<pc>: <rule>: <message>" lines.
-std::string format_findings(const isa::Program& p,
-                            const std::vector<LintFinding>& findings);
+/// Runs the cross-program concurrency checks (barrier matching, lock
+/// acquisition order) over one workload's per-logical-CPU programs.
+/// Result [i] holds the diagnostics attributed to programs[i].
+std::vector<std::vector<Diagnostic>> lint_concurrency(
+    const std::vector<isa::Program>& programs);
+
+/// Counts diagnostics of the given severity.
+size_t count_severity(const std::vector<Diagnostic>& diags, Severity s);
+
+/// Formats diagnostics as "<program>:<pc>: <severity>: <check>: <message>"
+/// lines.
+std::string format_diagnostics(const isa::Program& p,
+                               const std::vector<Diagnostic>& diags);
 
 }  // namespace smt::analysis

@@ -1,5 +1,6 @@
 #include "host/experiments.h"
 
+#include <cstdlib>
 #include <map>
 #include <set>
 
@@ -116,6 +117,31 @@ class RaceWorkload : public core::Workload {
   std::vector<mem::MemoryLayout::Region> regions_;
 };
 
+/// Emits a seeded verifier violation (an uninitialized-register read)
+/// when SMT_SELFTEST_LINT_BREAK is set in the environment — the sweep's
+/// --lint gate smoke flips it on to exercise the structured
+/// "lint_failed" outcome end to end. Clean otherwise, so the
+/// registry-wide zero-error lint gates hold.
+class LintTrapWorkload : public core::Workload {
+ public:
+  const std::string& name() const override { return name_; }
+  void setup(core::Machine&) override {}
+  std::vector<isa::Program> programs() const override {
+    isa::AsmBuilder a("lint-trap");
+    if (std::getenv("SMT_SELFTEST_LINT_BREAK") != nullptr) {
+      a.iaddi(isa::IReg::R0, isa::IReg::R1, 1);  // R1 never written
+    } else {
+      a.imovi(isa::IReg::R0, 1);
+    }
+    a.exit();
+    return {a.take()};
+  }
+  bool verify(const core::Machine&) const override { return true; }
+
+ private:
+  std::string name_ = "selftest.lint";
+};
+
 /// Completes fine but fails its result check.
 class VerifyFailWorkload : public core::Workload {
  public:
@@ -230,6 +256,13 @@ std::vector<ExperimentDef> build_registry() {
     ExperimentDef d;
     d.name = "selftest.verify-fail";
     d.make = [] { return std::make_unique<VerifyFailWorkload>(); };
+    d.in_default_manifest = false;
+    defs.push_back(std::move(d));
+  }
+  {
+    ExperimentDef d;
+    d.name = "selftest.lint";
+    d.make = [] { return std::make_unique<LintTrapWorkload>(); };
     d.in_default_manifest = false;
     defs.push_back(std::move(d));
   }

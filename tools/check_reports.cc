@@ -33,6 +33,11 @@
 // beside: the pool counters must be arithmetically consistent with the
 // index's per-job outcomes and attempt counts (see check_sweep_metrics).
 //
+// With --lint-report <file>, the file must parse as a smt-lint-report/1
+// document (smt_lint --format=json): well-formed experiment/program/
+// diagnostic nesting, every severity either "error" or "warning", and a
+// totals object that exactly reproduces the recounted sums.
+//
 // Validation findings are printed as plain per-file stderr lines (they
 // are the tool's product); operational failures (unreadable paths, bad
 // usage) go through the structured logger. Exit status: 0 ok; 1 any
@@ -626,21 +631,102 @@ std::optional<smt::JsonValue> load_json_object(const fs::path& path,
   return v;
 }
 
+// Validates one smt-lint-report/1 document (smt_lint --format=json):
+// structure plus the totals-vs-recount invariant.
+bool check_lint_report(const fs::path& path, bool* io_error) {
+  const auto v = load_json_object(path, io_error);
+  if (!v.has_value()) return false;
+  const smt::JsonValue* schema = v->find("schema");
+  if (schema == nullptr || schema->string != "smt-lint-report/1") {
+    std::fprintf(stderr, "%s: missing/unknown schema\n", path.c_str());
+    return false;
+  }
+  const smt::JsonValue* experiments = v->find("experiments");
+  const smt::JsonValue* totals = v->find("totals");
+  if (experiments == nullptr || !experiments->is_array() ||
+      totals == nullptr || !totals->is_object()) {
+    std::fprintf(stderr, "%s: missing experiments/totals\n", path.c_str());
+    return false;
+  }
+  double errors = 0, warnings = 0, programs = 0;
+  for (const smt::JsonValue& exp : experiments->array) {
+    const smt::JsonValue* name = exp.find("name");
+    const smt::JsonValue* progs = exp.find("programs");
+    if (name == nullptr || !name->is_string() || progs == nullptr ||
+        !progs->is_array()) {
+      std::fprintf(stderr, "%s: malformed experiment entry\n", path.c_str());
+      return false;
+    }
+    for (const smt::JsonValue& prog : progs->array) {
+      ++programs;
+      const smt::JsonValue* pname = prog.find("name");
+      const smt::JsonValue* diags = prog.find("diagnostics");
+      if (pname == nullptr || !pname->is_string() || diags == nullptr ||
+          !diags->is_array()) {
+        std::fprintf(stderr, "%s: malformed program entry\n", path.c_str());
+        return false;
+      }
+      for (const smt::JsonValue& d : diags->array) {
+        const smt::JsonValue* check = d.find("check");
+        const smt::JsonValue* severity = d.find("severity");
+        const smt::JsonValue* message = d.find("message");
+        if (check == nullptr || !check->is_string() || severity == nullptr ||
+            !severity->is_string() || message == nullptr ||
+            !message->is_string() || !has_number(d, "pc") ||
+            !has_number(d, "block")) {
+          std::fprintf(stderr, "%s: malformed diagnostic entry\n",
+                       path.c_str());
+          return false;
+        }
+        if (severity->string == "error") {
+          ++errors;
+        } else if (severity->string == "warning") {
+          ++warnings;
+        } else {
+          std::fprintf(stderr, "%s: unknown severity \"%s\"\n", path.c_str(),
+                       severity->string.c_str());
+          return false;
+        }
+      }
+    }
+  }
+  bool ok = true;
+  const struct {
+    const char* key;
+    double want;
+  } recount[] = {{"errors", errors},
+                 {"warnings", warnings},
+                 {"programs", programs},
+                 {"experiments",
+                  static_cast<double>(experiments->array.size())}};
+  for (const auto& [key, want] : recount) {
+    const double got = number_or(*totals, key, -1.0);
+    if (got != want) {
+      std::fprintf(stderr, "%s: totals.%s is %.0f, recount says %.0f\n",
+                   path.c_str(), key, got, want);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 // Cross-checks a smt-sweep-metrics/1 snapshot against the sweep index it
 // was written beside. The pool counters are redundant with the index by
 // construction, which makes them checkable (cancelled = index jobs the
-// pool-level cancel skipped before they started; started = total -
-// cancelled):
+// pool-level cancel skipped before they started; lint_failed = jobs the
+// --lint gate withheld from the pool, always with attempts == 0;
+// started = total - cancelled - lint_failed):
 //
 //   jobs_started == jobs_completed == started; jobs_skipped == cancelled
 //   jobs_ok == total - failed;  jobs_failed + jobs_timeout ==
-//                                               failed - cancelled
+//                                  failed - cancelled - lint_failed
 //   attempts == sum(index jobs[].attempts) == started + jobs_retried
 //   watchdog_fires == jobs_retried + jobs_timeout  (retries only follow
 //                                                   watchdog timeouts)
 //   attempt_wall_ms histogram: count == attempts, bucket counts sum to it
 //   queue_depth gauge drained to the cancelled count from a high
-//     watermark of total; workers_busy drained to 0, peak <= requested
+//     watermark of total - lint_failed (lint-failed jobs are never
+//     enqueued); workers_busy drained to 0, peak <= requested
 //   one workers[] entry per pool worker, busy_us consistent with the
 //   per-worker counters and <= wall_us + 1µs rounding slack
 //
@@ -677,6 +763,7 @@ bool check_sweep_metrics(const fs::path& metrics_path,
   double index_failed = 0;
   double index_attempts = 0;
   double index_cancelled = 0;
+  double index_lint_failed = 0;
   double index_cached = 0;
   double index_verify_failed = 0;
   for (const smt::JsonValue& job : jobs->array) {
@@ -689,6 +776,15 @@ bool check_sweep_metrics(const fs::path& metrics_path,
     }
     if (outcome->string != "ok") ++index_failed;
     if (outcome->string == "cancelled") ++index_cancelled;
+    if (outcome->string == "lint_failed") {
+      ++index_lint_failed;
+      // Lint-gated jobs are withheld from the pool before any attempt.
+      if (job.find("attempts")->number != 0) {
+        std::fprintf(stderr, "%s: lint_failed job has %g attempts\n",
+                     index_path.c_str(), job.find("attempts")->number);
+        return false;
+      }
+    }
     if (outcome->string == "cache_verify_failed") ++index_verify_failed;
     // Pre-cache indexes have no "cached" field; absent means false.
     const smt::JsonValue* cached = job.find("cached");
@@ -698,7 +794,8 @@ bool check_sweep_metrics(const fs::path& metrics_path,
     }
     index_attempts += job.find("attempts")->number;
   }
-  const double index_started = index_total - index_cancelled;
+  const double index_started =
+      index_total - index_cancelled - index_lint_failed;
 
   const smt::JsonValue* sweep = mv->find("sweep");
   const smt::JsonValue* counters = mv->find("counters");
@@ -737,7 +834,7 @@ bool check_sweep_metrics(const fs::path& metrics_path,
          index_total - index_failed);
   expect("pool.jobs_failed + pool.jobs_timeout",
          counter("pool.jobs_failed") + counter("pool.jobs_timeout"),
-         index_failed - index_cancelled);
+         index_failed - index_cancelled - index_lint_failed);
   expect("pool.attempts", counter("pool.attempts"), index_attempts);
   expect("pool.attempts - pool.jobs_retried",
          counter("pool.attempts") - counter("pool.jobs_retried"),
@@ -810,7 +907,8 @@ bool check_sweep_metrics(const fs::path& metrics_path,
     // drains to exactly the number of jobs the cancel left behind.
     expect("queue_depth.value", number_or(*depth, "value", -1.0),
            index_cancelled);
-    expect("queue_depth.max", number_or(*depth, "max", -1.0), index_total);
+    expect("queue_depth.max", number_or(*depth, "max", -1.0),
+           index_total - index_lint_failed);
     expect("workers_busy.value", number_or(*busy, "value", -1.0), 0);
     const double peak = number_or(*busy, "max", -1.0);
     const double requested = number_or(*sweep, "requested_workers", 0.0);
@@ -877,8 +975,10 @@ std::pair<int, int> scan(const fs::path& dir, const std::string& suffix,
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <report-dir> [trace-dir]"
-               " [--metrics FILE --index FILE] [--dumps DIR]\n",
-               argv0);
+               " [--metrics FILE --index FILE] [--dumps DIR]"
+               " [--lint-report FILE]\n"
+               "       %s --lint-report FILE\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -889,16 +989,19 @@ int main(int argc, char** argv) {
   std::string metrics_file;
   std::string index_file;
   std::string dumps_dir;
+  std::string lint_report_file;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--metrics" || a == "--index" || a == "--dumps") {
+    if (a == "--metrics" || a == "--index" || a == "--dumps" ||
+        a == "--lint-report") {
       if (i + 1 >= argc) {
         smt::log::error("option requires an argument", {{"option", a}});
         return usage(argv[0]);
       }
-      (a == "--metrics" ? metrics_file
-       : a == "--index" ? index_file
-                        : dumps_dir) = argv[++i];
+      (a == "--metrics"       ? metrics_file
+       : a == "--index"       ? index_file
+       : a == "--lint-report" ? lint_report_file
+                              : dumps_dir) = argv[++i];
     } else if (!a.empty() && a[0] == '-') {
       smt::log::error("unknown option", {{"option", a}});
       return usage(argv[0]);
@@ -912,20 +1015,27 @@ int main(int argc, char** argv) {
     smt::log::error("--metrics and --index must be given together");
     return usage(argv[0]);
   }
-  if (dirs.empty() || dirs.size() > 2) return usage(argv[0]);
+  // A lint report stands on its own, so <report-dir> is optional when
+  // --lint-report is the only thing to check.
+  if (dirs.size() > 2 || (dirs.empty() && lint_report_file.empty()))
+    return usage(argv[0]);
 
-  const fs::path dir = dirs[0];
-  if (!fs::is_directory(dir)) {
-    smt::log::error("not a directory", {{"path", dir.string()}});
-    return 3;
+  int bad = 0;
+  if (!dirs.empty()) {
+    const fs::path dir = dirs[0];
+    if (!fs::is_directory(dir)) {
+      smt::log::error("not a directory", {{"path", dir.string()}});
+      return 3;
+    }
+    auto [checked, dir_bad] = scan(dir, ".json", /*exclude_traces=*/true,
+                                   check_report);
+    if (checked == 0) {
+      std::fprintf(stderr, "%s: no report artifacts found\n", dir.c_str());
+      return 1;
+    }
+    std::printf("%d report(s) checked, %d bad\n", checked, dir_bad);
+    bad += dir_bad;
   }
-  auto [checked, bad] = scan(dir, ".json", /*exclude_traces=*/true,
-                             check_report);
-  if (checked == 0) {
-    std::fprintf(stderr, "%s: no report artifacts found\n", dir.c_str());
-    return 1;
-  }
-  std::printf("%d report(s) checked, %d bad\n", checked, bad);
   if (dirs.size() == 2) {
     const fs::path tdir = dirs[1];
     if (!fs::is_directory(tdir)) {
@@ -965,6 +1075,15 @@ int main(int argc, char** argv) {
     }
     std::printf("%d dump(s) checked, %d bad\n", dchecked, dbad);
     bad += dbad;
+  }
+  if (!lint_report_file.empty()) {
+    bool io_error = false;
+    if (check_lint_report(lint_report_file, &io_error)) {
+      std::printf("lint report valid\n");
+    } else {
+      if (io_error) return 3;
+      ++bad;
+    }
   }
   return bad == 0 ? 0 : 1;
 }

@@ -1,6 +1,6 @@
 // Annotated-disassembly viewer for profiled run reports:
 //
-//   $ smt_annotate <report.json> [--cpu N] [--top K]
+//   $ smt_annotate <report.json> [--cpu N] [--top K] [--predict]
 //
 // Joins the `profile` section of a schema smt-run-report/3 artifact (per-PC
 // retired uops, issue-port occupancy, stall cycles by blocking reason,
@@ -16,24 +16,34 @@
 //     stalls by reason, and miss counts per instruction.
 //
 // `--top K` restricts the listing to the K busiest PCs (by cycle share),
-// still in program order. Exit status: 0 ok; 1 if the file is not a
-// schema /3 report (or its profile section is malformed); 2 usage error;
-// 3 unreadable input.
+// still in program order. `--predict` looks the report's workload up in
+// the host experiment registry, re-emits its programs, and prints the
+// static CPI lower bound (analysis/static_perf.h) next to each CPU's
+// measured occupancy — the advisor's prediction against what the
+// cycle-accurate core actually did. Exit status: 0 ok; 1 if the file is
+// not a schema /3 report (or its profile section is malformed); 2 usage
+// error; 3 unreadable input.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/static_perf.h"
 #include "common/json.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "common/types.h"
+#include "core/machine.h"
+#include "core/workload.h"
+#include "cpu/config.h"
 #include "cpu/core.h"
+#include "host/experiments.h"
 
 namespace {
 
@@ -72,11 +82,14 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   std::optional<int> only_cpu;
   size_t top = 0;  // 0 = all
+  bool predict = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cpu") == 0 && i + 1 < argc) {
       only_cpu = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--predict") == 0) {
+      predict = true;
     } else if (path == nullptr && argv[i][0] != '-') {
       path = argv[i];
     } else {
@@ -85,8 +98,9 @@ int main(int argc, char** argv) {
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: %s <report.json> [--cpu N] [--top K]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr, "usage: %s <report.json> [--cpu N] [--top K] [--predict]\n",
+        argv[0]);
     return 2;
   }
 
@@ -127,6 +141,28 @@ int main(int argc, char** argv) {
   std::printf("annotated profile: %s  (%.0f cycles)\n",
               workload != nullptr ? workload->string.c_str() : "?", cycles);
 
+  // --predict: rebuild the report's workload and compute the static CPI
+  // lower bound for each logical CPU's program.
+  std::vector<smt::analysis::StaticPerf> predictions;
+  if (predict) {
+    const smt::host::ExperimentDef* def =
+        workload != nullptr ? smt::host::find_experiment(workload->string)
+                            : nullptr;
+    if (def == nullptr) {
+      smt::log::warn("--predict: workload not in the experiment registry",
+                     {{"workload",
+                       workload != nullptr ? workload->string : "?"}});
+    } else {
+      const std::unique_ptr<smt::core::Workload> wl = def->make();
+      smt::core::Machine m;
+      wl->setup(m);
+      const smt::cpu::CoreConfig cfg;
+      for (const smt::isa::Program& p : wl->programs()) {
+        predictions.push_back(smt::analysis::static_cpi_bound(p, cfg));
+      }
+    }
+  }
+
   double cap[smt::cpu::kNumIssuePorts];
   for (int p = 0; p < smt::cpu::kNumIssuePorts; ++p) {
     cap[p] = map_value(caps, port_name(p));
@@ -151,6 +187,23 @@ int main(int argc, char** argv) {
     }
     std::printf("\n=== cpu%zu port occupancy ===\n%s", c,
                 ports.to_string().c_str());
+
+    if (c < predictions.size()) {
+      const smt::analysis::StaticPerf& sp = predictions[c];
+      std::printf("static advisor: cpi >= %.3f  (bound by %s, %s)\n",
+                  sp.cpi_lb, sp.binding.c_str(),
+                  sp.exact ? "exact loop structure" : "path-density fallback");
+      if (sp.exact) {
+        std::printf("  predicted: %llu instrs, %llu uops, >= %.0f cycles;"
+                    " port uops:",
+                    static_cast<unsigned long long>(sp.instrs),
+                    static_cast<unsigned long long>(sp.uops), sp.cycles_lb);
+        for (int p = 0; p < smt::cpu::kNumIssuePorts; ++p) {
+          std::printf(" %s=%.0f", port_name(p), sp.port_uops[p]);
+        }
+        std::printf("\n");
+      }
+    }
 
     std::vector<PcRow> rows;
     double total_port_cycles = 0;

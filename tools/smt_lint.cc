@@ -3,13 +3,18 @@
 // Usage:
 //   smt_lint [NAME...]    lint every experiment in the host registry (or
 //                         only the named ones): build each workload on a
-//                         fresh machine, then run analysis::lint_program
-//                         over every emitted program with the workload's
-//                         registered extents. Exit 0 iff no findings.
-//   smt_lint --list       print the registry and the lint rule set
-//   smt_lint --selftest   emit one deliberately broken program per lint
-//                         rule and require the lint to catch each one
-//                         (the negative-case gate CI runs)
+//                         fresh machine, run analysis::lint_program over
+//                         every emitted program with the workload's
+//                         registered extents, then the cross-program
+//                         concurrency checks (analysis::lint_concurrency).
+//                         Exit 0 iff no error-severity diagnostics.
+//   --werror              treat warnings as errors for the exit status
+//   --format=json         emit a versioned smt-lint-report/1 document on
+//                         stdout instead of the text listing
+//   smt_lint --list       print the registry and the lint check set
+//   smt_lint --selftest   emit one deliberately broken program per check
+//                         and require the lint to catch each one (the
+//                         negative-case gate CI runs)
 //
 // The dynamic half of the verifier (the happens-before race detector)
 // runs inside the simulation; see core::RunOptions::race_detect and the
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "analysis/lint.h"
+#include "common/json.h"
 #include "common/log.h"
 #include "core/machine.h"
 #include "core/workload.h"
@@ -31,10 +37,11 @@
 
 namespace {
 
+using smt::analysis::Check;
+using smt::analysis::Diagnostic;
 using smt::analysis::Extent;
-using smt::analysis::LintFinding;
 using smt::analysis::LintOptions;
-using smt::analysis::LintRule;
+using smt::analysis::Severity;
 using smt::isa::AsmBuilder;
 using smt::isa::BrCond;
 using smt::isa::IReg;
@@ -50,66 +57,187 @@ LintOptions options_for(const smt::core::Workload& w) {
   return opt;
 }
 
-int lint_registry(const std::vector<std::string>& names) {
-  int findings = 0;
+/// Merges per-program and cross-program diagnostics back into the
+/// canonical order (the same key lint_program sorts by).
+void merge(std::vector<Diagnostic>* into, std::vector<Diagnostic> extra) {
+  into->insert(into->end(), std::make_move_iterator(extra.begin()),
+               std::make_move_iterator(extra.end()));
+  std::stable_sort(into->begin(), into->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.pc != b.pc) return a.pc < b.pc;
+                     if (a.check != b.check) return a.check < b.check;
+                     if (a.severity != b.severity) {
+                       return a.severity < b.severity;
+                     }
+                     return a.message < b.message;
+                   });
+}
+
+struct RegistryResult {
+  size_t errors = 0;
+  size_t warnings = 0;
   int programs = 0;
   int experiments = 0;
+};
+
+int lint_registry(const std::vector<std::string>& names, bool json,
+                  bool werror) {
+  RegistryResult total;
+  smt::JsonWriter w;
+  if (json) {
+    w.begin_object();
+    w.kv("schema", "smt-lint-report/1");
+    w.key("experiments");
+    w.begin_array();
+  }
   for (const smt::host::ExperimentDef& def : smt::host::experiments()) {
     if (!names.empty() &&
         std::find(names.begin(), names.end(), def.name) == names.end()) {
       continue;
     }
-    ++experiments;
-    const std::unique_ptr<smt::core::Workload> w = def.make();
+    ++total.experiments;
+    const std::unique_ptr<smt::core::Workload> wl = def.make();
     smt::core::Machine m;
-    w->setup(m);
-    const LintOptions opt = options_for(*w);
-    for (const smt::isa::Program& p : w->programs()) {
-      ++programs;
-      const std::vector<LintFinding> f = smt::analysis::lint_program(p, opt);
-      if (!f.empty()) {
-        findings += static_cast<int>(f.size());
-        std::fputs(smt::analysis::format_findings(p, f).c_str(), stdout);
+    wl->setup(m);
+    const LintOptions opt = options_for(*wl);
+    const std::vector<smt::isa::Program>& programs = wl->programs();
+    std::vector<std::vector<Diagnostic>> diags =
+        smt::analysis::lint_concurrency(programs);
+    diags.resize(programs.size());
+    if (json) {
+      w.begin_object();
+      w.kv("name", def.name);
+      w.key("programs");
+      w.begin_array();
+    }
+    for (size_t i = 0; i < programs.size(); ++i) {
+      const smt::isa::Program& p = programs[i];
+      ++total.programs;
+      merge(&diags[i], smt::analysis::lint_program(p, opt));
+      total.errors +=
+          smt::analysis::count_severity(diags[i], Severity::kError);
+      total.warnings +=
+          smt::analysis::count_severity(diags[i], Severity::kWarning);
+      if (json) {
+        w.begin_object();
+        w.kv("name", p.name());
+        w.key("diagnostics");
+        w.begin_array();
+        for (const Diagnostic& d : diags[i]) {
+          w.begin_object();
+          w.kv("check", smt::analysis::name(d.check));
+          w.kv("severity", smt::analysis::name(d.severity));
+          w.kv("pc", static_cast<uint64_t>(d.pc));
+          w.kv("block", static_cast<uint64_t>(d.block));
+          w.kv("message", d.message);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      } else if (!diags[i].empty()) {
+        std::fputs(smt::analysis::format_diagnostics(p, diags[i]).c_str(),
+                   stdout);
       }
     }
+    if (json) {
+      w.end_array();
+      w.end_object();
+    }
   }
-  if (experiments == 0) {
+  if (total.experiments == 0) {
     smt::log::error("no experiment matched");
     return 2;
   }
-  std::printf("smt_lint: %d finding(s) across %d program(s) in %d experiment(s)\n",
-              findings, programs, experiments);
-  return findings == 0 ? 0 : 1;
+  const bool fail = total.errors > 0 || (werror && total.warnings > 0);
+  if (json) {
+    w.end_array();
+    w.key("totals");
+    w.begin_object();
+    w.kv("errors", static_cast<uint64_t>(total.errors));
+    w.kv("warnings", static_cast<uint64_t>(total.warnings));
+    w.kv("programs", total.programs);
+    w.kv("experiments", total.experiments);
+    w.end_object();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf(
+        "smt_lint: %zu error(s), %zu warning(s) across %d program(s) in %d "
+        "experiment(s)\n",
+        total.errors, total.warnings, total.programs, total.experiments);
+  }
+  return fail ? 1 : 0;
 }
 
 // ---------------------------------------------------------------------------
-// --selftest: one seeded violation per rule; the lint must catch each.
+// --selftest: one seeded violation per check; the lint must catch each.
 // ---------------------------------------------------------------------------
 
-bool expect_rule(const char* what, const smt::isa::Program& p,
-                 const LintOptions& opt, LintRule rule) {
-  const std::vector<LintFinding> f = smt::analysis::lint_program(p, opt);
-  for (const LintFinding& x : f) {
-    if (x.rule == rule) {
-      std::printf("caught %-18s %s\n", what,
-                  smt::analysis::format_findings(p, {x}).c_str());
+bool report_expected(const char* what, const smt::isa::Program& p,
+                     const std::vector<Diagnostic>& diags, Check check,
+                     const Severity* severity) {
+  for (const Diagnostic& d : diags) {
+    if (d.check == check && (severity == nullptr || d.severity == *severity)) {
+      std::printf("caught %-18s %s", what,
+                  smt::analysis::format_diagnostics(p, {d}).c_str());
       return true;
     }
   }
-  smt::log::error("selftest rule missed",
-                  {{"seed", what}, {"expected", smt::analysis::name(rule)}});
-  std::fputs(smt::analysis::format_findings(p, f).c_str(), stderr);
+  smt::log::error("selftest check missed", {{"seed", what},
+                                            {"expected",
+                                             smt::analysis::name(check)}});
+  std::fputs(smt::analysis::format_diagnostics(p, diags).c_str(), stderr);
   return false;
+}
+
+bool expect_check(const char* what, const smt::isa::Program& p,
+                  const LintOptions& opt, Check check,
+                  const Severity* severity = nullptr) {
+  return report_expected(what, p, smt::analysis::lint_program(p, opt), check,
+                         severity);
+}
+
+bool expect_concurrency(const char* what,
+                        const std::vector<smt::isa::Program>& programs,
+                        Check check) {
+  const std::vector<std::vector<Diagnostic>> diags =
+      smt::analysis::lint_concurrency(programs);
+  bool ok = false;
+  for (size_t i = 0; i < diags.size(); ++i) {
+    for (const Diagnostic& d : diags[i]) {
+      if (d.check == check) {
+        if (!ok) {
+          std::printf(
+              "caught %-18s %s", what,
+              smt::analysis::format_diagnostics(programs[i], {d}).c_str());
+        }
+        ok = true;
+      }
+    }
+  }
+  if (!ok) {
+    smt::log::error("selftest check missed", {{"seed", what},
+                                              {"expected",
+                                               smt::analysis::name(check)}});
+    for (size_t i = 0; i < diags.size(); ++i) {
+      std::fputs(
+          smt::analysis::format_diagnostics(programs[i], diags[i]).c_str(),
+          stderr);
+    }
+  }
+  return ok;
 }
 
 int selftest() {
   bool ok = true;
+  constexpr Severity kWarn = Severity::kWarning;
+  constexpr Severity kErr = Severity::kError;
 
   {  // Read of a never-written register.
     AsmBuilder a("seed.uninit-read");
     a.iaddi(IReg::R0, IReg::R1, 1);  // R1 never written
     a.exit();
-    ok &= expect_rule("uninit-read", a.take(), {}, LintRule::kUninitRead);
+    ok &= expect_check("uninit-read", a.take(), {}, Check::kUninitRead);
   }
   {  // Spin region asked for pause but its loop has none.
     AsmBuilder a("seed.missing-pause");
@@ -121,14 +249,15 @@ int selftest() {
     a.bri(BrCond::kNe, IReg::R0, 1, loop);  // no pause in the loop body
     a.end_sync_region();
     a.exit();
-    ok &= expect_rule("missing-pause", a.take(), {}, LintRule::kMissingPause);
+    ok &= expect_check("missing-pause", a.take(), {}, Check::kMissingPause,
+                       &kWarn);
   }
   {  // Lock acquired but never released on the exit path.
     AsmBuilder a("seed.unpaired-lock");
     smt::sync::emit_lock_acquire(a, 0x8040, IReg::R2,
                                  smt::sync::SpinKind::kPause);
     a.exit();  // still holding the lock
-    ok &= expect_rule("lock-pairing", a.take(), {}, LintRule::kLockPairing);
+    ok &= expect_check("lock-pairing", a.take(), {}, Check::kLockPairing);
   }
   {  // Emitter writes a register outside its declared may_write set.
     AsmBuilder a("seed.region-discipline");
@@ -138,8 +267,8 @@ int selftest() {
     a.store(IReg::R0, Mem::abs(0x8000));
     a.end_sync_region();
     a.exit();
-    ok &= expect_rule("sync-region-write", a.take(), {},
-                      LintRule::kSyncRegionWrite);
+    ok &= expect_check("sync-region-write", a.take(), {},
+                       Check::kSyncRegionWrite);
   }
   {  // Absolute-address store outside every registered extent.
     AsmBuilder a("seed.out-of-extent");
@@ -149,8 +278,24 @@ int selftest() {
     LintOptions opt;
     opt.extents.push_back({0x10000, 4096, "A"});
     opt.extents_complete = true;
-    ok &= expect_rule("out-of-extent", a.take(), opt,
-                      LintRule::kOutOfExtentStore);
+    ok &= expect_check("out-of-extent", a.take(), opt,
+                       Check::kOutOfExtentStore, &kErr);
+  }
+  {  // Off-by-one loop bound: the store's address RANGE (from the
+     // interval analysis) runs one element past the extent.
+    AsmBuilder a("seed.range-overrun");
+    a.imovi(IReg::R0, 1);
+    a.imovi(IReg::R1, 0x10000);
+    const Label top = a.here();
+    a.store(IReg::R0, Mem::bd(IReg::R1));
+    a.iaddi(IReg::R1, IReg::R1, 8);
+    a.bri(BrCond::kLe, IReg::R1, 0x10040, top);  // last store overruns
+    a.exit();
+    LintOptions opt;
+    opt.extents.push_back({0x10000, 64, "A"});  // 8 slots: 0x10000..0x10038
+    opt.extents_complete = true;
+    ok &= expect_check("range-out-of-extent", a.take(), opt,
+                       Check::kOutOfExtentStore, &kWarn);
   }
   {  // Code no path reaches.
     AsmBuilder a("seed.unreachable");
@@ -159,7 +304,8 @@ int selftest() {
     a.nop();  // skipped forever
     a.bind(end);
     a.exit();
-    ok &= expect_rule("unreachable", a.take(), {}, LintRule::kUnreachable);
+    ok &= expect_check("unreachable", a.take(), {}, Check::kUnreachable,
+                       &kWarn);
   }
   {  // A reachable path runs past the end of the program. The builder's
      // take() refuses to emit this, so construct the Program directly —
@@ -167,16 +313,54 @@ int selftest() {
     std::vector<smt::isa::Instr> code(1);
     code[0].op = smt::isa::Opcode::kNop;
     const smt::isa::Program p("seed.fall-off-end", std::move(code));
-    ok &= expect_rule("fall-off-end", p, {}, LintRule::kFallOffEnd);
+    ok &= expect_check("fall-off-end", p, {}, Check::kFallOffEnd);
+  }
+  {  // One CPU reaches a barrier episode its sibling never emits: the
+     // sibling would spin forever waiting for the rendezvous.
+    AsmBuilder a("seed.barrier-a");
+    a.begin_sync_region("barrier_wait", 0);
+    a.nop();
+    a.end_sync_region();
+    a.exit();
+    AsmBuilder b("seed.barrier-b");
+    b.nop();  // no barrier episode at all
+    b.exit();
+    std::vector<smt::isa::Program> programs;
+    programs.push_back(a.take());
+    programs.push_back(b.take());
+    ok &= expect_concurrency("barrier-mismatch", programs,
+                             Check::kBarrierMismatch);
+  }
+  {  // Two CPUs take the same pair of locks in opposite orders.
+    AsmBuilder a("seed.lock-order-a");
+    smt::sync::emit_lock_acquire(a, 0x8040, IReg::R2,
+                                 smt::sync::SpinKind::kPause);
+    smt::sync::emit_lock_acquire(a, 0x8080, IReg::R2,
+                                 smt::sync::SpinKind::kPause);
+    smt::sync::emit_lock_release(a, 0x8080, IReg::R2);
+    smt::sync::emit_lock_release(a, 0x8040, IReg::R2);
+    a.exit();
+    AsmBuilder b("seed.lock-order-b");
+    smt::sync::emit_lock_acquire(b, 0x8080, IReg::R2,
+                                 smt::sync::SpinKind::kPause);
+    smt::sync::emit_lock_acquire(b, 0x8040, IReg::R2,
+                                 smt::sync::SpinKind::kPause);
+    smt::sync::emit_lock_release(b, 0x8040, IReg::R2);
+    smt::sync::emit_lock_release(b, 0x8080, IReg::R2);
+    b.exit();
+    std::vector<smt::isa::Program> programs;
+    programs.push_back(a.take());
+    programs.push_back(b.take());
+    ok &= expect_concurrency("lock-order", programs, Check::kLockOrder);
   }
 
   return ok ? 0 : 1;
 }
 
 void list_registry() {
-  std::puts("lint rules:");
-  for (int r = 0; r <= static_cast<int>(LintRule::kFallOffEnd); ++r) {
-    std::printf("  %s\n", smt::analysis::name(static_cast<LintRule>(r)));
+  std::puts("lint checks:");
+  for (int c = 0; c < static_cast<int>(Check::kNumChecks); ++c) {
+    std::printf("  %s\n", smt::analysis::name(static_cast<Check>(c)));
   }
   std::puts("experiments:");
   for (const smt::host::ExperimentDef& def : smt::host::experiments()) {
@@ -188,18 +372,30 @@ void list_registry() {
 
 int main(int argc, char** argv) {
   std::vector<std::string> names;
+  bool json = false;
+  bool werror = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--selftest") == 0) return selftest();
     if (std::strcmp(argv[i], "--list") == 0) {
       list_registry();
       return 0;
     }
+    if (std::strcmp(argv[i], "--format=json") == 0) {
+      json = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--werror") == 0) {
+      werror = true;
+      continue;
+    }
     if (argv[i][0] == '-') {
-      std::fprintf(stderr,
-                   "usage: smt_lint [--list | --selftest | NAME...]\n");
+      std::fprintf(
+          stderr,
+          "usage: smt_lint [--list | --selftest | [--format=json] "
+          "[--werror] NAME...]\n");
       return 2;
     }
     names.emplace_back(argv[i]);
   }
-  return lint_registry(names);
+  return lint_registry(names, json, werror);
 }

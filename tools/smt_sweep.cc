@@ -50,6 +50,15 @@
 //                     outcome "cancelled" with attempts=0) — the
 //                     deterministic mid-sweep-kill injection the resume
 //                     tests use.
+//   --lint            static pre-run gate: run the abstract-interpretation
+//                     verifier (analysis::lint_program + lint_concurrency)
+//                     over every job's emitted programs before the pool
+//                     starts. A job with any error-severity diagnostic is
+//                     never simulated: it lands in the index as the
+//                     structured outcome "lint_failed" with attempts=0 and
+//                     no artifacts, counts toward the failed total (exit
+//                     1), and its diagnostics go to stderr. Warnings are
+//                     reported but do not gate.
 //   --quiet           errors only: no progress line, log level error
 //   --list            print the experiment registry and exit
 //
@@ -84,6 +93,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -94,11 +104,14 @@
 
 #include <unistd.h>
 
+#include "analysis/lint.h"
 #include "common/io.h"
 #include "common/json.h"
 #include "common/log.h"
+#include "core/machine.h"
 #include "core/run_report.h"
 #include "core/runner.h"
+#include "core/workload.h"
 #include "host/experiments.h"
 #include "host/job_pool.h"
 #include "host/metrics.h"
@@ -128,6 +141,7 @@ struct SweepOptions {
   long cache_verify = -1;       // -1 off; LONG_MAX bare flag; N = sample
   bool resume = false;
   long cancel_after = 0;        // 0 = off
+  bool lint = false;
   bool pipeview = false;
   bool quiet = false;
   bool list = false;
@@ -189,7 +203,7 @@ int usage(const char* argv0) {
                "       [--cycle-budget N] [--timeout-ms N]\n"
                "       [--metrics FILE] [--trace FILE] [--pipeview]\n"
                "       [--cache DIR] [--cache-verify[=N]] [--resume]\n"
-               "       [--cancel-after N]\n"
+               "       [--cancel-after N] [--lint]\n"
                "       [--quiet] [--list] [experiment names...]\n",
                argv0);
   return kExitUsage;
@@ -255,6 +269,8 @@ bool parse_args(int argc, char** argv, SweepOptions* opt) {
         smt::log::error("--cancel-after requires a positive count");
         return false;
       }
+    } else if (a == "--lint") {
+      opt->lint = true;
     } else if (a == "--pipeview") {
       opt->pipeview = true;
     } else if (a == "--quiet") {
@@ -573,12 +589,63 @@ int main(int argc, char** argv) {
   std::atomic<long> verify_budget{opt.cache_verify == -1 ? 0
                                                          : opt.cache_verify};
 
+  // --lint: the static pre-run gate. A job with any error-severity
+  // diagnostic is withheld from the pool entirely; its diagnostics go to
+  // stderr and its manifest slot becomes a "lint_failed" index entry.
+  std::vector<std::string> lint_msg(manifest.size());
+  if (opt.lint) {
+    for (size_t i = 0; i < defs.size(); ++i) {
+      const ExperimentDef& def = *defs[i];
+      const std::unique_ptr<smt::core::Workload> w = def.make();
+      smt::core::Machine m;
+      w->setup(m);
+      smt::analysis::LintOptions lo;
+      const smt::core::MemInfo mi = w->mem_info();
+      for (const auto& r : mi.data) {
+        lo.extents.push_back({r.base, r.bytes, r.name});
+      }
+      for (const auto& r : mi.sync) {
+        lo.extents.push_back({r.base, r.bytes, r.name});
+      }
+      lo.extents_complete = mi.complete;
+      const std::vector<smt::isa::Program>& programs = w->programs();
+      std::vector<std::vector<smt::analysis::Diagnostic>> diags =
+          smt::analysis::lint_concurrency(programs);
+      diags.resize(programs.size());
+      size_t errors = 0;
+      for (size_t pi = 0; pi < programs.size(); ++pi) {
+        const std::vector<smt::analysis::Diagnostic> d =
+            smt::analysis::lint_program(programs[pi], lo);
+        diags[pi].insert(diags[pi].end(), d.begin(), d.end());
+        errors += smt::analysis::count_severity(
+            diags[pi], smt::analysis::Severity::kError);
+        if (!diags[pi].empty()) {
+          std::fputs(
+              smt::analysis::format_diagnostics(programs[pi], diags[pi])
+                  .c_str(),
+              stderr);
+        }
+      }
+      if (errors > 0) {
+        lint_msg[i] =
+            std::to_string(errors) + " lint error(s); job not simulated";
+        smt::log::error("lint gate failed", {{"job", def.name},
+                                             {"errors", errors}});
+      }
+    }
+  }
+
   std::vector<JobRecord> records(manifest.size());
   std::vector<smt::host::Job> jobs(manifest.size());
   for (size_t i = 0; i < manifest.size(); ++i) {
     const ExperimentDef& def = *defs[i];
     JobRecord& rec = records[i];
     rec.name = def.name;
+    if (!lint_msg[i].empty()) {
+      rec.outcome = "lint_failed";
+      rec.message = lint_msg[i];
+      continue;  // no artifacts, never submitted to the pool
+    }
     const std::string key = smt::sanitize_artifact_key(def.name);
     rec.report = "reports/" + key + ".json";
     const smt::Cycle budget =
@@ -779,7 +846,18 @@ int main(int argc, char** argv) {
     };
   }
 
-  smt::log::info("sweep starting", {{"jobs", manifest.size()},
+  // Jobs that survived the lint gate, in manifest order; submit[k] maps
+  // the pool's job index k back to the manifest/records index.
+  std::vector<size_t> submit;
+  std::vector<smt::host::Job> pool_jobs;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (lint_msg[i].empty()) {
+      submit.push_back(i);
+      pool_jobs.push_back(std::move(jobs[i]));
+    }
+  }
+
+  smt::log::info("sweep starting", {{"jobs", pool_jobs.size()},
                                     {"workers", opt.jobs},
                                     {"out", opt.out_dir},
                                     {"cache", opt.cache_dir},
@@ -787,7 +865,7 @@ int main(int argc, char** argv) {
 
   std::mutex trace_mu;
   std::vector<AttemptEvent> trace_events;
-  Progress progress(manifest.size(),
+  Progress progress(pool_jobs.size(),
                     !opt.quiet && isatty(fileno(stderr)) != 0);
 
   smt::host::CancelToken sweep_cancel;
@@ -812,11 +890,25 @@ int main(int argc, char** argv) {
             opt.cancel_after) {
       sweep_cancel.cancel();
     }
-    progress.on_attempt(e, records[e.job].name);
+    progress.on_attempt(e, records[submit[e.job]].name);
   };
 
-  const std::vector<smt::host::JobResult> results =
-      smt::host::run_jobs(pool, jobs);
+  // Full-size results: pool results scattered back to manifest slots;
+  // lint-failed slots keep attempts == 0 and count as failed.
+  std::vector<smt::host::JobResult> results(records.size());
+  {
+    const std::vector<smt::host::JobResult> pool_results =
+        smt::host::run_jobs(pool, pool_jobs);
+    for (size_t k = 0; k < pool_results.size(); ++k) {
+      results[submit[k]] = pool_results[k];
+    }
+  }
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (!lint_msg[i].empty()) {
+      results[i].status = smt::host::JobStatus::kFailed;
+      results[i].message = records[i].message;
+    }
+  }
   progress.finish();
 
   // Jobs the pool-level cancel kept from starting: structured outcomes,
@@ -851,13 +943,16 @@ int main(int argc, char** argv) {
     return kExitIo;
   }
   if (want_trace) {
-    std::vector<std::string> job_names(records.size());
-    for (size_t i = 0; i < records.size(); ++i) job_names[i] = records[i].name;
-    if (!smt::host::write_sweep_trace_file(std::move(trace_events), job_names,
-                                           std::min<int>(
-                                               opt.jobs,
-                                               static_cast<int>(jobs.size())),
-                                           opt.trace_path)) {
+    // Trace events carry pool-job indices, so the name table is the
+    // submitted (post-lint-gate) job list.
+    std::vector<std::string> job_names(submit.size());
+    for (size_t k = 0; k < submit.size(); ++k) {
+      job_names[k] = records[submit[k]].name;
+    }
+    if (!smt::host::write_sweep_trace_file(
+            std::move(trace_events), job_names,
+            std::min<int>(opt.jobs, static_cast<int>(submit.size())),
+            opt.trace_path)) {
       return kExitIo;
     }
   }
